@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_fig*.py`` regenerates one panel of the paper's evaluation:
+it runs the figure's sweep (at ``AART_BENCH_TRIALS`` trials per point,
+default 25 — the paper uses 1000; raise the env var for publication-grade
+statistics), prints the same ratio series the paper plots, and asserts the
+paper's qualitative shape claims.  Timings are recorded by pytest-benchmark
+around the full sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.figures import expected_shape_violations, run_figure
+from repro.experiments.report import series_table
+
+#: Trials per sweep point; paper uses 1000.
+TRIALS = int(os.environ.get("AART_BENCH_TRIALS", "25"))
+
+#: Root seed for all benches (reproducible series).
+SEED = int(os.environ.get("AART_BENCH_SEED", "0"))
+
+
+def run_panel(benchmark, figure_id: str, x_label: str):
+    """Benchmark one figure panel, print its series, check its shape."""
+    points = benchmark.pedantic(
+        run_figure,
+        args=(figure_id,),
+        kwargs={"trials": TRIALS, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n=== {figure_id}: paper-series reproduction ===")
+    print(series_table(points, x_label=x_label))
+    violations = expected_shape_violations(figure_id, points)
+    assert violations == [], "\n".join(violations)
+    return points

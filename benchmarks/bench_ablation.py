@@ -1,0 +1,98 @@
+"""Ablations for the design choices documented in DESIGN.md.
+
+* reclamation pass on/off (how much of the paper's 99% comes from it);
+* concave quadratic spline vs scipy PCHIP workload generator;
+* joint Algorithm 2 vs the strongest two-step baselines.
+"""
+
+import numpy as np
+
+from _common import SEED, TRIALS
+
+from repro.assign.twostep import balanced_waterfill, best_of_random, ipc_greedy
+from repro.core.linearize import linearize
+from repro.core.algorithm2 import algorithm2
+from repro.core.postprocess import reclaim
+from repro.experiments.harness import run_point
+from repro.workloads.generators import PowerLawDistribution, UniformDistribution, make_problem
+
+M, C, BETA = 8, 1000.0, 5.0
+
+
+def test_ablation_reclamation(benchmark):
+    """Alg2/SO with and without the reclamation post-pass."""
+    dist = UniformDistribution()
+
+    def run():
+        raw_ratio, rec_ratio = 0.0, 0.0
+        for t in range(TRIALS):
+            problem = make_problem(dist, M, BETA, C, seed=(SEED, t))
+            lin = linearize(problem)
+            raw = algorithm2(problem, lin)
+            rec = reclaim(problem, raw)
+            raw_ratio += raw.total_utility(problem) / lin.super_optimal_utility
+            rec_ratio += rec.total_utility(problem) / lin.super_optimal_utility
+        return raw_ratio / TRIALS, rec_ratio / TRIALS
+
+    raw_ratio, rec_ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nreclamation ablation (uniform, beta={BETA:g}): "
+        f"raw alg2/SO = {raw_ratio:.4f}, reclaimed = {rec_ratio:.4f}"
+    )
+    assert rec_ratio >= raw_ratio - 1e-12
+    assert rec_ratio >= 0.99
+
+
+def test_ablation_interpolator(benchmark):
+    """Paper generator fidelity: quadratic spline vs scipy PCHIP."""
+    dist = UniformDistribution()
+
+    def run():
+        # PCHIP runs through GenericBatch (scalar loop) — keep trials low.
+        trials = max(TRIALS // 5, 3)
+        quad = run_point(dist, M, BETA, C, trials=trials, seed=SEED)
+        pchip = run_point(
+            dist, M, BETA, C, trials=trials, seed=SEED, interpolator="pchip"
+        )
+        return quad["SO"], pchip["SO"]
+
+    quad_so, pchip_so = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\ninterpolator ablation: alg2/SO quadspline = {quad_so:.4f}, "
+        f"pchip = {pchip_so:.4f}"
+    )
+    assert abs(quad_so - pchip_so) < 0.02  # interchangeable generators
+
+
+def test_ablation_joint_vs_twostep(benchmark):
+    """Joint assign+allocate vs assignment-then-optimal-allocation."""
+    from repro.assign.placement import density_placement, placement_then_waterfill
+
+    dist = PowerLawDistribution(alpha=2.0)
+
+    def run():
+        sums = {
+            "alg2": 0.0,
+            "balanced": 0.0,
+            "ipc": 0.0,
+            "sample16": 0.0,
+            "placement": 0.0,
+            "placement+wf": 0.0,
+        }
+        for t in range(TRIALS):
+            problem = make_problem(dist, M, BETA, C, seed=(SEED, t, 99))
+            lin = linearize(problem)
+            bound = lin.super_optimal_utility
+            sums["alg2"] += reclaim(problem, algorithm2(problem, lin)).total_utility(problem) / bound
+            sums["balanced"] += balanced_waterfill(problem).total_utility(problem) / bound
+            sums["ipc"] += ipc_greedy(problem).total_utility(problem) / bound
+            sums["sample16"] += best_of_random(problem, samples=16, seed=t).total_utility(problem) / bound
+            sums["placement"] += density_placement(problem, lin).total_utility(problem) / bound
+            sums["placement+wf"] += placement_then_waterfill(problem, lin).total_utility(problem) / bound
+        return {k: v / TRIALS for k, v in sums.items()}
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\njoint vs two-step (power law alpha=2, beta=5), mean value/SO:")
+    for name, r in ratios.items():
+        print(f"  {name:>9}: {r:.4f}")
+    assert ratios["alg2"] >= max(ratios["balanced"], ratios["ipc"], ratios["sample16"]) - 1e-9

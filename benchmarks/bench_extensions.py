@@ -1,0 +1,61 @@
+"""Extension benches: future-work features exercised at realistic sizes."""
+
+import numpy as np
+
+from _common import SEED
+
+from repro.extensions.fairness import fairness_report
+from repro.extensions.heterogeneous import HeterogeneousProblem, algorithm2_hetero
+from repro.extensions.online import OnlineScheduler
+from repro.core.problem import AAProblem
+from repro.utility.functions import LogUtility
+from repro.workloads.generators import UniformDistribution, paper_utilities
+
+CAP = 1000.0
+
+
+def test_heterogeneous_fleet(benchmark):
+    rng = np.random.default_rng(SEED)
+    capacities = rng.choice([250.0, 500.0, 1000.0], size=12).astype(float)
+    utilities = paper_utilities(UniformDistribution(), 80, float(capacities.max()), seed=rng)
+    problem = HeterogeneousProblem(utilities, capacities=capacities)
+    sol = benchmark(lambda: algorithm2_hetero(problem))
+    print(f"\nheterogeneous 12-machine fleet: certified ratio {sol.certified_ratio:.4f}")
+    assert sol.certified_ratio > 0.9
+
+
+def test_fairness_tradeoff_measurement(benchmark):
+    rng = np.random.default_rng(SEED + 1)
+    fns = [LogUtility(float(np.exp(rng.normal(0, 1.2))), 50.0, CAP) for _ in range(24)]
+    problem = AAProblem(fns, 4, CAP)
+    rep = benchmark(lambda: fairness_report(problem))
+    print(
+        f"\nfairness: floor {rep.utilitarian_min:.3f} -> {rep.fair_min:.3f}, "
+        f"efficiency cost {rep.efficiency_cost:.1%}"
+    )
+    assert rep.fair_min >= rep.utilitarian_min - 1e-9
+
+
+def test_online_churn_throughput(benchmark):
+    """Sustained add/remove/rebalance cycle at fleet scale."""
+    rng = np.random.default_rng(SEED + 2)
+
+    def run():
+        sched = OnlineScheduler(8, CAP, migration_cost=0.01)
+        alive = []
+        for step in range(120):
+            if alive and rng.uniform() < 0.45:
+                sched.remove_thread(alive.pop(int(rng.integers(len(alive)))))
+            else:
+                tid = f"t{step}"
+                sched.add_thread(
+                    tid, LogUtility(float(rng.uniform(0.5, 4.0)), 50.0, CAP)
+                )
+                alive.append(tid)
+            if step % 20 == 19:
+                sched.rebalance()
+        return sched.total_utility()
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nonline churn final utility: {value:.2f}")
+    assert value > 0

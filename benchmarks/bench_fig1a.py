@@ -1,0 +1,7 @@
+"""Figure 1a panel (uniform utilities): Alg2 vs SO/UU/UR/RU/RR."""
+
+from _common import run_panel
+
+
+def test_fig1a(benchmark):
+    run_panel(benchmark, "fig1a", x_label="beta")

@@ -1,0 +1,7 @@
+"""Figure 1b panel (normal(1,1) utilities): Alg2 vs SO/UU/UR/RU/RR."""
+
+from _common import run_panel
+
+
+def test_fig1b(benchmark):
+    run_panel(benchmark, "fig1b", x_label="beta")

@@ -1,0 +1,7 @@
+"""Figure 2a panel (power-law alpha=2 utilities): Alg2 vs SO/UU/UR/RU/RR."""
+
+from _common import run_panel
+
+
+def test_fig2a(benchmark):
+    run_panel(benchmark, "fig2a", x_label="beta")

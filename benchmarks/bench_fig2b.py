@@ -1,0 +1,7 @@
+"""Figure 2b panel (power-law utilities, beta=5): Alg2 vs SO/UU/UR/RU/RR."""
+
+from _common import run_panel
+
+
+def test_fig2b(benchmark):
+    run_panel(benchmark, "fig2b", x_label="alpha")

@@ -1,0 +1,7 @@
+"""Figure 3a panel (discrete gamma=0.85 theta=5): Alg2 vs SO/UU/UR/RU/RR."""
+
+from _common import run_panel
+
+
+def test_fig3a(benchmark):
+    run_panel(benchmark, "fig3a", x_label="beta")

@@ -1,0 +1,7 @@
+"""Figure 3b panel (discrete theta=5 beta=5): Alg2 vs SO/UU/UR/RU/RR."""
+
+from _common import run_panel
+
+
+def test_fig3b(benchmark):
+    run_panel(benchmark, "fig3b", x_label="gamma")

@@ -1,0 +1,7 @@
+"""Figure 3c panel (discrete gamma=0.85 beta=5): Alg2 vs SO/UU/UR/RU/RR."""
+
+from _common import run_panel
+
+
+def test_fig3c(benchmark):
+    run_panel(benchmark, "fig3c", x_label="theta")

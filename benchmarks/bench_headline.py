@@ -1,0 +1,31 @@
+"""The abstract's headline claims, measured in one run.
+
+* "achieves over 99% of the optimal utility on average" — worst mean
+  Alg2/SO over the uniform/normal beta sweeps;
+* "up to 5.7 times better total utility" — the heuristic multipliers at
+  the power-law (alpha = 2) beta = 15 point.
+"""
+
+from _common import SEED, TRIALS
+
+from repro.experiments.figures import run_figure
+from repro.experiments.harness import SO
+from repro.experiments.report import summarize_headlines
+
+
+def test_headline_claims(benchmark):
+    def run():
+        return {
+            "fig1a": run_figure("fig1a", trials=TRIALS, seed=SEED),
+            "fig2a": run_figure("fig2a", trials=TRIALS, seed=SEED),
+        }
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== headline claims ===")
+    print(summarize_headlines(panels))
+
+    so_floor = min(p.ratios[SO] for p in panels["fig1a"])
+    assert so_floor >= 0.985, f"uniform Alg2/SO fell to {so_floor:.4f}"
+    last = panels["fig2a"][-1]
+    assert last.ratios["UU"] > 2.0, "power-law beta=15 UU multiplier too small"
+    assert last.ratios["RR"] > 2.0, "power-law beta=15 RR multiplier too small"

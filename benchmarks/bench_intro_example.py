@@ -1,0 +1,45 @@
+"""Section I's motivating example: fixed requests vs optimal allocation.
+
+One server with C resource, n threads with f(x) = x^beta, each requesting
+a fixed z: the fixed-request policy earns a utility constant in n while
+the optimal equal split earns C^beta * n^(1-beta).  The bench prints the
+measured gap series and checks the predicted growth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assign.fixed_request import (
+    fixed_request_first_fit,
+    optimal_equal_split_utility,
+)
+from repro.core.problem import AAProblem
+from repro.core.solve import solve
+from repro.utility.functions import PowerUtility
+
+C, Z, BETA = 100.0, 10.0, 0.5
+
+
+def _gap(n: int) -> tuple[float, float, float]:
+    problem = AAProblem([PowerUtility(1.0, BETA, C) for _ in range(n)], 1, C)
+    fixed = fixed_request_first_fit(problem, np.full(n, Z)).total_utility(problem)
+    ours = solve(problem).total_utility
+    closed = optimal_equal_split_utility(C, BETA, n)
+    return fixed, ours, closed
+
+
+def test_intro_gap_series(benchmark):
+    ns = (10, 20, 40, 80, 160)
+    rows = benchmark.pedantic(lambda: [_gap(n) for n in ns], rounds=1, iterations=1)
+    print("\n=== Section I example: fixed-request vs optimal (m=1) ===")
+    print(f"{'n':>5}  {'fixed-req':>10}  {'alg2':>10}  {'closed-form opt':>16}  {'gap':>6}")
+    for n, (fixed, ours, closed) in zip(ns, rows):
+        print(f"{n:>5}  {fixed:>10.2f}  {ours:>10.2f}  {closed:>16.2f}  {ours / fixed:>6.2f}x")
+    # Fixed-request utility is constant in n; ours matches the closed form
+    # and grows like sqrt(n) at beta = 1/2.
+    fixed_vals = [r[0] for r in rows]
+    assert max(fixed_vals) == pytest.approx(min(fixed_vals))
+    for n, (fixed, ours, closed) in zip(ns, rows):
+        assert ours == pytest.approx(closed, rel=1e-6)
+    growth = (rows[-1][1] / rows[-1][0]) / (rows[0][1] / rows[0][0])
+    assert growth == pytest.approx(np.sqrt(160 / 10), rel=0.05)

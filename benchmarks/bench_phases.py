@@ -1,0 +1,28 @@
+"""Phased repartitioning bench: the value of dynamic re-optimization."""
+
+import numpy as np
+
+from repro.simulate.cache.phases import compare_static_vs_phased
+from repro.simulate.cache.trace import sequential_trace, zipf_trace
+
+
+def test_static_vs_phased(benchmark):
+    rng = np.random.default_rng(0)
+    half = 1500
+    traces = [
+        np.concatenate([zipf_trace(10, half, s=1.5, seed=rng),
+                        sequential_trace(40, half) + 1000]),
+        np.concatenate([sequential_trace(40, half) + 2000,
+                        zipf_trace(10, half, s=1.5, seed=rng) + 3000]),
+        zipf_trace(25, 2 * half, s=1.1, seed=rng) + 4000,
+        zipf_trace(15, 2 * half, s=0.9, seed=rng) + 5000,
+    ]
+    cmp = benchmark.pedantic(
+        compare_static_vs_phased, args=(traces, 2, 12),
+        kwargs={"n_phases": 2}, rounds=1, iterations=1,
+    )
+    print(
+        f"\nphased repartitioning: static {cmp.static_hits:,.0f} vs "
+        f"dynamic {cmp.dynamic_hits:,.0f} (gain {cmp.repartitioning_gain:+,.0f})"
+    )
+    assert cmp.dynamic_hits >= cmp.static_hits - 1e-9

@@ -1,0 +1,78 @@
+"""Runtime scaling: Algorithm 1 (O(mn²)) vs Algorithm 2 (O(n log…)).
+
+The paper's Section VI motivation: Algorithm 2 has the same guarantee at a
+much better complexity.  These benches time both on a shared instance so
+the asymptotic gap is visible in the saved benchmark table.
+"""
+
+import pytest
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm2 import algorithm2
+from repro.core.linearize import linearize
+from repro.allocation.waterfill import water_fill
+from repro.workloads.generators import UniformDistribution, make_problem
+
+GEOMETRIES = [(8, 5.0), (8, 15.0), (16, 15.0)]
+
+
+def _instance(m: int, beta: float):
+    problem = make_problem(
+        UniformDistribution(), n_servers=m, beta=beta, capacity=1000.0, seed=11
+    )
+    return problem, linearize(problem)
+
+
+@pytest.mark.parametrize("m,beta", GEOMETRIES, ids=lambda v: str(v))
+def test_algorithm2_scaling(benchmark, m, beta):
+    problem, lin = _instance(m, beta)
+    benchmark(lambda: algorithm2(problem, lin))
+
+
+@pytest.mark.parametrize("m,beta", GEOMETRIES, ids=lambda v: str(v))
+def test_algorithm1_scaling(benchmark, m, beta):
+    problem, lin = _instance(m, beta)
+    benchmark(lambda: algorithm1(problem, lin))
+
+
+@pytest.mark.parametrize("n", [100, 400, 1600], ids=lambda n: f"n{n}")
+def test_superoptimal_waterfill_scaling(benchmark, n):
+    problem = make_problem(
+        UniformDistribution(), n_servers=8, beta=n / 8, capacity=1000.0, seed=13
+    )
+    benchmark(lambda: water_fill(problem.utilities, problem.pool))
+
+
+def test_grouped_waterfill_vs_per_server_loop(benchmark):
+    """The reclamation hot path: one vectorized bisection for all servers."""
+    from repro.allocation.grouped import water_fill_grouped
+    import numpy as np
+
+    problem = make_problem(
+        UniformDistribution(), n_servers=16, beta=10.0, capacity=1000.0, seed=17
+    )
+    servers = np.arange(problem.n_threads) % 16
+    budgets = np.full(16, problem.capacity)
+    result = benchmark(lambda: water_fill_grouped(problem.utilities, servers, budgets))
+    assert result.total_utility > 0
+
+
+def test_per_server_loop_reference(benchmark):
+    """The pre-optimization path (m separate scalar bisections)."""
+    import numpy as np
+
+    problem = make_problem(
+        UniformDistribution(), n_servers=16, beta=10.0, capacity=1000.0, seed=17
+    )
+    servers = np.arange(problem.n_threads) % 16
+
+    def run():
+        total = 0.0
+        for j in range(16):
+            members = np.nonzero(servers == j)[0]
+            total += water_fill(
+                problem.utilities.subset(members), problem.capacity
+            ).total_utility
+        return total
+
+    assert benchmark(run) > 0

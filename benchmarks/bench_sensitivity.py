@@ -1,0 +1,40 @@
+"""Sensitivity benches: geometry knobs the paper holds fixed.
+
+Checks that the reproduction is robust to the arbitrary m = 8 / C = 1000
+choices: Alg2 stays near-optimal across fleet sizes, and ratios are
+capacity-scale-free (a structural property of the Section VII generator).
+"""
+
+from _common import SEED, TRIALS
+
+from repro.experiments.harness import SO
+from repro.experiments.report import series_table
+from repro.experiments.sensitivity import capacity_sweep, max_spread, server_sweep
+from repro.workloads.generators import UniformDistribution
+
+
+def test_server_count_sensitivity(benchmark):
+    pts = benchmark.pedantic(
+        server_sweep,
+        args=(UniformDistribution(),),
+        kwargs={"m_values": (2, 4, 8, 16), "trials": TRIALS, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== servers sweep (beta=5, uniform) ===")
+    print(series_table(pts, x_label="m"))
+    assert all(p.ratios[SO] >= 0.985 for p in pts)
+
+
+def test_capacity_scale_sensitivity(benchmark):
+    pts = benchmark.pedantic(
+        capacity_sweep,
+        args=(UniformDistribution(),),
+        kwargs={"c_values": (10.0, 100.0, 1000.0, 10000.0),
+                "trials": TRIALS, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== capacity sweep (m=8, beta=5, uniform) ===")
+    print(series_table(pts, x_label="C"))
+    assert max_spread(pts, SO) < 0.01  # scale-free by construction

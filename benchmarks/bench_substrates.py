@@ -1,0 +1,65 @@
+"""Application-substrate benchmarks: the paper's three motivating systems.
+
+Not figures from the paper — end-to-end sanity numbers showing the joint
+algorithm winning on *realized* (simulated) performance, not just on the
+planning objective, in each of the Section I scenarios.
+"""
+
+import numpy as np
+
+from repro.simulate.cache.shared import compare_partitioned_vs_shared
+from repro.simulate.cache.trace import sequential_trace, zipf_trace
+from repro.simulate.cloud.provider import CloudProvider
+from repro.simulate.cloud.vm import random_portfolio
+from repro.simulate.hosting.center import HostingCenter, random_services
+
+
+def test_cache_partitioning_pipeline(benchmark):
+    rng = np.random.default_rng(1)
+    traces = [zipf_trace(40, 2000, s=float(rng.uniform(0.7, 1.5)), seed=rng) for _ in range(6)]
+    traces.append(sequential_trace(50, 2000))
+
+    cmp = benchmark.pedantic(
+        compare_partitioned_vs_shared,
+        args=(traces, 2, 12),
+        kwargs={"method": "alg2"},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\ncache: partitioned {cmp.partitioned_hits:,.0f} hits vs "
+        f"shared {cmp.shared_hits:,.0f} (gain {cmp.partitioning_gain:+,.0f})"
+    )
+    assert cmp.partitioning_gain > 0
+
+
+def test_cloud_revenue_pipeline(benchmark):
+    provider = CloudProvider(n_machines=4, capacity=64.0)
+    requests = random_portfolio(30, capacity=64.0, seed=2)
+
+    plans = benchmark.pedantic(
+        provider.compare_methods, args=(requests,), kwargs={"seed": 3},
+        rounds=1, iterations=1,
+    )
+    ours = plans["alg2"].revenue
+    best_heur = max(p.revenue for name, p in plans.items() if name != "alg2")
+    print(f"\ncloud: alg2 revenue {ours:.1f} vs best heuristic {best_heur:.1f} "
+          f"({ours / best_heur:.2f}x)")
+    assert ours >= best_heur
+
+
+def test_hosting_goodput_pipeline(benchmark):
+    center = HostingCenter(n_servers=4, capacity=50.0)
+    services = random_services(16, seed=42)
+
+    def run():
+        out = {}
+        for method in ("alg2", "UU", "RR"):
+            plan = center.plan(services, method=method, seed=5)
+            out[method] = center.measure(plan, horizon=500.0, seed=6)
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nhosting measured goodput value: "
+          + ", ".join(f"{m}={v:.1f}" for m, v in measured.items()))
+    assert measured["alg2"] >= max(measured["UU"], measured["RR"])

@@ -1,0 +1,20 @@
+"""Theorem V.17: the 5/6 lower-bound instance, regenerated."""
+
+import pytest
+
+from repro.core.algorithm2 import algorithm2
+from repro.core.exact import exact_continuous
+from repro.core.tightness import TIGHTNESS_RATIO, tightness_instance
+
+
+def test_tightness_instance_ratio(benchmark):
+    problem = tightness_instance()
+
+    def run():
+        ours = algorithm2(problem).total_utility(problem)
+        opt = exact_continuous(problem).total_utility(problem)
+        return ours / opt
+
+    ratio = benchmark(run)
+    print(f"\nTheorem V.17 instance: alg2/OPT = {ratio:.6f} (paper: 5/6 = {5/6:.6f})")
+    assert ratio == pytest.approx(TIGHTNESS_RATIO)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Multicore shared-cache partitioning (the paper's first motivation).
+
+Generates synthetic memory traces for eight threads with very different
+locality (hot/cold Zipf mixes, a streaming scan, a phased working set),
+profiles them once with the Mattson stack-distance algorithm, then plans
+thread-to-core placement and per-core way partitions with Algorithm 2.
+Realized hits are measured on the *true* (possibly non-concave) hit
+curves, so the comparison against the UU/RR heuristics is honest.
+
+Run:  python examples/cache_partitioning.py
+"""
+
+import numpy as np
+
+from repro.simulate.cache import (
+    miss_ratio_curve,
+    plan_partitioning,
+    sequential_trace,
+    working_set_trace,
+    zipf_trace,
+)
+
+N_CORES = 2
+WAYS = 16  # ways per core's partitionable last-level cache slice
+TRACE_LEN = 4000
+
+
+def build_traces(seed: int = 7) -> list:
+    rng = np.random.default_rng(seed)
+    traces = []
+    # Five cache-friendly threads with varying reuse skew.
+    for k in range(5):
+        s = float(rng.uniform(0.6, 1.6))
+        traces.append(zipf_trace(60, TRACE_LEN, s=s, seed=rng))
+    # A streaming scan: classic cache polluter (step-shaped hit curve).
+    traces.append(sequential_trace(12, TRACE_LEN))
+    # A phased working-set thread.
+    traces.append(working_set_trace([5, 9], TRACE_LEN // 2, seed=rng))
+    # One more moderately skewed thread.
+    traces.append(zipf_trace(30, TRACE_LEN, s=1.0, seed=rng))
+    return traces
+
+
+def main() -> None:
+    traces = build_traces()
+    print(f"{len(traces)} threads, {N_CORES} cores x {WAYS} ways")
+
+    print("\nper-thread miss ratio at 4 ways (profiling preview):")
+    for i, trace in enumerate(traces):
+        mrc = miss_ratio_curve(trace, WAYS)
+        print(f"  thread {i}: mr(4) = {mrc[4]:.3f}, mr({WAYS}) = {mrc[WAYS]:.3f}")
+
+    results = {}
+    for method in ("alg2", "UU", "RU", "RR"):
+        plan = plan_partitioning(traces, N_CORES, WAYS, method=method, seed=1)
+        results[method] = plan
+        print(f"\n{method}: realized hits = {plan.realized_hits:,.0f}")
+        for core in range(N_CORES):
+            members = np.nonzero(plan.cores == core)[0]
+            ways = plan.ways[members]
+            pretty = ", ".join(f"t{m}:{w}" for m, w in zip(members, ways))
+            print(f"  core {core}: {pretty}")
+
+    ours = results["alg2"].realized_hits
+    print("\nsummary (higher is better):")
+    for method, plan in results.items():
+        marker = " <- joint assign+allocate" if method == "alg2" else ""
+        print(f"  {method:>4}: {plan.realized_hits:>9,.0f} hits{marker}")
+    print(
+        f"\nenvelope gap (concavity assumption stress): "
+        f"{results['alg2'].max_envelope_gap:,.0f} hits on the worst thread "
+        "(the streaming scan)"
+    )
+    assert ours >= max(p.realized_hits for m, p in results.items() if m != "alg2") * 0.99
+
+
+if __name__ == "__main__":
+    main()

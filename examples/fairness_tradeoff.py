@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Utility maximization vs max-min fairness on the same instances.
+
+The paper maximizes *total* utility, which will starve a weak tenant
+whenever a strong one uses the resource better.  This example quantifies
+the trade-off: for workloads of increasing dispersion, it reports total
+utility and the worst-off thread's utility under both objectives.
+
+Run:  python examples/fairness_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.core.problem import AAProblem
+from repro.extensions.fairness import fairness_report
+from repro.utility import LogUtility
+
+SERVERS = 2
+CAPACITY = 20.0
+
+
+def make_instance(spread: float, n: int = 8, seed: int = 0) -> AAProblem:
+    """Log utilities with coefficient dispersion controlled by ``spread``."""
+    rng = np.random.default_rng(seed)
+    coeffs = np.exp(rng.normal(0.0, spread, n))
+    fns = [LogUtility(float(c), 2.0, CAPACITY) for c in coeffs]
+    return AAProblem(fns, SERVERS, CAPACITY)
+
+
+def main() -> None:
+    print(f"{'spread':>7}  {'util total':>10}  {'fair total':>10}  "
+          f"{'util floor':>10}  {'fair floor':>10}  {'cost':>6}")
+    for spread in (0.0, 0.5, 1.0, 1.5, 2.0):
+        rep = fairness_report(make_instance(spread))
+        print(
+            f"{spread:>7.1f}  {rep.utilitarian_total:>10.3f}  "
+            f"{rep.fair_total:>10.3f}  {rep.utilitarian_min:>10.3f}  "
+            f"{rep.fair_min:>10.3f}  {rep.efficiency_cost:>6.1%}"
+        )
+    print(
+        "\nReading: as dispersion grows, utility maximization leaves the"
+        "\nweakest thread further behind; max-min fairness lifts the floor"
+        "\nat a measurable total-utility cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

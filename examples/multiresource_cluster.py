@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Multi-resource placement via dominant shares (paper future work #2).
+
+Servers offer CPU *and* memory; each job consumes a fixed bundle per task
+unit (Leontief demands) and earns concave utility in its task rate.  The
+dominant-share scalarization reduces this to standard AA conservatively:
+plans are always feasible for every resource, and the utilization report
+shows where non-dominant resources idle.
+
+Run:  python examples/multiresource_cluster.py
+"""
+
+import numpy as np
+
+from repro.extensions.multiresource import MultiResourceProblem, solve_multiresource
+from repro.utility import LogUtility, PowerUtility
+
+RESOURCES = ("cpu", "mem")
+CAPACITIES = [32.0, 128.0]  # per server: 32 cores, 128 GB
+SERVERS = 3
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    jobs, demands = [], []
+    profiles = [
+        ("cpu-bound ", [1.0, 1.0]),
+        ("mem-bound ", [0.2, 6.0]),
+        ("balanced  ", [0.5, 2.0]),
+    ]
+    for k in range(9):
+        name, bundle = profiles[k % 3]
+        jitter = rng.uniform(0.8, 1.25, size=2)
+        demands.append(np.asarray(bundle) * jitter)
+        if k % 2 == 0:
+            jobs.append(PowerUtility(float(rng.uniform(0.8, 2.0)),
+                                     float(rng.uniform(0.5, 0.9)), cap=200.0))
+        else:
+            jobs.append(LogUtility(float(rng.uniform(1.0, 4.0)),
+                                   float(rng.uniform(2.0, 8.0)), cap=200.0))
+
+    problem = MultiResourceProblem(jobs, np.array(demands), SERVERS, CAPACITIES)
+    sol = solve_multiresource(problem)
+
+    print(f"{problem.n_threads} jobs, {SERVERS} servers x "
+          f"({CAPACITIES[0]:g} cpu, {CAPACITIES[1]:g} GB)")
+    print(f"total utility   : {sol.total_utility:.3f}")
+    print(f"certified ratio : {sol.scalar.certified_ratio:.4f} (vs dominant-share bound)")
+
+    print("\njob task rates (dominant share model):")
+    shares = problem.dominant_share_per_unit()
+    for k, (units, s) in enumerate(zip(sol.task_units, shares)):
+        kind = profiles[k % 3][0]
+        print(f"  job {k} [{kind}] rate {units:7.2f}  "
+              f"(dominant share/unit {s:.4f})")
+
+    print("\nper-server utilization (fraction of capacity):")
+    report = sol.utilization_report()
+    header = "  server  " + "  ".join(f"{r:>5}" for r in RESOURCES)
+    print(header)
+    for j in range(SERVERS):
+        cells = "  ".join(f"{report[j, r]:5.2f}" for r in range(len(RESOURCES)))
+        print(f"  {j:>6}  {cells}")
+    print("\n(1.00 in a column = that resource is the binding one;"
+          " low values show conservative slack of the reduction)")
+
+
+if __name__ == "__main__":
+    main()

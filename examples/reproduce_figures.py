@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regenerate any (or all) of the paper's figure panels from the CLI.
+
+Prints the same ratio series the paper plots (Figures 1-3) and reports
+whether the paper's qualitative shape claims hold at the chosen trial
+count.
+
+Run:  python examples/reproduce_figures.py --figure fig2a --trials 100
+      python examples/reproduce_figures.py --all --trials 50
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    FIGURES,
+    expected_shape_violations,
+    run_figure,
+    series_table,
+    summarize_headlines,
+)
+
+
+def run_one(figure_id: str, trials: int, seed: int, include_alg1: bool):
+    spec = FIGURES[figure_id]
+    print(f"\n=== {figure_id}: {spec.title} ===")
+    if spec.notes:
+        print(f"paper: {spec.notes}")
+    t0 = time.perf_counter()
+    points = run_figure(
+        figure_id, trials=trials, seed=seed, include_alg1=include_alg1
+    )
+    elapsed = time.perf_counter() - t0
+    print(series_table(points, x_label=spec.x_label))
+    print(f"({elapsed:.1f}s)")
+    violations = expected_shape_violations(figure_id, points)
+    if violations:
+        print("SHAPE WARNINGS:")
+        for v in violations:
+            print(f"  - {v}")
+    else:
+        print("shape: all of the paper's qualitative claims hold")
+    return points
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=sorted(FIGURES), help="one panel id")
+    parser.add_argument("--all", action="store_true", help="run every panel")
+    parser.add_argument("--trials", type=int, default=100,
+                        help="trials per sweep point (paper: 1000)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--alg1", action="store_true",
+                        help="also run the slower Algorithm 1")
+    args = parser.parse_args(argv)
+
+    if not args.figure and not args.all:
+        parser.error("pass --figure <id> or --all")
+
+    figure_ids = sorted(FIGURES) if args.all else [args.figure]
+    panels = {}
+    for fid in figure_ids:
+        panels[fid] = run_one(fid, args.trials, args.seed, args.alg1)
+
+    if len(panels) > 1:
+        print("\n=== headline summary ===")
+        print(summarize_headlines(panels))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Fox's greedy discrete concave allocator (paper reference [12]).
+
+Divides an integer number of resource units among threads, one unit at a
+time, always giving the next unit to the thread with the largest marginal
+gain.  For concave utilities each thread's marginals are nonincreasing, so
+the greedy choice is globally optimal.  A binary heap brings the cost to
+``O(budget_units * log n)`` heap operations after an ``O(n)`` start-up.
+
+This allocator is *exact* for the discretized problem and serves as the
+ground truth the faster bisection allocator (:mod:`repro.allocation.galil`)
+is validated against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utility.batch import UtilityBatch, as_batch
+
+
+@dataclass(frozen=True)
+class DiscreteAllocationResult:
+    """Outcome of a discrete single-pool allocation.
+
+    ``units[i]`` is the integer number of units granted to thread ``i``;
+    ``allocations`` is ``units * unit`` in resource terms (capped at each
+    thread's domain).
+    """
+
+    units: np.ndarray
+    allocations: np.ndarray
+    total_utility: float
+
+    @property
+    def total_units(self) -> int:
+        return int(np.sum(self.units))
+
+
+def _scalar_functions(batch: UtilityBatch):
+    """Scalar views of a batch for one-thread-at-a-time evaluation."""
+    return batch.functions()
+
+
+def fox_greedy(utilities, budget_units: int, unit: float = 1.0) -> DiscreteAllocationResult:
+    """Optimal division of ``budget_units`` unit-sized grants among threads.
+
+    Parameters
+    ----------
+    utilities:
+        Batch or sequence of concave scalar utilities.
+    budget_units:
+        Number of indivisible resource units to hand out.
+    unit:
+        Resource size of one unit; a thread holding ``k`` units is evaluated
+        at ``min(k * unit, cap)``.
+    """
+    batch = as_batch(utilities)
+    n = len(batch)
+    budget_units = int(budget_units)
+    if budget_units < 0:
+        raise ValueError(f"budget_units must be nonnegative, got {budget_units}")
+    if unit <= 0:
+        raise ValueError(f"unit must be positive, got {unit!r}")
+    units = np.zeros(n, dtype=np.int64)
+    if n == 0 or budget_units == 0:
+        alloc = units * unit
+        return DiscreteAllocationResult(units, alloc, batch.total(alloc) if n else 0.0)
+
+    fns = _scalar_functions(batch)
+    max_units = np.floor(batch.caps / unit + 1e-12).astype(np.int64)
+    value_at = np.array([float(f.value(0.0)) for f in fns])
+    # Heap entries are (-marginal_gain, thread, units_already_held).  By
+    # concavity a thread's successive gains are nonincreasing, so the top
+    # entry is always that thread's current best next step.
+    heap = []
+    for i in range(n):
+        if max_units[i] >= 1:
+            gain = float(fns[i].value(unit)) - value_at[i]
+            heap.append((-gain, i, 0))
+    heapq.heapify(heap)
+
+    remaining = budget_units
+    while remaining > 0 and heap:
+        neg_gain, i, _held = heapq.heappop(heap)
+        if -neg_gain <= 0.0:
+            # All remaining marginals are zero; extra units are worthless.
+            break
+        units[i] += 1
+        value_at[i] -= neg_gain
+        remaining -= 1
+        if units[i] < max_units[i]:
+            nxt = float(fns[i].value((units[i] + 1) * unit))
+            heapq.heappush(heap, (-(nxt - value_at[i]), i, int(units[i])))
+
+    alloc = np.minimum(units * unit, batch.caps)
+    return DiscreteAllocationResult(units, alloc, batch.total(alloc))

@@ -1,0 +1,127 @@
+"""Galil-style discrete allocator: bisection on the marginal threshold.
+
+Paper reference [16]: instead of handing out units one by one (Fox,
+``O(C log n)``), bisect on a marginal-gain threshold ``lam``.  For concave
+utilities each thread's unit marginals are nonincreasing, so
+
+    demand_i(lam) = #units whose marginal gain >= lam
+
+is computable by a per-thread binary search in ``O(log C)``, and the total
+demand is nonincreasing in ``lam``.  Bisecting ``lam`` until the bracket is
+tight costs ``O(n (log C)^2)``-flavoured work and reproduces the running
+time the paper quotes for the super-optimal allocation step.
+
+Leftover units at the critical threshold (ties) are distributed greedily
+among the tied threads, preserving exact optimality whenever the bisection
+tolerance separates distinct marginal values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation.fox import DiscreteAllocationResult
+from repro.utility.batch import as_batch
+
+
+def _unit_demands(fns, max_units: np.ndarray, unit: float, lam: float) -> np.ndarray:
+    """Per-thread count of unit marginals >= lam (binary search, concavity)."""
+    out = np.zeros(len(fns), dtype=np.int64)
+    for i, f in enumerate(fns):
+        hi = int(max_units[i])
+        if hi == 0:
+            continue
+
+        def marginal(k: int) -> float:
+            return float(f.value(k * unit)) - float(f.value((k - 1) * unit))
+
+        if marginal(1) < lam:
+            continue
+        if marginal(hi) >= lam:
+            out[i] = hi
+            continue
+        lo_k, hi_k = 1, hi  # invariant: marginal(lo_k) >= lam > marginal(hi_k)
+        while hi_k - lo_k > 1:
+            mid = (lo_k + hi_k) // 2
+            if marginal(mid) >= lam:
+                lo_k = mid
+            else:
+                hi_k = mid
+        out[i] = lo_k
+    return out
+
+
+def galil_discrete(
+    utilities,
+    budget_units: int,
+    unit: float = 1.0,
+    *,
+    rel_tol: float = 1e-12,
+    max_iter: int = 200,
+) -> DiscreteAllocationResult:
+    """Discrete concave allocation via threshold bisection.
+
+    Same contract as :func:`repro.allocation.fox.fox_greedy`; asymptotically
+    faster for large unit budgets.  Exact whenever ``rel_tol`` separates
+    distinct marginal values; validated against Fox in the test suite.
+    """
+    batch = as_batch(utilities)
+    n = len(batch)
+    budget_units = int(budget_units)
+    if budget_units < 0:
+        raise ValueError(f"budget_units must be nonnegative, got {budget_units}")
+    if unit <= 0:
+        raise ValueError(f"unit must be positive, got {unit!r}")
+    units = np.zeros(n, dtype=np.int64)
+    if n == 0 or budget_units == 0:
+        alloc = units * unit
+        return DiscreteAllocationResult(units, alloc, batch.total(alloc) if n else 0.0)
+
+    fns = batch.functions()
+    max_units = np.floor(batch.caps / unit + 1e-12).astype(np.int64)
+    if int(np.sum(max_units)) <= budget_units:
+        alloc = np.minimum(max_units * unit, batch.caps)
+        return DiscreteAllocationResult(max_units.copy(), alloc, batch.total(alloc))
+
+    def demand(lam: float) -> np.ndarray:
+        return _unit_demands(fns, max_units, unit, lam)
+
+    # Bracket: lam -> 0+ gives every unit with positive marginal; if even
+    # that undershoots the budget, the rest of the units are worthless and
+    # we can stop at the zero-marginal demand.
+    tiny = 1e-300
+    d_lo = demand(tiny)
+    if int(np.sum(d_lo)) <= budget_units:
+        alloc = np.minimum(d_lo * unit, batch.caps)
+        return DiscreteAllocationResult(d_lo, alloc, batch.total(alloc))
+
+    lam_lo, lam_hi = tiny, 1.0
+    while int(np.sum(demand(lam_hi))) > budget_units:
+        lam_lo = lam_hi
+        lam_hi *= 2.0
+        if lam_hi > 1e300:
+            raise RuntimeError("galil_discrete could not bracket the threshold")
+
+    for _ in range(max_iter):
+        if lam_hi - lam_lo <= rel_tol * max(lam_hi, 1.0):
+            break
+        mid = 0.5 * (lam_lo + lam_hi)
+        if int(np.sum(demand(mid))) > budget_units:
+            lam_lo = mid
+        else:
+            lam_hi = mid
+
+    base = demand(lam_hi)  # sum <= budget
+    room = demand(lam_lo) - base  # tied units at the critical threshold
+    leftover = budget_units - int(np.sum(base))
+    units = base
+    if leftover > 0:
+        # Tied units all have marginal ~= lam*; hand them out in thread order.
+        for i in np.nonzero(room > 0)[0]:
+            take = min(int(room[i]), leftover)
+            units[i] += take
+            leftover -= take
+            if leftover == 0:
+                break
+    alloc = np.minimum(units * unit, batch.caps)
+    return DiscreteAllocationResult(units, alloc, batch.total(alloc))

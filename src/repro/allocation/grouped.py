@@ -1,0 +1,129 @@
+"""Grouped water-filling: many independent pools, one vectorized bisection.
+
+The reclamation pass, every two-step baseline and the online scheduler all
+need "optimally split each server's capacity among its own threads".
+Solving the servers one by one costs a Python-level bisection per server;
+this module runs *all* servers' bisections in lock-step instead — each
+step evaluates the batch's ``inverse_derivative_each`` once for the whole
+thread population with a per-thread price ``lam[group[i]]``, and group
+demands reduce via ``np.bincount``.  Semantically identical to calling
+:func:`repro.allocation.waterfill.water_fill` per group (the test suite
+asserts exact agreement); ~m× fewer Python iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utility.batch import UtilityBatch, as_batch
+
+
+@dataclass(frozen=True)
+class GroupedAllocationResult:
+    """Per-thread allocations plus per-group accounting."""
+
+    allocations: np.ndarray
+    total_utility: float
+    group_utilities: np.ndarray
+    iterations: int
+
+
+def water_fill_grouped(
+    utilities,
+    groups,
+    budgets,
+    *,
+    rel_tol: float = 1e-12,
+    max_iter: int = 200,
+) -> GroupedAllocationResult:
+    """Optimally divide ``budgets[g]`` among the threads with ``groups[i] == g``.
+
+    Parameters
+    ----------
+    utilities:
+        Batch (or sequence) of concave utilities, one per thread.
+    groups:
+        Integer array of shape ``(n,)`` with values in ``[0, k)`` mapping
+        each thread to its pool (server).
+    budgets:
+        Per-group budgets, shape ``(k,)``.  Groups with no threads simply
+        leave their budget unused.
+    """
+    batch = as_batch(utilities)
+    n = len(batch)
+    groups = np.asarray(groups, dtype=np.int64)
+    budgets = np.asarray(budgets, dtype=float)
+    if groups.shape != (n,):
+        raise ValueError("groups must assign one pool per thread")
+    if budgets.ndim != 1:
+        raise ValueError("budgets must be 1-D")
+    k = budgets.shape[0]
+    if n and (groups.min() < 0 or groups.max() >= k):
+        raise ValueError("group indices out of range")
+    if np.any(budgets < 0) or not np.all(np.isfinite(budgets)):
+        raise ValueError("budgets must be finite and nonnegative")
+    if n == 0:
+        return GroupedAllocationResult(np.zeros(0), 0.0, np.zeros(k), 0)
+
+    caps = batch.caps
+    cap_sums = np.bincount(groups, weights=caps, minlength=k)
+    # Groups whose budget covers every member's cap are trivially saturated;
+    # zero-budget groups allocate nothing (their demand may never reach 0
+    # for power-law-style utilities, so they must not enter the bisection).
+    slack = budgets >= cap_sums
+    zero = budgets <= 0.0
+    active = ~slack & ~zero
+
+    def group_demand(lam_groups: np.ndarray) -> np.ndarray:
+        demand = np.minimum(batch.inverse_derivative_each(lam_groups[groups]), caps)
+        return np.bincount(groups, weights=demand, minlength=k)
+
+    lam_lo = np.zeros(k)
+    lam_hi = np.ones(k)
+    iterations = 0
+    # Exponential search per group, vectorized: double lam_hi wherever the
+    # group still demands more than its budget.
+    for _ in range(1100):
+        over = active & (group_demand(lam_hi) > budgets)
+        if not np.any(over):
+            break
+        lam_lo = np.where(over, lam_hi, lam_lo)
+        lam_hi = np.where(over, lam_hi * 2.0, lam_hi)
+        iterations += 1
+        if float(np.max(lam_hi)) > 1e300:
+            raise RuntimeError("water_fill_grouped could not bracket a price")
+
+    for _ in range(max_iter):
+        width = lam_hi - lam_lo
+        todo = active & (width > rel_tol * np.maximum(lam_hi, 1.0))
+        if not np.any(todo):
+            break
+        mid = 0.5 * (lam_lo + lam_hi)
+        over = group_demand(mid) > budgets
+        lam_lo = np.where(todo & over, mid, lam_lo)
+        lam_hi = np.where(todo & ~over, mid, lam_hi)
+        iterations += 1
+
+    # Resolve each group by interpolating between its bracketing demands,
+    # exactly like the scalar water_fill.
+    c_hi = np.minimum(batch.inverse_derivative_each(lam_lo[groups]), caps)
+    c_lo = np.minimum(batch.inverse_derivative_each(lam_hi[groups]), caps)
+    s_hi = np.bincount(groups, weights=c_hi, minlength=k)
+    s_lo = np.bincount(groups, weights=c_lo, minlength=k)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(s_hi > s_lo, (budgets - s_lo) / np.where(s_hi > s_lo, s_hi - s_lo, 1.0), 0.0)
+    t = np.clip(t, 0.0, 1.0)
+    alloc = c_lo + t[groups] * (c_hi - c_lo)
+    alloc = np.where(slack[groups], caps, alloc)
+    alloc = np.where(zero[groups], 0.0, alloc)
+
+    values = np.asarray(batch.value(alloc), dtype=float)
+    group_utilities = np.bincount(groups, weights=values, minlength=k)
+    return GroupedAllocationResult(
+        allocations=alloc,
+        total_utility=float(values.sum()),
+        group_utilities=group_utilities,
+        iterations=iterations,
+    )

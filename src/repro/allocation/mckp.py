@@ -1,0 +1,201 @@
+"""Multiple-choice knapsack (MCKP) solvers.
+
+Related-work substrate (Section II of the paper): a single-server AA
+instance with integer resource is exactly an MCKP — each thread contributes
+a *class* of items ``(weight k, value f_i(k))`` and exactly one item per
+class is chosen subject to the knapsack capacity.  We provide:
+
+* :func:`mckp_dp` — exact dynamic program, ``O(total_items * capacity)``;
+* :func:`mckp_greedy` — the classic LP-dominance greedy (Kellerer/
+  Gens-Levner flavour): per class keep only the upper-convex-hull items,
+  then buy hull increments globally by decreasing efficiency;
+* :func:`utilities_to_classes` — discretize concave utilities into classes.
+
+For concave utility classes the hull keeps every item, the greedy is the
+same as Fox's algorithm, and both solvers agree with water-filling — the
+test suite exploits all three agreements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utility.batch import as_batch
+
+
+@dataclass(frozen=True)
+class MCKPItem:
+    """One choice inside an MCKP class."""
+
+    weight: int
+    value: float
+
+    def __post_init__(self):
+        if self.weight < 0:
+            raise ValueError(f"item weight must be nonnegative, got {self.weight}")
+        if self.value < 0:
+            raise ValueError(f"item value must be nonnegative, got {self.value}")
+
+
+@dataclass(frozen=True)
+class MCKPSolution:
+    """Chosen item index per class, plus totals."""
+
+    choices: list[int]
+    total_value: float
+    total_weight: int
+
+
+def utilities_to_classes(utilities, capacity_units: int, unit: float = 1.0) -> list[list[MCKPItem]]:
+    """Discretize concave utilities into MCKP classes on a unit grid.
+
+    Class ``i`` holds items ``(k, f_i(min(k * unit, cap_i)))`` for
+    ``k = 0 .. capacity_units``; the zero-weight item encodes "assigned but
+    unallocated", matching the paper's convention that every thread is
+    assigned even with 0 resource.
+    """
+    batch = as_batch(utilities)
+    if capacity_units < 0:
+        raise ValueError("capacity_units must be nonnegative")
+    grid = np.arange(capacity_units + 1) * unit
+    classes: list[list[MCKPItem]] = []
+    for f in batch.functions():
+        values = np.asarray(f.value(np.minimum(grid, f.cap)), dtype=float)
+        classes.append([MCKPItem(int(k), float(v)) for k, v in zip(range(capacity_units + 1), values)])
+    return classes
+
+
+def mckp_dp(classes: list[list[MCKPItem]], capacity: int) -> MCKPSolution:
+    """Exact MCKP by dynamic programming over the capacity axis.
+
+    Exactly one item must be chosen from every class; include a
+    ``(0, value)`` item to model opting out.  Infeasible instances (some
+    class has no item fitting the residual capacity) raise ``ValueError``.
+    """
+    capacity = int(capacity)
+    if capacity < 0:
+        raise ValueError("capacity must be nonnegative")
+    neg = -np.inf
+    dp = np.full(capacity + 1, 0.0)
+    choice = np.zeros((len(classes), capacity + 1), dtype=np.int32)
+    for ci, items in enumerate(classes):
+        if not items:
+            raise ValueError(f"class {ci} is empty")
+        new = np.full(capacity + 1, neg)
+        pick = np.full(capacity + 1, -1, dtype=np.int32)
+        for ii, item in enumerate(items):
+            if item.weight > capacity:
+                continue
+            # new[w] = max(new[w], dp[w - weight] + value) vectorized per item.
+            shifted = dp[: capacity + 1 - item.weight] + item.value
+            seg = slice(item.weight, capacity + 1)
+            better = shifted > new[seg]
+            new[seg] = np.where(better, shifted, new[seg])
+            pick[seg] = np.where(better, ii, pick[seg])
+        if not np.any(np.isfinite(new)):
+            raise ValueError(f"class {ci} has no item fitting capacity {capacity}")
+        dp = new
+        choice[ci] = pick
+
+    best_w = int(np.argmax(dp))
+    if not np.isfinite(dp[best_w]):
+        raise ValueError("instance is infeasible: some class never fits")
+    # Reconstruct choices walking classes backwards.
+    choices = [0] * len(classes)
+    w = best_w
+    for ci in range(len(classes) - 1, -1, -1):
+        ii = int(choice[ci, w])
+        if ii < 0:
+            raise RuntimeError("DP reconstruction failed (unreachable state)")
+        choices[ci] = ii
+        w -= classes[ci][ii].weight
+    total_value = float(dp[best_w])
+    total_weight = int(sum(classes[ci][choices[ci]].weight for ci in range(len(classes))))
+    return MCKPSolution(choices, total_value, total_weight)
+
+
+def _hull_indices(items: list[MCKPItem]) -> list[int]:
+    """Indices of the upper-convex-hull (LP-dominating) items, by weight."""
+    order = sorted(range(len(items)), key=lambda i: (items[i].weight, -items[i].value))
+    # Drop dominated items: higher weight must strictly increase value.
+    filtered: list[int] = []
+    for i in order:
+        if filtered and items[i].value <= items[filtered[-1]].value:
+            continue
+        if filtered and items[i].weight == items[filtered[-1]].weight:
+            filtered[-1] = i
+            continue
+        filtered.append(i)
+    # Upper concave hull in (weight, value): pop while efficiency increases.
+    hull: list[int] = []
+    for i in filtered:
+        while len(hull) >= 2:
+            a, b = items[hull[-2]], items[hull[-1]]
+            c = items[i]
+            # slope(a->b) <= slope(b->c) means b is under the hull.
+            if (b.value - a.value) * (c.weight - b.weight) <= (c.value - b.value) * (
+                b.weight - a.weight
+            ):
+                hull.pop()
+            else:
+                break
+        hull.append(i)
+    return hull
+
+
+def mckp_greedy(classes: list[list[MCKPItem]], capacity: int) -> MCKPSolution:
+    """LP-dominance greedy MCKP heuristic.
+
+    Start every class at its lightest hull item, then repeatedly apply the
+    globally most efficient hull upgrade that still fits.  For classes
+    derived from concave utilities this is optimal; in general it is the
+    standard fast approximation from the MCKP literature.
+    """
+    capacity = int(capacity)
+    if capacity < 0:
+        raise ValueError("capacity must be nonnegative")
+    hulls = [_hull_indices(items) for items in classes]
+    choices = []
+    used = 0
+    base_value = 0.0
+    for ci, hull in enumerate(hulls):
+        if not hull:
+            raise ValueError(f"class {ci} is empty")
+        first = hull[0]
+        w = classes[ci][first].weight
+        choices.append(first)
+        used += w
+        base_value += classes[ci][first].value
+    if used > capacity:
+        raise ValueError(
+            f"even the lightest items exceed capacity ({used} > {capacity})"
+        )
+
+    # Candidate upgrades: (efficiency, class, hull position) — efficiencies
+    # along one hull are nonincreasing, so a single global sort suffices.
+    upgrades: list[tuple[float, int, int]] = []
+    for ci, hull in enumerate(hulls):
+        for pos in range(1, len(hull)):
+            prev, cur = classes[ci][hull[pos - 1]], classes[ci][hull[pos]]
+            dw = cur.weight - prev.weight
+            dv = cur.value - prev.value
+            upgrades.append((dv / dw, ci, pos))
+    # Stable order on ties so each class's upgrades stay in hull order.
+    upgrades.sort(key=lambda t: (-t[0], t[1], t[2]))
+
+    level = {ci: 0 for ci in range(len(classes))}
+    value = base_value
+    for eff, ci, pos in upgrades:
+        if pos != level[ci] + 1:
+            continue  # an earlier upgrade on this class was skipped
+        prev, cur = classes[ci][hulls[ci][pos - 1]], classes[ci][hulls[ci][pos]]
+        dw = cur.weight - prev.weight
+        if used + dw > capacity or eff <= 0:
+            continue
+        used += dw
+        value += cur.value - prev.value
+        level[ci] = pos
+        choices[ci] = hulls[ci][pos]
+    return MCKPSolution(choices, value, used)

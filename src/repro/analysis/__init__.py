@@ -1,0 +1,21 @@
+"""Instance diagnostics and sweep statistics."""
+
+from repro.analysis.instance import (
+    InstanceProfile,
+    LossDecomposition,
+    gini,
+    loss_decomposition,
+    profile_instance,
+)
+from repro.analysis.stats import SeriesStats, run_point_stats, trials_needed
+
+__all__ = [
+    "InstanceProfile",
+    "LossDecomposition",
+    "SeriesStats",
+    "gini",
+    "loss_decomposition",
+    "profile_instance",
+    "run_point_stats",
+    "trials_needed",
+]

@@ -1,0 +1,141 @@
+"""Instance diagnostics: why is an AA instance easy or hard?
+
+The paper's experiments show that difficulty is driven by *dispersion*
+(threads with wildly different peak utilities need careful placement) and
+*fragmentation* (threads whose super-optimal grant is a large fraction of
+a server are hard to pack).  :func:`profile_instance` quantifies both from
+the linearization, and :func:`loss_decomposition` explains exactly where a
+given assignment loses utility against the super-optimal bound — per
+starved thread and per server with stranded capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.linearize import Linearization, linearize
+from repro.core.problem import AAProblem, Assignment
+
+
+def gini(values) -> float:
+    """Gini coefficient of a nonnegative sample (0 = equal, →1 = concentrated)."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        return 0.0
+    if np.any(v < 0):
+        raise ValueError("gini requires nonnegative values")
+    total = float(v.sum())
+    if total == 0.0:
+        return 0.0
+    ranks = np.arange(1, v.size + 1)
+    return float((2.0 * np.sum(ranks * v)) / (v.size * total) - (v.size + 1.0) / v.size)
+
+
+@dataclass(frozen=True)
+class InstanceProfile:
+    """Summary statistics of an AA instance's linearized structure.
+
+    Attributes
+    ----------
+    n_threads, n_servers, beta:
+        Geometry.
+    top_gini:
+        Dispersion of super-optimal utilities ``f_i(ĉ_i)`` — high values
+        are the paper's "threads with very high maximum utility" regime
+        where heuristics collapse.
+    demand_fraction_max / demand_fraction_mean:
+        ``ĉ_i / C`` statistics — fragmentation risk; values near 1 mean
+        single threads want whole servers.
+    saturation:
+        ``Σ ĉ_i / (m C)`` — 1 when the pool binds (Lemma V.3), lower when
+        thread caps bind first.
+    curvature_mean:
+        Mean of ``f(C/2) / f(C)`` over threads with positive peak — 0.5 is
+        linear, →1 is sharply saturating.
+    """
+
+    n_threads: int
+    n_servers: int
+    beta: float
+    top_gini: float
+    demand_fraction_max: float
+    demand_fraction_mean: float
+    saturation: float
+    curvature_mean: float
+
+
+def profile_instance(problem: AAProblem, lin: Linearization | None = None) -> InstanceProfile:
+    """Compute an :class:`InstanceProfile` (shares a linearization if given)."""
+    if lin is None:
+        lin = linearize(problem)
+    n, m, c = problem.n_threads, problem.n_servers, problem.capacity
+    if n == 0:
+        return InstanceProfile(0, m, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    frac = lin.c_hat / c
+    caps = np.minimum(problem.utilities.caps, c)
+    half = np.asarray(problem.utilities.value(caps / 2.0), dtype=float)
+    full = np.asarray(problem.utilities.value(caps), dtype=float)
+    positive = full > 0
+    curvature = float(np.mean(half[positive] / full[positive])) if np.any(positive) else 0.0
+    return InstanceProfile(
+        n_threads=n,
+        n_servers=m,
+        beta=problem.beta,
+        top_gini=gini(lin.top),
+        demand_fraction_max=float(np.max(frac)),
+        demand_fraction_mean=float(np.mean(frac)),
+        saturation=float(np.sum(lin.c_hat) / problem.pool),
+        curvature_mean=curvature,
+    )
+
+
+@dataclass(frozen=True)
+class LossDecomposition:
+    """Where an assignment loses utility against the super-optimal bound.
+
+    ``bound_gap = F̂ − F`` splits into per-thread shortfalls (threads
+    receiving less than ĉ) with the residual attributed to concavity
+    (receiving *more* than ĉ earns less per unit than the bound assumed,
+    which can make the gap smaller, never larger).
+    """
+
+    bound_gap: float
+    per_thread_shortfall: np.ndarray
+    starved_threads: np.ndarray
+    stranded_capacity: np.ndarray
+    achieved_ratio: float
+
+    @property
+    def total_shortfall(self) -> float:
+        return float(np.sum(self.per_thread_shortfall))
+
+
+def loss_decomposition(
+    problem: AAProblem,
+    assignment: Assignment,
+    lin: Linearization | None = None,
+) -> LossDecomposition:
+    """Explain an assignment's gap to the super-optimal bound.
+
+    ``starved_threads`` lists threads allocated meaningfully less than
+    their ĉ; ``stranded_capacity[j]`` is server j's unused resource.
+    """
+    if lin is None:
+        lin = linearize(problem)
+    values = np.asarray(problem.utilities.value(assignment.allocations), dtype=float)
+    shortfall = np.maximum(lin.top - values, 0.0)
+    tol = 1e-9 * max(problem.capacity, 1.0)
+    starved = np.nonzero(assignment.allocations < lin.c_hat - tol)[0]
+    loads = assignment.server_loads(problem.n_servers)
+    stranded = np.maximum(problem.capacity - loads, 0.0)
+    total = float(values.sum())
+    bound = lin.super_optimal_utility
+    return LossDecomposition(
+        bound_gap=bound - total,
+        per_thread_shortfall=shortfall,
+        starved_threads=starved,
+        stranded_capacity=stranded,
+        achieved_ratio=total / bound if bound else 1.0,
+    )

@@ -1,0 +1,94 @@
+"""Sweep statistics: per-point means with dispersion and confidence bands.
+
+The paper plots bare means over 1000 trials.  For honest reproduction at
+smaller trial counts, :func:`run_point_stats` returns, for every contender,
+the mean ratio together with its standard deviation and a normal-theory
+95% confidence interval — used by the statistics-aware tests and available
+to users sizing their own trial budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.harness import ALG2, run_trial
+from repro.utils.rng import SeedLike, spawn_generators
+from repro.workloads.generators import Distribution, make_problem
+
+#: z-score of the two-sided 95% confidence interval.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Moments of one contender's per-trial ratio sample."""
+
+    mean: float
+    std: float
+    sem: float
+    ci95_low: float
+    ci95_high: float
+    trials: int
+
+    @classmethod
+    def from_sample(cls, sample: np.ndarray) -> "SeriesStats":
+        sample = np.asarray(sample, dtype=float)
+        n = sample.size
+        if n == 0:
+            raise ValueError("empty sample")
+        mean = float(np.mean(sample))
+        std = float(np.std(sample, ddof=1)) if n > 1 else 0.0
+        sem = std / np.sqrt(n) if n > 1 else 0.0
+        return cls(
+            mean=mean,
+            std=std,
+            sem=sem,
+            ci95_low=mean - _Z95 * sem,
+            ci95_high=mean + _Z95 * sem,
+            trials=n,
+        )
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the 95% confidence interval."""
+        return self.ci95_low <= value <= self.ci95_high
+
+
+def run_point_stats(
+    dist: Distribution,
+    n_servers: int,
+    beta: float,
+    capacity: float,
+    trials: int,
+    seed: SeedLike = None,
+    interpolator: str = "quadspline",
+) -> dict[str, SeriesStats]:
+    """Like :func:`repro.experiments.harness.run_point`, with dispersion.
+
+    Returns ``{contender: SeriesStats}`` of the per-trial ratios
+    ``alg2 / contender`` (``alg2 / SO`` for the bound).
+    """
+    if trials < 2:
+        raise ValueError("need at least two trials for dispersion estimates")
+    rngs = spawn_generators(seed, trials)
+    samples: dict[str, list[float]] = {}
+    for rng in rngs:
+        problem = make_problem(
+            dist, n_servers, beta, capacity, seed=rng, interpolator=interpolator
+        )
+        record = run_trial(problem, rng)
+        for name in record.utilities:
+            if name == ALG2:
+                continue
+            samples.setdefault(name, []).append(record.ratio(name))
+    return {name: SeriesStats.from_sample(np.array(s)) for name, s in samples.items()}
+
+
+def trials_needed(stats: SeriesStats, half_width: float) -> int:
+    """Trials required for a 95% CI of ±``half_width`` at this variance."""
+    if half_width <= 0:
+        raise ValueError("half_width must be positive")
+    if stats.std == 0.0:
+        return 2
+    return int(np.ceil((_Z95 * stats.std / half_width) ** 2))

@@ -1,0 +1,46 @@
+"""Assignment baselines: the paper's UU/UR/RU/RR and related-work pipelines."""
+
+from repro.assign.fixed_request import (
+    fixed_request_first_fit,
+    fixed_request_total_utility,
+    optimal_equal_split_utility,
+)
+from repro.assign.placement import density_placement, placement_then_waterfill
+from repro.assign.heuristics import (
+    HEURISTICS,
+    random_servers,
+    random_split,
+    round_robin_servers,
+    rr,
+    ru,
+    uniform_split,
+    ur,
+    uu,
+)
+from repro.assign.twostep import (
+    balanced_waterfill,
+    best_of_random,
+    ipc_greedy,
+    waterfill_within_servers,
+)
+
+__all__ = [
+    "HEURISTICS",
+    "balanced_waterfill",
+    "best_of_random",
+    "density_placement",
+    "placement_then_waterfill",
+    "fixed_request_first_fit",
+    "fixed_request_total_utility",
+    "ipc_greedy",
+    "optimal_equal_split_utility",
+    "random_servers",
+    "random_split",
+    "round_robin_servers",
+    "rr",
+    "ru",
+    "uniform_split",
+    "ur",
+    "uu",
+    "waterfill_within_servers",
+]

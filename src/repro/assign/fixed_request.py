@@ -1,0 +1,62 @@
+"""The introduction's fixed-request pathology, as a runnable baseline.
+
+Section I motivates joint assign+allocate with a thought experiment: if
+every thread *requests* a fixed amount ``z`` and is granted exactly ``z``
+or nothing, one server of capacity ``C`` serves only ``C/z`` threads for a
+total utility of ``C·z^{β−1}`` under ``f(x) = x^β`` — constant in ``n`` —
+while the optimal equal split earns ``C^β · n^{1−β}``.  This module
+implements the fixed-request first-fit policy so the gap is measurable
+(see ``benchmarks/bench_intro_example.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import AAProblem, Assignment
+
+
+def fixed_request_first_fit(problem: AAProblem, requests) -> Assignment:
+    """Grant each thread exactly its request via first-fit, or nothing.
+
+    Threads are scanned in index order; each is placed on the first server
+    whose residual covers its full request.  Threads that fit nowhere are
+    assigned to server 0 with zero allocation (the paper assigns every
+    thread, possibly with no resource).
+    """
+    requests = np.asarray(requests, dtype=float)
+    if requests.shape != (problem.n_threads,):
+        raise ValueError("requests must give one value per thread")
+    if np.any(requests < 0) or np.any(requests > problem.capacity + 1e-12):
+        raise ValueError("requests must lie in [0, C]")
+    m = problem.n_servers
+    residual = np.full(m, problem.capacity)
+    servers = np.zeros(problem.n_threads, dtype=np.int64)
+    alloc = np.zeros(problem.n_threads)
+    tol = 1e-12 * max(problem.capacity, 1.0)
+    for i, z in enumerate(requests):
+        placed = np.nonzero(residual + tol >= z)[0]
+        if placed.size:
+            j = int(placed[0])
+            servers[i] = j
+            alloc[i] = min(z, residual[j])
+            residual[j] -= alloc[i]
+    alloc = np.minimum(alloc, problem.utilities.caps)
+    return Assignment(servers=servers, allocations=alloc)
+
+
+def fixed_request_total_utility(c: float, z: float, beta: float, n: int, m: int = 1) -> float:
+    """Closed form of the intro example: utility of fixed-request first-fit.
+
+    ``min(n, m·floor(C/z))`` threads receive ``z`` each under ``f(x) = x^β``.
+    """
+    served = min(n, m * int(c / z))
+    return served * z**beta
+
+
+def optimal_equal_split_utility(c: float, beta: float, n: int, m: int = 1) -> float:
+    """Closed form of the intro example's optimum: equal shares of the pool."""
+    if n == 0:
+        return 0.0
+    share = m * c / n
+    return n * share**beta

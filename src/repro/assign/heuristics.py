@@ -1,0 +1,97 @@
+"""The paper's four practical baselines: UU, UR, RU, RR (Section VII).
+
+Naming is assignment-allocation: the first letter picks how threads map to
+servers (Uniform = round-robin, Random), the second how each server's
+resource is split among its threads (Uniform = equal shares, Random =
+uniform random point of the simplex).
+
+All four return feasible :class:`~repro.core.problem.Assignment` objects;
+allocations are clipped to each thread's utility domain (clipping never
+changes utility — the functions are flat past their caps — but keeps the
+assignment strictly feasible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import AAProblem, Assignment
+from repro.utils.rng import SeedLike, as_generator
+
+
+def round_robin_servers(n: int, m: int) -> np.ndarray:
+    """Thread ``i`` goes to server ``i mod m`` (the paper's Uniform assignment)."""
+    return np.arange(n, dtype=np.int64) % m
+
+
+def random_servers(n: int, m: int, rng: np.random.Generator) -> np.ndarray:
+    """Independent uniform server choice per thread."""
+    return rng.integers(0, m, size=n, dtype=np.int64)
+
+
+def uniform_split(problem: AAProblem, servers: np.ndarray) -> np.ndarray:
+    """Equal shares: every thread on a server gets ``C / (#threads there)``."""
+    counts = np.bincount(servers, minlength=problem.n_servers)
+    shares = problem.capacity / counts[servers]
+    return np.minimum(shares, problem.utilities.caps)
+
+
+def random_split(
+    problem: AAProblem, servers: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Random shares: each server's ``C`` is split at uniform random.
+
+    Uses the uniform-spacings construction (sorted U(0,1) gaps), i.e. a
+    flat Dirichlet, so every split of the full capacity is equally likely.
+    """
+    n = problem.n_threads
+    alloc = np.zeros(n)
+    for j in range(problem.n_servers):
+        members = np.nonzero(servers == j)[0]
+        k = members.size
+        if k == 0:
+            continue
+        if k == 1:
+            alloc[members] = problem.capacity
+            continue
+        cuts = np.sort(rng.uniform(0.0, 1.0, size=k - 1))
+        gaps = np.diff(np.concatenate(([0.0], cuts, [1.0])))
+        alloc[members] = gaps * problem.capacity
+    return np.minimum(alloc, problem.utilities.caps)
+
+
+def uu(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+    """Uniform assignment, uniform allocation (deterministic; seed ignored)."""
+    servers = round_robin_servers(problem.n_threads, problem.n_servers)
+    return Assignment(servers=servers, allocations=uniform_split(problem, servers))
+
+
+def ur(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+    """Uniform assignment, random allocation."""
+    rng = as_generator(seed)
+    servers = round_robin_servers(problem.n_threads, problem.n_servers)
+    return Assignment(servers=servers, allocations=random_split(problem, servers, rng))
+
+
+def ru(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+    """Random assignment, uniform allocation."""
+    rng = as_generator(seed)
+    servers = random_servers(problem.n_threads, problem.n_servers, rng)
+    return Assignment(servers=servers, allocations=uniform_split(problem, servers))
+
+
+def rr(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+    """Random assignment, random allocation."""
+    rng = as_generator(seed)
+    servers = random_servers(problem.n_threads, problem.n_servers, rng)
+    return Assignment(servers=servers, allocations=random_split(problem, servers, rng))
+
+
+#: Heuristic registry used by the experiment harness; insertion order is the
+#: legend order of the paper's figures.
+HEURISTICS = {
+    "UU": uu,
+    "UR": ur,
+    "RU": ru,
+    "RR": rr,
+}

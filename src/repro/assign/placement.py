@@ -1,0 +1,66 @@
+"""Application-placement baseline (related work [5], Urgaonkar et al.).
+
+The placement literature treats each application as a (demand, value)
+*pair* — it must receive exactly its demand on one server or nothing —
+and greedily packs by value density.  Mapped onto AA, a thread's demand is
+its super-optimal grant ``ĉ_i`` and its value ``f_i(ĉ_i)``: the classic
+density-greedy first-fit-decreasing placement, with no post-adjustment of
+allocations.  The offline greedy carries the literature's 1/2 factor for
+the *placement* objective; against AA's richer objective it leaves the
+same money on the table as every fixed-demand scheme (Section I's
+argument), which :mod:`benchmarks.bench_ablation`-style comparisons make
+measurable.
+
+``placement_then_waterfill`` is the strengthened hybrid: use the placement
+to assign, then reallocate optimally — isolating how much of the gap is
+the assignment's fault.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.linearize import Linearization, linearize
+from repro.core.postprocess import waterfill_within_servers
+from repro.core.problem import AAProblem, Assignment
+
+
+def density_placement(
+    problem: AAProblem, lin: Linearization | None = None
+) -> Assignment:
+    """Fixed-demand density-greedy first-fit-decreasing placement.
+
+    Threads are considered in nonincreasing ``f_i(ĉ_i)/ĉ_i`` order; each is
+    placed on the first server with room for its *full* demand ``ĉ_i`` and
+    allocated exactly that, or parked with zero resource if it fits
+    nowhere (every thread must be assigned).
+    """
+    if lin is None:
+        lin = linearize(problem)
+    n, m = problem.n_threads, problem.n_servers
+    with np.errstate(divide="ignore", invalid="ignore"):
+        density = np.where(lin.c_hat > 0, lin.slope, np.inf)
+    # Zero-demand threads (ĉ = 0) are free value: place them anywhere first.
+    order = np.argsort(-density, kind="stable")
+    residual = np.full(m, problem.capacity)
+    servers = np.zeros(n, dtype=np.int64)
+    alloc = np.zeros(n)
+    tol = 1e-12 * max(problem.capacity, 1.0)
+    for i in order:
+        demand = float(lin.c_hat[i])
+        fits = np.nonzero(residual + tol >= demand)[0]
+        if fits.size:
+            j = int(fits[0])
+            servers[i] = j
+            alloc[i] = min(demand, residual[j])
+            residual[j] -= alloc[i]
+        # else: parked on server 0 with zero allocation.
+    return Assignment(servers=servers, allocations=alloc)
+
+
+def placement_then_waterfill(
+    problem: AAProblem, lin: Linearization | None = None
+) -> Assignment:
+    """Density placement for assignment, optimal per-server reallocation."""
+    placed = density_placement(problem, lin)
+    return waterfill_within_servers(problem, placed.servers)

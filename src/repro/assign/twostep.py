@@ -1,0 +1,72 @@
+"""Traditional two-step baselines: assign first, allocate afterwards.
+
+The paper's thesis is that solving assignment and allocation *jointly*
+beats doing them separately.  These baselines are the strongest reasonable
+"separately" pipelines from the related work, so comparisons against them
+isolate the value of joint optimization rather than of a smarter allocator:
+
+* :func:`balanced_waterfill` — round-robin (count-balanced) assignment as a
+  thread mapper would do, then an *optimal* per-server water-filling.
+* :func:`ipc_greedy` — Becchi-style [7]: characterize each thread by one
+  scalar (its peak utility ``f_i(C)``, the analogue of IPC), serpentine the
+  sorted threads across servers to balance peak demand, then water-fill.
+* :func:`best_of_random` — Radojković-style [8]: sample many random
+  assignments, water-fill each, keep the best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.postprocess import waterfill_within_servers
+from repro.core.problem import AAProblem, Assignment
+from repro.utils.rng import SeedLike, as_generator
+
+
+def balanced_waterfill(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+    """Round-robin assignment + optimal per-server allocation (seed ignored)."""
+    servers = np.arange(problem.n_threads, dtype=np.int64) % problem.n_servers
+    return waterfill_within_servers(problem, servers)
+
+
+def ipc_greedy(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+    """Single-scalar (peak-utility) serpentine assignment + water-filling.
+
+    Threads are ranked by ``f_i(C)`` and dealt out in a boustrophedon
+    pattern (1..m, m..1, …) so every server receives a similar mix of
+    high- and low-value threads — the standard trick when a thread is
+    summarized by one number, as in the IPC-based scheme of [7].
+    """
+    caps = np.minimum(problem.utilities.caps, problem.capacity)
+    peak = np.asarray(problem.utilities.value(caps), dtype=float)
+    order = np.argsort(-peak, kind="stable")
+    m = problem.n_servers
+    servers = np.empty(problem.n_threads, dtype=np.int64)
+    for rank, i in enumerate(order):
+        lap, pos = divmod(rank, m)
+        servers[i] = pos if lap % 2 == 0 else m - 1 - pos
+    return waterfill_within_servers(problem, servers)
+
+
+def best_of_random(
+    problem: AAProblem, samples: int = 16, seed: SeedLike = None
+) -> Assignment:
+    """Best of ``samples`` random assignments, each optimally water-filled.
+
+    The statistical-sampling approach of [8]: quality improves with the
+    sample budget but carries no approximation guarantee.
+    """
+    if samples < 1:
+        raise ValueError(f"need at least one sample, got {samples}")
+    rng = as_generator(seed)
+    best: Assignment | None = None
+    best_value = -np.inf
+    for _ in range(samples):
+        servers = rng.integers(0, problem.n_servers, size=problem.n_threads, dtype=np.int64)
+        cand = waterfill_within_servers(problem, servers)
+        value = cand.total_utility(problem)
+        if value > best_value:
+            best_value = value
+            best = cand
+    assert best is not None
+    return best

@@ -1,0 +1,199 @@
+"""``aart`` command-line interface.
+
+Subcommands:
+
+* ``aart solve problem.json`` — solve a JSON-described AA instance with
+  Algorithm 2 (optionally Algorithm 1, raw mode, or local-search polish),
+  print placement + certificate, optionally save the assignment.
+* ``aart generate`` — emit a random Section VII workload as a problem JSON.
+* ``aart figure fig2a`` — regenerate one of the paper's figure panels.
+* ``aart evaluate problem.json assignment.json`` — score an existing
+  assignment against the super-optimal bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.linearize import linearize
+from repro.core.problem import ALPHA
+from repro.core.solve import solve
+from repro.experiments.figures import FIGURES, expected_shape_violations, run_figure
+from repro.experiments.report import series_table
+from repro.serialization import (
+    load_assignment,
+    load_problem,
+    save_assignment,
+    save_problem,
+)
+from repro.workloads.generators import make_distribution, make_problem
+
+
+def _print_solution(problem, assignment, bound, label: str) -> None:
+    value = assignment.total_utility(problem)
+    ratio = value / bound if bound else 1.0
+    print(f"{label}: total utility = {value:.6g}")
+    print(f"super-optimal bound = {bound:.6g}")
+    print(f"certified ratio     = {ratio:.4f} (worst-case guarantee {ALPHA:.4f})")
+    loads = assignment.server_loads(problem.n_servers)
+    for j in range(problem.n_servers):
+        members = assignment.threads_on(j)
+        print(
+            f"  server {j}: load {loads[j]:.4g}/{problem.capacity:g}, "
+            f"threads {members.tolist()}"
+        )
+
+
+def cmd_solve(args) -> int:
+    problem = load_problem(args.problem)
+    sol = solve(problem, algorithm=args.algorithm, reclaim=not args.no_reclaim)
+    assignment = sol.assignment
+    if args.refine:
+        from repro.extensions.localsearch import local_search
+
+        refined = local_search(problem, assignment)
+        assignment = refined.assignment
+        print(
+            f"local search: +{refined.improvement:.6g} utility "
+            f"({refined.moves} moves, {refined.swaps} swaps)"
+        )
+    _print_solution(problem, assignment, sol.super_optimal_utility, args.algorithm)
+    if args.output:
+        save_assignment(assignment, args.output)
+        print(f"assignment saved to {args.output}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    params = {}
+    if args.dist == "powerlaw":
+        params["alpha"] = args.alpha
+    if args.dist == "discrete":
+        params["gamma"] = args.gamma
+        params["theta"] = args.theta
+    dist = make_distribution(args.dist, **params)
+    problem = make_problem(
+        dist,
+        n_servers=args.servers,
+        beta=args.beta,
+        capacity=args.capacity,
+        seed=args.seed,
+    )
+    save_problem(problem, args.output)
+    print(
+        f"wrote {problem.n_threads}-thread / {problem.n_servers}-server "
+        f"{args.dist} instance to {args.output}"
+    )
+    return 0
+
+
+def cmd_figure(args) -> int:
+    spec = FIGURES[args.figure_id]
+    points = run_figure(args.figure_id, trials=args.trials, seed=args.seed)
+    print(spec.title)
+    print(series_table(points, x_label=spec.x_label))
+    if args.spark:
+        from repro.experiments.report import spark_table
+
+        print()
+        print(spark_table(points))
+    if args.save:
+        from repro.experiments.runner import points_to_dict
+        import json
+        from pathlib import Path
+
+        Path(args.save).write_text(
+            json.dumps(points_to_dict(args.figure_id, points, args.seed), indent=2)
+        )
+        print(f"results saved to {args.save}")
+    violations = expected_shape_violations(args.figure_id, points)
+    for v in violations:
+        print(f"SHAPE WARNING: {v}")
+    return 1 if violations else 0
+
+
+def cmd_evaluate(args) -> int:
+    problem = load_problem(args.problem)
+    assignment = load_assignment(args.assignment)
+    assignment.validate(problem)
+    bound = linearize(problem).super_optimal_utility
+    _print_solution(problem, assignment, bound, "evaluated assignment")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.analysis.instance import profile_instance
+
+    problem = load_problem(args.problem)
+    prof = profile_instance(problem)
+    print(f"threads/servers/beta : {prof.n_threads} / {prof.n_servers} / {prof.beta:g}")
+    print(f"top-utility gini     : {prof.top_gini:.3f} (dispersion; high = hard for heuristics)")
+    print(f"demand fraction      : mean {prof.demand_fraction_mean:.3f}, "
+          f"max {prof.demand_fraction_max:.3f} (fragmentation risk)")
+    print(f"pool saturation      : {prof.saturation:.3f}")
+    print(f"curvature mean       : {prof.curvature_mean:.3f} (0.5 linear, 1.0 step)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="aart",
+        description="Utility-maximizing thread assignment and resource allocation "
+        "(IPDPS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve a problem JSON")
+    p.add_argument("problem")
+    p.add_argument("--algorithm", choices=("alg1", "alg2"), default="alg2")
+    p.add_argument("--no-reclaim", action="store_true",
+                   help="run the verbatim paper algorithm (no post-pass)")
+    p.add_argument("--refine", action="store_true",
+                   help="polish with move/swap local search")
+    p.add_argument("-o", "--output", help="save the assignment JSON here")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("generate", help="generate a Section VII workload")
+    p.add_argument("--dist", choices=("uniform", "normal", "powerlaw", "discrete"),
+                   default="uniform")
+    p.add_argument("--alpha", type=float, default=2.0, help="power-law exponent")
+    p.add_argument("--gamma", type=float, default=0.85, help="discrete P(low)")
+    p.add_argument("--theta", type=float, default=5.0, help="discrete high/low")
+    p.add_argument("--servers", type=int, default=8)
+    p.add_argument("--beta", type=float, default=5.0, help="threads per server")
+    p.add_argument("--capacity", type=float, default=1000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure panel")
+    p.add_argument("figure_id", choices=sorted(FIGURES))
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--spark", action="store_true",
+                   help="also render unicode sparklines per series")
+    p.add_argument("--save", help="write results JSON here (with provenance)")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("evaluate", help="score an assignment JSON")
+    p.add_argument("problem")
+    p.add_argument("assignment")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("profile", help="diagnose an instance's difficulty")
+    p.add_argument("problem")
+    p.set_defaults(func=cmd_profile)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution shim
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Exact AA solvers for small instances (ground truth in tests and benches).
+
+AA is NP-hard even for two servers (Theorem IV.1), so these solvers are
+exponential by necessity and intended for validation only:
+
+* :func:`exact_continuous` — enumerate set partitions of the threads into
+  at most ``m`` unlabeled blocks (servers are homogeneous, so labels are
+  symmetric) and water-fill each block optimally.  Exact for divisible
+  resource; practical up to ``n ≈ 10``.
+* :func:`exact_discrete_value` — memoized DP over (thread, multiset of
+  residual capacities) for unit-granular allocations.  An independent
+  cross-check that shares no code with the continuous path.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+import numpy as np
+
+from repro.allocation.waterfill import water_fill
+from repro.core.problem import AAProblem, Assignment
+from repro.utility.batch import as_batch
+
+
+def iter_partitions(n: int, max_blocks: int) -> Iterator[list[list[int]]]:
+    """Yield every partition of ``{0..n-1}`` into at most ``max_blocks`` blocks.
+
+    Uses restricted-growth strings: element ``i`` may join any existing
+    block or open a new one (if fewer than ``max_blocks`` are open).  Each
+    set partition is produced exactly once.
+    """
+    if n == 0:
+        yield []
+        return
+    labels = [0] * n
+
+    def rec(i: int, used: int):
+        if i == n:
+            blocks: list[list[int]] = [[] for _ in range(used)]
+            for t, lab in enumerate(labels):
+                blocks[lab].append(t)
+            yield blocks
+            return
+        for lab in range(min(used + 1, max_blocks)):
+            labels[i] = lab
+            yield from rec(i + 1, max(used, lab + 1))
+
+    yield from rec(1, 1) if n >= 1 else iter(())
+
+
+def exact_continuous(problem: AAProblem) -> Assignment:
+    """Optimal AA assignment by exhaustive partition search + water-filling.
+
+    Raises ``ValueError`` for instances too large to enumerate (a guard
+    against accidental exponential blow-ups in user code).
+    """
+    n, m = problem.n_threads, problem.n_servers
+    if n > 12:
+        raise ValueError(
+            f"exact_continuous enumerates set partitions and is limited to "
+            f"n <= 12 threads, got {n}"
+        )
+    if n == 0:
+        return Assignment(servers=np.zeros(0, dtype=np.int64), allocations=np.zeros(0))
+    batch = problem.utilities
+    best_value = -np.inf
+    best: Assignment | None = None
+    for blocks in iter_partitions(n, m):
+        servers = np.zeros(n, dtype=np.int64)
+        alloc = np.zeros(n, dtype=float)
+        total = 0.0
+        for b, members in enumerate(blocks):
+            idx = np.asarray(members, dtype=np.int64)
+            res = water_fill(batch.subset(idx), problem.capacity)
+            servers[idx] = b
+            alloc[idx] = res.allocations
+            total += res.total_utility
+        if total > best_value:
+            best_value = total
+            best = Assignment(servers=servers, allocations=alloc)
+    assert best is not None
+    return best
+
+
+def exact_discrete_value(
+    utilities, n_servers: int, capacity_units: int, unit: float = 1.0
+) -> float:
+    """Optimal total utility with unit-granular allocations (memoized DP).
+
+    State: (next thread, sorted multiset of residual unit-capacities).
+    Each thread picks a residual class and a grant ``0..residual`` units.
+    Exponential in the worst case; keep ``n``, ``m`` and ``capacity_units``
+    small (tests use n <= 6, C <= 8).
+    """
+    batch = as_batch(utilities)
+    n = len(batch)
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    if capacity_units < 0:
+        raise ValueError("capacity_units must be nonnegative")
+    fns = batch.functions()
+    # Precompute f_i(k * unit) tables, clipped to each thread's domain.
+    tables = [
+        np.asarray(
+            f.value(np.minimum(np.arange(capacity_units + 1) * unit, f.cap)), dtype=float
+        )
+        for f in fns
+    ]
+
+    @lru_cache(maxsize=None)
+    def best(i: int, residuals: tuple[int, ...]) -> float:
+        if i == n:
+            return 0.0
+        table = tables[i]
+        out = -np.inf
+        seen: set[int] = set()
+        for pos, r in enumerate(residuals):
+            if r in seen:
+                continue  # identical residuals are symmetric
+            seen.add(r)
+            for k in range(0, r + 1):
+                rest = residuals[:pos] + (r - k,) + residuals[pos + 1 :]
+                value = table[k] + best(i + 1, tuple(sorted(rest, reverse=True)))
+                if value > out:
+                    out = value
+        return out
+
+    result = best(0, tuple([capacity_units] * n_servers))
+    best.cache_clear()
+    return float(result)

@@ -1,0 +1,45 @@
+"""Post-assignment allocation reclamation.
+
+Algorithms 1 and 2 allocate each thread at most its super-optimal grant
+``ĉ_i``, so a server whose threads are all "full" can finish with idle
+resource while unfull threads starve elsewhere.  Re-running the optimal
+single-server allocator *within each server* (assignments unchanged) hands
+that idle resource to the co-located threads.  Utility can only increase —
+the current allocation is feasible for each per-server subproblem and
+water-filling is optimal for it — so the ``α = 2(√2−1)`` guarantee is
+preserved.  ``solve(..., reclaim=True)`` applies this by default; the raw
+paper algorithms remain available via ``reclaim=False``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation.grouped import water_fill_grouped
+from repro.core.problem import AAProblem, Assignment
+
+
+def waterfill_within_servers(problem: AAProblem, servers) -> Assignment:
+    """Optimal allocation of each server's capacity given a fixed assignment.
+
+    ``servers[i]`` names thread ``i``'s server; each server's full capacity
+    is water-filled among its threads (one vectorized grouped bisection for
+    all servers).  This is both the reclamation post-pass and the
+    allocation half of every two-step baseline.
+    """
+    servers = np.asarray(servers, dtype=np.int64)
+    if servers.shape != (problem.n_threads,):
+        raise ValueError("servers must name one server per thread")
+    if servers.size and (servers.min() < 0 or servers.max() >= problem.n_servers):
+        raise ValueError("server indices out of range")
+    result = water_fill_grouped(
+        problem.utilities,
+        servers,
+        np.full(problem.n_servers, problem.capacity),
+    )
+    return Assignment(servers=servers, allocations=result.allocations)
+
+
+def reclaim(problem: AAProblem, assignment: Assignment) -> Assignment:
+    """Reallocate idle per-server resource; never decreases total utility."""
+    return waterfill_within_servers(problem, assignment.servers)

@@ -1,0 +1,142 @@
+"""The AA (assign-and-allocate) problem instance and assignment model.
+
+Section III of the paper: ``m`` homogeneous servers with ``C`` resource
+each, ``n`` threads with concave nondecreasing utilities ``f_i`` on
+``[0, C]``.  A solution pins every thread to one server and grants it a
+nonnegative allocation; per-server grants must sum to at most ``C``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utility.batch import UtilityBatch, as_batch
+from repro.utils.validation import check_capacity
+
+#: The approximation ratio guaranteed by Algorithms 1 and 2 (Lemma V.15).
+ALPHA = 2.0 * (math.sqrt(2.0) - 1.0)
+
+#: Relative feasibility slack tolerated by validation (floating point only).
+FEASIBILITY_RTOL = 1e-9
+
+
+class AAProblem:
+    """An assign-and-allocate instance.
+
+    Parameters
+    ----------
+    utilities:
+        A :class:`~repro.utility.batch.UtilityBatch` or sequence of scalar
+        utilities, one per thread.  Every utility's domain cap must be at
+        most ``capacity`` (a thread can never receive more than one
+        server's resource).
+    n_servers:
+        Number of homogeneous servers ``m >= 1``.
+    capacity:
+        Resource ``C > 0`` on each server.
+    """
+
+    def __init__(self, utilities, n_servers: int, capacity: float):
+        self.utilities: UtilityBatch = as_batch(utilities)
+        self.n_servers = int(n_servers)
+        if self.n_servers < 1:
+            raise ValueError(f"need at least one server, got {n_servers}")
+        self.capacity = check_capacity("capacity", capacity)
+        if self.capacity <= 0:
+            raise ValueError(f"server capacity must be positive, got {capacity!r}")
+        if np.any(self.utilities.caps > self.capacity * (1 + FEASIBILITY_RTOL)):
+            raise ValueError(
+                "every utility cap must be at most the server capacity "
+                f"(max cap {float(np.max(self.utilities.caps))!r} > C={capacity!r})"
+            )
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.utilities)
+
+    @property
+    def beta(self) -> float:
+        """Average threads per server — the paper's sweep parameter β = n/m."""
+        return self.n_threads / self.n_servers
+
+    @property
+    def pool(self) -> float:
+        """Total system resource ``m * C`` (the super-optimal budget)."""
+        return self.n_servers * self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AAProblem(n_threads={self.n_threads}, n_servers={self.n_servers}, "
+            f"capacity={self.capacity!r})"
+        )
+
+
+@dataclass
+class Assignment:
+    """A full solution: thread → server mapping plus per-thread allocations.
+
+    Attributes
+    ----------
+    servers:
+        Integer array, ``servers[i]`` is the server index of thread ``i``
+        (the paper assigns *every* thread, possibly with zero resource).
+    allocations:
+        Float array of per-thread resource grants.
+    """
+
+    servers: np.ndarray
+    allocations: np.ndarray
+
+    def __post_init__(self):
+        self.servers = np.asarray(self.servers, dtype=np.int64)
+        self.allocations = np.asarray(self.allocations, dtype=float)
+        if self.servers.shape != self.allocations.shape or self.servers.ndim != 1:
+            raise ValueError("servers and allocations must be equal-length 1-D arrays")
+
+    @property
+    def n_threads(self) -> int:
+        return self.servers.shape[0]
+
+    def server_loads(self, n_servers: int) -> np.ndarray:
+        """Total resource allocated on each server."""
+        return np.bincount(self.servers, weights=self.allocations, minlength=n_servers)
+
+    def threads_on(self, server: int) -> np.ndarray:
+        """Indices of the threads assigned to ``server``."""
+        return np.nonzero(self.servers == server)[0]
+
+    def total_utility(self, problem: AAProblem) -> float:
+        """``sum_i f_i(c_i)`` under ``problem``'s utilities."""
+        return problem.utilities.total(self.allocations)
+
+    def validate(self, problem: AAProblem) -> None:
+        """Raise ``ValueError`` unless this assignment is feasible for ``problem``.
+
+        Checks: one server per thread within range, nonnegative allocations
+        within each thread's domain, and per-server loads at most ``C``
+        (with a relative floating-point slack).
+        """
+        if self.n_threads != problem.n_threads:
+            raise ValueError(
+                f"assignment covers {self.n_threads} threads, problem has {problem.n_threads}"
+            )
+        if self.n_threads == 0:
+            return
+        if np.any(self.servers < 0) or np.any(self.servers >= problem.n_servers):
+            raise ValueError("every thread must be assigned a server in range")
+        tol = FEASIBILITY_RTOL * max(problem.capacity, 1.0)
+        if not np.all(np.isfinite(self.allocations)):
+            raise ValueError("allocations must be finite")
+        if np.any(self.allocations < -tol):
+            raise ValueError("allocations must be nonnegative")
+        if np.any(self.allocations > problem.utilities.caps + tol):
+            raise ValueError("allocations must stay inside each utility's domain")
+        loads = self.server_loads(problem.n_servers)
+        worst = float(np.max(loads))
+        if worst > problem.capacity + tol:
+            raise ValueError(
+                f"server load {worst!r} exceeds capacity {problem.capacity!r}"
+            )

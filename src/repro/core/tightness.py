@@ -1,0 +1,32 @@
+"""The Theorem V.17 tightness instance.
+
+Three threads on two unit-capacity servers: two threads with
+``f(x) = min(2x, 1)`` and one with ``f(x) = x``.  The optimum co-locates
+the two capped threads (utility 3); Algorithms 1 and 2 — with the
+deterministic max-residual tie-breaking used in this library — split them
+across the servers and earn 5/2, realizing the near-tight ratio
+``5/6 ≈ 0.833`` just above the proven bound ``α ≈ 0.828``.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import AAProblem
+from repro.utility.functions import CappedLinearUtility, LinearUtility
+
+#: The ratio Algorithm 1/2 achieves on the instance (Theorem V.17).
+TIGHTNESS_RATIO = 5.0 / 6.0
+
+
+def tightness_instance() -> AAProblem:
+    """Build the Theorem V.17 instance (m=2 servers, C=1, three threads)."""
+    utilities = [
+        CappedLinearUtility(slope=2.0, breakpoint=0.5, cap=1.0),
+        CappedLinearUtility(slope=2.0, breakpoint=0.5, cap=1.0),
+        LinearUtility(slope=1.0, cap=1.0),
+    ]
+    return AAProblem(utilities, n_servers=2, capacity=1.0)
+
+
+def tightness_optimal_utility() -> float:
+    """The optimal total utility of the tightness instance (= 3)."""
+    return 3.0

@@ -1,0 +1,51 @@
+"""Section VII experiment harness, figure registry and reporting."""
+
+from repro.experiments.figures import (
+    BETA_SWEEP,
+    CAPACITY,
+    FIGURES,
+    HEURISTIC_SERIES,
+    N_SERVERS,
+    FigureSpec,
+    expected_shape_violations,
+    run_figure,
+)
+from repro.experiments.harness import (
+    ALG1,
+    ALG2,
+    SO,
+    SweepPoint,
+    TrialRecord,
+    run_point,
+    run_sweep,
+    run_trial,
+)
+from repro.experiments.report import (
+    series_table,
+    spark_table,
+    sparkline,
+    summarize_headlines,
+)
+
+__all__ = [
+    "ALG1",
+    "ALG2",
+    "BETA_SWEEP",
+    "CAPACITY",
+    "FIGURES",
+    "HEURISTIC_SERIES",
+    "N_SERVERS",
+    "SO",
+    "FigureSpec",
+    "SweepPoint",
+    "TrialRecord",
+    "expected_shape_violations",
+    "run_figure",
+    "run_point",
+    "run_sweep",
+    "run_trial",
+    "series_table",
+    "spark_table",
+    "sparkline",
+    "summarize_headlines",
+]

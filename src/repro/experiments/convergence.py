@@ -1,0 +1,83 @@
+"""Trial-count convergence: how many trials do the paper's means need?
+
+The paper averages 1000 Matlab trials per sweep point without error bars.
+This module measures how the confidence interval of each reported ratio
+shrinks with the trial budget, so reproducers can pick a budget that
+resolves the claims they care about (e.g. separating Alg2/SO = 0.99 from
+1.0 needs far fewer trials than pinning UR/RR multipliers under the
+heavy-tailed power law).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import SeriesStats, run_point_stats, trials_needed
+from repro.utils.rng import SeedLike
+from repro.workloads.generators import Distribution
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Statistics of every contender at one trial budget."""
+
+    trials: int
+    stats: dict[str, SeriesStats]
+
+
+def convergence_study(
+    dist: Distribution,
+    n_servers: int,
+    beta: float,
+    capacity: float,
+    trial_schedule=(10, 30, 100),
+    seed: SeedLike = 0,
+) -> list[ConvergencePoint]:
+    """Re-estimate one sweep point at increasing trial budgets.
+
+    Budgets share a seed root but draw independent instances, so CI widths
+    are honest (no sample reuse between budgets).
+    """
+    schedule = [int(t) for t in trial_schedule]
+    if any(t < 2 for t in schedule) or sorted(schedule) != schedule:
+        raise ValueError("trial_schedule must be increasing with entries >= 2")
+    points = []
+    for k, trials in enumerate(schedule):
+        stats = run_point_stats(
+            dist, n_servers, beta, capacity, trials=trials, seed=(seed, k)
+        )
+        points.append(ConvergencePoint(trials=trials, stats=stats))
+    return points
+
+
+def required_trials(
+    dist: Distribution,
+    n_servers: int,
+    beta: float,
+    capacity: float,
+    series: str,
+    half_width: float,
+    pilot_trials: int = 50,
+    seed: SeedLike = 0,
+) -> int:
+    """Trials needed for a ±``half_width`` 95% CI on one reported ratio.
+
+    Runs a pilot of ``pilot_trials`` to estimate the variance, then sizes
+    the full run with normal theory.
+    """
+    pilot = run_point_stats(
+        dist, n_servers, beta, capacity, trials=pilot_trials, seed=seed
+    )
+    if series not in pilot:
+        raise ValueError(f"unknown series {series!r}; have {sorted(pilot)}")
+    return trials_needed(pilot[series], half_width)
+
+
+def render_convergence(points: list[ConvergencePoint], series: str) -> str:
+    """Plain-text table of mean ± CI for one series across budgets."""
+    lines = [f"{'trials':>7}  {'mean':>8}  {'ci95 half-width':>15}"]
+    for p in points:
+        s = p.stats[series]
+        half = (s.ci95_high - s.ci95_low) / 2
+        lines.append(f"{p.trials:>7}  {s.mean:>8.4f}  {half:>15.5f}")
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Multi-trial experiment harness for the paper's Section VII evaluation.
+
+One *trial* draws a random AA instance from a workload distribution, runs
+Algorithm 2 (and optionally Algorithm 1) plus the four heuristics on the
+*same* instance, and records everyone's total utility together with the
+super-optimal bound.  A *sweep point* averages per-trial ratios over many
+independently seeded trials — the same estimator the paper plots (mean of
+1000 random trials).
+
+Ratios follow the paper's figures: ``alg2 / SO`` (at most 1; "how close to
+optimal") and ``alg2 / heuristic`` (at least ~1; "how much better than the
+simple scheme").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.assign.heuristics import HEURISTICS
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm2 import algorithm2
+from repro.core.linearize import linearize
+from repro.core.postprocess import reclaim
+from repro.core.problem import AAProblem
+from repro.workloads.generators import Distribution, make_problem
+from repro.utils.rng import SeedLike, spawn_generators
+
+#: Series name of the super-optimal bound in trial records.
+SO = "SO"
+#: Series names of the paper's algorithms in trial records.  ALG2/ALG1 are
+#: the paper algorithms followed by the utility-preserving reclamation pass
+#: (see :mod:`repro.core.postprocess`); ALG2RAW is the verbatim Algorithm 2.
+ALG2 = "ALG2"
+ALG1 = "ALG1"
+ALG2RAW = "ALG2RAW"
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Total utilities of every contender on one random instance."""
+
+    utilities: dict[str, float]
+    n_threads: int
+
+    def ratio(self, name: str, reference: str = ALG2) -> float:
+        """``utilities[reference] / utilities[name]`` with 0/0 → 1."""
+        num = self.utilities[reference]
+        den = self.utilities[name]
+        if den == 0.0:
+            return 1.0 if num == 0.0 else np.inf
+        return num / den
+
+
+def run_trial(
+    problem: AAProblem,
+    rng: np.random.Generator,
+    include_alg1: bool = False,
+    include_raw: bool = False,
+    heuristics=None,
+) -> TrialRecord:
+    """Evaluate all contenders on one instance (shared linearization)."""
+    heuristics = HEURISTICS if heuristics is None else heuristics
+    lin = linearize(problem)
+    utilities: dict[str, float] = {SO: lin.super_optimal_utility}
+    raw2 = algorithm2(problem, lin)
+    utilities[ALG2] = reclaim(problem, raw2).total_utility(problem)
+    if include_raw:
+        utilities[ALG2RAW] = raw2.total_utility(problem)
+    if include_alg1:
+        utilities[ALG1] = reclaim(problem, algorithm1(problem, lin)).total_utility(problem)
+    for name, heuristic in heuristics.items():
+        utilities[name] = heuristic(problem, seed=rng).total_utility(problem)
+    return TrialRecord(utilities=utilities, n_threads=problem.n_threads)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Mean per-trial ratios of Algorithm 2 against every contender."""
+
+    value: float
+    ratios: dict[str, float]
+    trials: int
+
+
+def run_point(
+    dist: Distribution,
+    n_servers: int,
+    beta: float,
+    capacity: float,
+    trials: int,
+    seed: SeedLike = None,
+    include_alg1: bool = False,
+    include_raw: bool = False,
+    interpolator: str = "quadspline",
+) -> dict[str, float]:
+    """Mean ratios (``alg2/SO``, ``alg2/UU``, …) at one parameter setting."""
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    rngs = spawn_generators(seed, trials)
+    sums: dict[str, float] = {}
+    for rng in rngs:
+        problem = make_problem(
+            dist, n_servers, beta, capacity, seed=rng, interpolator=interpolator
+        )
+        record = run_trial(problem, rng, include_alg1=include_alg1, include_raw=include_raw)
+        for name in record.utilities:
+            if name == ALG2:
+                continue
+            sums[name] = sums.get(name, 0.0) + record.ratio(name)
+    return {name: total / trials for name, total in sums.items()}
+
+
+def run_sweep(
+    dist_factory,
+    sweep_values,
+    n_servers: int = 8,
+    capacity: float = 1000.0,
+    beta: float | None = None,
+    trials: int = 100,
+    seed: SeedLike = 0,
+    include_alg1: bool = False,
+    include_raw: bool = False,
+    interpolator: str = "quadspline",
+) -> list[SweepPoint]:
+    """Run a figure-style sweep.
+
+    Parameters
+    ----------
+    dist_factory:
+        Callable ``value -> (Distribution, beta)`` producing the workload
+        and the β to use at each sweep value (figures sweep either β itself
+        or a distribution parameter at fixed β).
+    sweep_values:
+        X-axis values of the figure.
+    trials:
+        Trials per point (the paper uses 1000; benches default lower).
+    """
+    points: list[SweepPoint] = []
+    for k, value in enumerate(sweep_values):
+        dist, point_beta = dist_factory(value)
+        if beta is not None:
+            point_beta = beta
+        ratios = run_point(
+            dist,
+            n_servers=n_servers,
+            beta=point_beta,
+            capacity=capacity,
+            trials=trials,
+            seed=np.random.SeedSequence([0 if seed is None else int(seed), k]),
+            include_alg1=include_alg1,
+            include_raw=include_raw,
+            interpolator=interpolator,
+        )
+        points.append(SweepPoint(value=float(value), ratios=ratios, trials=trials))
+    return points

@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment sweeps (the benches' output format).
+
+The benchmark harness prints the same rows the paper plots so a reader can
+eyeball paper-vs-measured without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import SO, SweepPoint
+
+#: Render order for ratio columns (bound first, then the paper's legend).
+_COLUMN_ORDER = (SO, "ALG1", "UU", "UR", "RU", "RR")
+
+
+def series_table(points: list[SweepPoint], x_label: str = "x") -> str:
+    """Format sweep points as an aligned ratio table.
+
+    One row per sweep value; columns are ``alg2/<name>`` mean ratios in a
+    stable order (SO first, heuristics in legend order, extras last).
+    """
+    if not points:
+        return "(no data)"
+    names = [c for c in _COLUMN_ORDER if c in points[0].ratios]
+    names += [c for c in points[0].ratios if c not in names]
+    header = [x_label.ljust(8)] + [f"alg2/{n}".rjust(10) for n in names]
+    lines = ["  ".join(header)]
+    for p in points:
+        row = [f"{p.value:<8g}"] + [f"{p.ratios[n]:>10.4f}" for n in names]
+        lines.append("  ".join(row))
+    lines.append(f"(mean of {points[0].trials} trials per row)")
+    return "\n".join(lines)
+
+
+#: Unicode block characters for 8-level sparklines.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, lo: float | None = None, hi: float | None = None) -> str:
+    """Render a numeric series as a compact unicode sparkline.
+
+    ``lo``/``hi`` pin the scale (defaults: the series' own min/max); a flat
+    series renders at the midline.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else float(lo)
+    hi = max(vals) if hi is None else float(hi)
+    if hi <= lo:
+        return _SPARK_LEVELS[3] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        t = (min(max(v, lo), hi) - lo) / span
+        out.append(_SPARK_LEVELS[min(int(t * 8), 7)])
+    return "".join(out)
+
+
+def spark_table(points: list[SweepPoint]) -> str:
+    """One sparkline per ratio series — the whole figure at a glance."""
+    if not points:
+        return "(no data)"
+    names = [c for c in _COLUMN_ORDER if c in points[0].ratios]
+    names += [c for c in points[0].ratios if c not in names]
+    lines = []
+    for name in names:
+        series = [p.ratios[name] for p in points]
+        lines.append(
+            f"alg2/{name:<8} {sparkline(series)}  "
+            f"[{min(series):.3f} … {max(series):.3f}]"
+        )
+    return "\n".join(lines)
+
+
+def summarize_headlines(panel_points: dict[str, list[SweepPoint]]) -> str:
+    """Condense panels into the paper's headline claims format.
+
+    Reports the worst Alg2/SO over all panels and the best heuristic
+    multipliers on the power-law panel — the '99%', '3.9x' and '5.7x'
+    numbers of the abstract.
+    """
+    lines = []
+    worst_so = min(
+        p.ratios[SO] for points in panel_points.values() for p in points
+    )
+    lines.append(f"worst Alg2/SO over all panels: {worst_so:.4f} (paper: ~0.975 dip, >=0.99 typical)")
+    if "fig2a" in panel_points:
+        last = panel_points["fig2a"][-1]
+        uu_ru = max(last.ratios.get("UU", 0.0), last.ratios.get("RU", 0.0))
+        ur_rr = max(last.ratios.get("UR", 0.0), last.ratios.get("RR", 0.0))
+        lines.append(
+            f"power law beta=15: Alg2 is {uu_ru:.2f}x UU/RU (paper ~3.9x) "
+            f"and {ur_rr:.2f}x UR/RR (paper ~5.7x)"
+        )
+    return "\n".join(lines)

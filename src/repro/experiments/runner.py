@@ -1,0 +1,76 @@
+"""Persist and reload experiment results.
+
+Reproducibility plumbing: run any registered figure (or a custom sweep),
+save the resulting series to a versioned JSON document together with its
+provenance (trials, seed, library version), and reload it later to render
+tables or diff against fresh runs.  EXPERIMENTS.md's tables were produced
+through this path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.experiments.figures import FIGURES, expected_shape_violations, run_figure
+from repro.experiments.harness import SweepPoint
+
+RESULT_FORMAT = "aart-figure-result/1"
+
+
+def points_to_dict(figure_id: str, points: list[SweepPoint], seed: int) -> dict:
+    """Serialize one panel's sweep with provenance."""
+    import repro
+
+    return {
+        "format": RESULT_FORMAT,
+        "figure_id": figure_id,
+        "library_version": repro.__version__,
+        "seed": seed,
+        "trials": points[0].trials if points else 0,
+        "points": [
+            {"value": p.value, "ratios": p.ratios, "trials": p.trials}
+            for p in points
+        ],
+    }
+
+
+def points_from_dict(data: dict) -> tuple[str, list[SweepPoint]]:
+    """Reload a saved panel; validates the format marker."""
+    if data.get("format") != RESULT_FORMAT:
+        raise ValueError(
+            f"not an {RESULT_FORMAT} document (format={data.get('format')!r})"
+        )
+    points = [
+        SweepPoint(value=p["value"], ratios=dict(p["ratios"]), trials=p["trials"])
+        for p in data["points"]
+    ]
+    return data["figure_id"], points
+
+
+def run_and_save(
+    figure_id: str,
+    path,
+    trials: int = 100,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Run a registered panel and write its results JSON to ``path``."""
+    if figure_id not in FIGURES:
+        raise ValueError(f"unknown figure {figure_id!r}; have {sorted(FIGURES)}")
+    points = run_figure(figure_id, trials=trials, seed=seed)
+    Path(path).write_text(
+        json.dumps(points_to_dict(figure_id, points, seed), indent=2)
+    )
+    return points
+
+
+def load_result(path) -> tuple[str, list[SweepPoint]]:
+    """Load a saved panel result file."""
+    return points_from_dict(json.loads(Path(path).read_text()))
+
+
+def verify_saved_result(path) -> list[str]:
+    """Shape-check a saved result against the paper's claims."""
+    figure_id, points = load_result(path)
+    return expected_shape_violations(figure_id, points)

@@ -1,0 +1,75 @@
+"""Sensitivity beyond the paper's fixed geometry (m = 8, C = 1000).
+
+The paper sweeps only β and distribution parameters.  Two natural
+robustness questions remain open there:
+
+* does the picture change with the *number of servers* at fixed β?
+* does it change with the *capacity scale* C?
+
+For the second, the answer is exactly "no" by construction: the Section
+VII generator draws anchor values independently of C, so instances at
+different C are the same instances with a stretched resource axis and all
+ratios are scale-free in distribution.  The server sweep is a genuine
+experiment; both are exposed here with the same SweepPoint interface as
+the figure panels (bench: ``bench_sensitivity.py``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import SweepPoint, run_point
+from repro.utils.rng import SeedLike
+from repro.workloads.generators import Distribution
+
+import numpy as np
+
+
+def server_sweep(
+    dist: Distribution,
+    m_values=(2, 4, 8, 16, 32),
+    beta: float = 5.0,
+    capacity: float = 1000.0,
+    trials: int = 100,
+    seed: SeedLike = 0,
+) -> list[SweepPoint]:
+    """Mean ratios as the fleet grows at constant threads-per-server."""
+    points = []
+    for k, m in enumerate(m_values):
+        ratios = run_point(
+            dist,
+            n_servers=int(m),
+            beta=beta,
+            capacity=capacity,
+            trials=trials,
+            seed=np.random.SeedSequence([0 if seed is None else int(seed), 71, k]),
+        )
+        points.append(SweepPoint(value=float(m), ratios=ratios, trials=trials))
+    return points
+
+
+def capacity_sweep(
+    dist: Distribution,
+    c_values=(10.0, 100.0, 1000.0, 10000.0),
+    n_servers: int = 8,
+    beta: float = 5.0,
+    trials: int = 100,
+    seed: SeedLike = 0,
+) -> list[SweepPoint]:
+    """Mean ratios as the capacity scale changes (expected: flat)."""
+    points = []
+    for k, c in enumerate(c_values):
+        ratios = run_point(
+            dist,
+            n_servers=n_servers,
+            beta=beta,
+            capacity=float(c),
+            trials=trials,
+            seed=np.random.SeedSequence([0 if seed is None else int(seed), 72, k]),
+        )
+        points.append(SweepPoint(value=float(c), ratios=ratios, trials=trials))
+    return points
+
+
+def max_spread(points: list[SweepPoint], series: str) -> float:
+    """Largest absolute deviation of one ratio series across the sweep."""
+    values = [p.ratios[series] for p in points]
+    return float(max(values) - min(values))

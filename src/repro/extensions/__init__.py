@@ -1,0 +1,47 @@
+"""Paper future-work extensions and engineering add-ons."""
+
+from repro.extensions.fairness import FairnessReport, fairness_report, maxmin_fair
+from repro.extensions.localsearch import (
+    LocalSearchResult,
+    local_search,
+    solve_with_refinement,
+)
+from repro.extensions.weighted import WeightedSolution, WeightedUtility, solve_weighted
+from repro.extensions.heterogeneous import (
+    HeterogeneousProblem,
+    HeteroSolution,
+    algorithm2_hetero,
+    super_optimal_hetero,
+)
+from repro.extensions.multiresource import (
+    MultiResourceProblem,
+    MultiResourceSolution,
+    solve_multiresource,
+)
+from repro.extensions.online import (
+    AdaptiveScheduler,
+    OnlineScheduler,
+    RebalanceReport,
+)
+
+__all__ = [
+    "AdaptiveScheduler",
+    "FairnessReport",
+    "HeteroSolution",
+    "HeterogeneousProblem",
+    "LocalSearchResult",
+    "MultiResourceProblem",
+    "MultiResourceSolution",
+    "OnlineScheduler",
+    "RebalanceReport",
+    "WeightedSolution",
+    "WeightedUtility",
+    "algorithm2_hetero",
+    "fairness_report",
+    "local_search",
+    "maxmin_fair",
+    "solve_multiresource",
+    "solve_weighted",
+    "solve_with_refinement",
+    "super_optimal_hetero",
+]

@@ -1,0 +1,160 @@
+"""Max-min fair AA — the classical alternative to utility maximization.
+
+Total-utility maximization (the paper's objective) will starve low-value
+threads when a heavy hitter can use the resource better.  Operators often
+prefer *max-min fairness*: lexicographically maximize the worst-off
+thread's utility.  This module provides a max-min fair assign-and-allocate
+heuristic so the efficiency/fairness trade-off can be measured on the same
+instances (see :func:`fairness_report`).
+
+Algorithm: progressive filling on the linearized view — assign threads to
+servers balancing *utility headroom* rather than top value, then within
+each server run progressive filling (raise every resident's utility level
+in lock-step until its resource is exhausted).  Exact per server for
+strictly increasing utilities; threads that saturate drop out of the fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import AAProblem, Assignment
+from repro.utility.batch import UtilityBatch
+
+
+def _level_allocation(fns, level: float) -> np.ndarray:
+    """Resource each utility needs to reach ``level`` (inf if unreachable)."""
+    out = np.empty(len(fns))
+    for k, f in enumerate(fns):
+        peak = float(f.value(f.cap))
+        if level <= 0:
+            out[k] = 0.0
+        elif level > peak + 1e-15:
+            out[k] = np.inf
+        else:
+            # Bisect f(x) = level on [0, cap]; f is nondecreasing.
+            lo, hi = 0.0, f.cap
+            for _ in range(80):
+                mid = 0.5 * (lo + hi)
+                if float(f.value(mid)) < level:
+                    lo = mid
+                else:
+                    hi = mid
+            out[k] = hi
+    return out
+
+
+def progressive_fill(batch: UtilityBatch, members: np.ndarray, capacity: float) -> np.ndarray:
+    """Max-min fair allocation of one server's capacity among ``members``.
+
+    Raises the common utility level until the capacity is exhausted;
+    saturated threads keep their caps.  Returns per-member allocations.
+    """
+    members = np.asarray(members, dtype=np.int64)
+    if members.size == 0:
+        return np.zeros(0)
+    all_fns = batch.functions()
+    fns = [all_fns[int(i)] for i in members]
+    caps = np.array([f.cap for f in fns])
+    peaks = np.array([float(f.value(f.cap)) for f in fns])
+    # Bisect on the level: cost(level) = sum of resources needed (capped).
+    lo, hi = 0.0, float(np.max(peaks, initial=0.0))
+
+    def cost(level: float) -> float:
+        need = _level_allocation(fns, level)
+        return float(np.sum(np.where(np.isfinite(need), need, caps)))
+
+    if cost(hi) <= capacity:
+        lo = hi  # every thread reaches its own peak within the budget
+    else:
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if cost(mid) <= capacity:
+                lo = mid
+            else:
+                hi = mid
+    need = _level_allocation(fns, lo)
+    alloc = np.where(np.isfinite(need), need, [f.cap for f in fns])
+    # Spend any residual on the least-happy threads whose utility can still
+    # grow (lexicographic max-min: after the floor binds, raise the next
+    # levels; threads already at their peak gain nothing from more).
+    residual = capacity - float(np.sum(alloc))
+    if residual > 0:
+        values = np.array([float(f.value(a)) for f, a in zip(fns, alloc)])
+        growable = [
+            k
+            for k in range(len(fns))
+            if values[k] < peaks[k] - 1e-12 * (1 + peaks[k])
+        ]
+        for k in sorted(growable, key=lambda k: values[k]):
+            room = fns[k].cap - alloc[k]
+            take = min(room, residual)
+            alloc[k] += take
+            residual -= take
+            if residual <= 0:
+                break
+    return alloc
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Efficiency/fairness comparison of two assignments on one instance."""
+
+    utilitarian_total: float
+    fair_total: float
+    utilitarian_min: float
+    fair_min: float
+
+    @property
+    def efficiency_cost(self) -> float:
+        """Fraction of total utility sacrificed for fairness."""
+        if self.utilitarian_total == 0:
+            return 0.0
+        return 1.0 - self.fair_total / self.utilitarian_total
+
+
+def maxmin_fair(problem: AAProblem) -> Assignment:
+    """Max-min fair assign-and-allocate heuristic.
+
+    Assignment: longest-processing-time on *peak utility* (largest peaks
+    spread first), which balances the attainable levels; allocation:
+    per-server progressive filling.
+    """
+    n, m = problem.n_threads, problem.n_servers
+    servers = np.zeros(n, dtype=np.int64)
+    if n:
+        caps = np.minimum(problem.utilities.caps, problem.capacity)
+        peaks = np.asarray(problem.utilities.value(caps), dtype=float)
+        load = np.zeros(m)
+        counts = np.zeros(m, dtype=np.int64)
+        for i in np.argsort(-peaks, kind="stable"):
+            j = int(np.lexsort((np.arange(m), counts, load))[0])
+            servers[i] = j
+            load[j] += peaks[i]
+            counts[j] += 1
+    alloc = np.zeros(n)
+    for j in range(m):
+        members = np.nonzero(servers == j)[0]
+        alloc[members] = progressive_fill(problem.utilities, members, problem.capacity)
+    return Assignment(servers=servers, allocations=alloc)
+
+
+def fairness_report(problem: AAProblem) -> FairnessReport:
+    """Solve both objectives and compare totals and worst-thread utility."""
+    from repro.core.solve import solve
+
+    util_sol = solve(problem)
+    fair = maxmin_fair(problem)
+    fair.validate(problem)
+    util_values = np.asarray(
+        problem.utilities.value(util_sol.assignment.allocations), dtype=float
+    )
+    fair_values = np.asarray(problem.utilities.value(fair.allocations), dtype=float)
+    return FairnessReport(
+        utilitarian_total=float(util_values.sum()),
+        fair_total=float(fair_values.sum()),
+        utilitarian_min=float(util_values.min()) if util_values.size else 0.0,
+        fair_min=float(fair_values.min()) if fair_values.size else 0.0,
+    )

@@ -1,0 +1,134 @@
+"""Multiple resource types (paper future work, Section VIII).
+
+Threads consume bundles: thread ``i`` needs ``demands[i, r]`` of resource
+``r`` per *task unit*, and its utility is a concave function of task units
+— the Leontief model used by dominant-resource fairness.  We reduce to
+scalar AA conservatively: measure every thread in units of its *dominant
+share* (the largest fraction of any one server resource its bundle uses).
+A feasible dominant-share allocation is feasible for every resource, so
+the reduction never produces an invalid plan; it can leave non-dominant
+resources idle, which :func:`utilization_report` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import AAProblem, Assignment
+from repro.core.solve import Solution, solve
+from repro.utility.batch import GenericBatch
+from repro.utility.transforms import Truncated, XStretched
+
+
+class MultiResourceProblem:
+    """AA with ``n_resources`` capacities per server and Leontief demands.
+
+    Parameters
+    ----------
+    utilities:
+        Concave utility per thread, as a function of *task units*.
+    demands:
+        ``(n_threads, n_resources)`` nonnegative bundle per task unit; each
+        thread must demand a positive amount of at least one resource.
+    n_servers:
+        Number of homogeneous servers.
+    capacities:
+        Per-resource capacity of every server, shape ``(n_resources,)``.
+    """
+
+    def __init__(self, utilities, demands, n_servers: int, capacities):
+        self.utilities = GenericBatch(list(utilities))
+        self.demands = np.asarray(demands, dtype=float)
+        self.capacities = np.asarray(capacities, dtype=float)
+        if self.demands.ndim != 2 or self.demands.shape[0] != len(self.utilities):
+            raise ValueError("demands must be (n_threads, n_resources)")
+        if self.capacities.shape != (self.demands.shape[1],):
+            raise ValueError("capacities must give one value per resource")
+        if np.any(self.demands < 0) or np.any(self.capacities <= 0):
+            raise ValueError("demands must be >= 0 and capacities > 0")
+        if np.any(self.demands.sum(axis=1) == 0):
+            raise ValueError("every thread must demand some resource")
+        self.n_servers = int(n_servers)
+        if self.n_servers < 1:
+            raise ValueError("need at least one server")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.utilities)
+
+    @property
+    def n_resources(self) -> int:
+        return self.capacities.shape[0]
+
+    def dominant_share_per_unit(self) -> np.ndarray:
+        """``s_i = max_r demands[i, r] / capacities[r]`` (share per task unit)."""
+        return np.max(self.demands / self.capacities, axis=1)
+
+    def to_scalar_aa(self) -> AAProblem:
+        """The conservative scalarization: capacity 1.0 of dominant share.
+
+        Task units are rescaled so one unit of the scalar resource is one
+        full server's dominant share; utilities are rescaled accordingly
+        and capped so no thread exceeds one server.
+        """
+        shares = self.dominant_share_per_unit()
+        fns = []
+        for f, s in zip(self.utilities.functions(), shares):
+            g = XStretched(f, s)
+            if g.cap > 1.0:
+                # A thread cannot span servers: truncate its domain.
+                g = XStretched(Truncated(f, 1.0 / s), s)
+            fns.append(g)
+        return AAProblem(GenericBatch(fns), n_servers=self.n_servers, capacity=1.0)
+
+    def task_units(self, assignment: Assignment) -> np.ndarray:
+        """Convert a scalar-AA assignment back to per-thread task units."""
+        return assignment.allocations / self.dominant_share_per_unit()
+
+    def resource_usage(self, assignment: Assignment) -> np.ndarray:
+        """Per-server, per-resource consumption, shape ``(m, n_resources)``."""
+        units = self.task_units(assignment)
+        usage = np.zeros((self.n_servers, self.n_resources))
+        for j in range(self.n_servers):
+            members = assignment.servers == j
+            usage[j] = (units[members, None] * self.demands[members]).sum(axis=0)
+        return usage
+
+
+@dataclass(frozen=True)
+class MultiResourceSolution:
+    """Scalarized solve plus the physical-resource view."""
+
+    scalar: Solution
+    task_units: np.ndarray
+    usage: np.ndarray  # (m, n_resources)
+    capacities: np.ndarray
+
+    @property
+    def total_utility(self) -> float:
+        return self.scalar.total_utility
+
+    def utilization_report(self) -> np.ndarray:
+        """Fraction of each resource used per server, shape ``(m, R)``."""
+        return self.usage / self.capacities
+
+
+def solve_multiresource(
+    problem: MultiResourceProblem, algorithm: str = "alg2"
+) -> MultiResourceSolution:
+    """Solve via the dominant-share scalarization and validate feasibility."""
+    scalar_problem = problem.to_scalar_aa()
+    sol = solve(scalar_problem, algorithm=algorithm)
+    usage = problem.resource_usage(sol.assignment)
+    if np.any(usage > problem.capacities * (1 + 1e-9)):
+        raise AssertionError(
+            "dominant-share reduction produced an infeasible plan (bug)"
+        )
+    return MultiResourceSolution(
+        scalar=sol,
+        task_units=problem.task_units(sol.assignment),
+        usage=usage,
+        capacities=problem.capacities,
+    )

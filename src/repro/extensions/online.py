@@ -1,0 +1,206 @@
+"""Online AA: arrivals, departures, re-planning and migration accounting.
+
+Paper future work ("utility functions of threads may change over time …
+integrate online performance measurements").  The scheduler keeps a live
+assignment under churn:
+
+* **arrival** — the thread is placed greedily on the server whose
+  water-filled utility gains the most from hosting it (no migrations);
+* **departure** — the thread leaves; its server's resource is re-filled
+  among the remaining residents;
+* **rebalance** — full Algorithm 2 re-solve; threads whose server changes
+  count as migrations and pay ``migration_cost`` each, so callers can
+  weigh re-optimization gain against movement cost.
+
+:class:`AdaptiveScheduler` layers measurement on top: utilities start
+unknown, throughput observations stream in, and planning uses the current
+concave fits (:mod:`repro.utility.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.allocation.waterfill import water_fill
+from repro.core.postprocess import waterfill_within_servers
+from repro.core.problem import AAProblem, Assignment
+from repro.core.solve import solve
+from repro.utility.base import UtilityFunction
+from repro.utility.batch import GenericBatch
+from repro.utility.calibration import OnlineUtilityEstimator
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of a full re-solve."""
+
+    utility_before: float
+    utility_after: float
+    migrations: int
+    migration_cost: float
+
+    @property
+    def net_gain(self) -> float:
+        return self.utility_after - self.utility_before - self.migration_cost
+
+
+class OnlineScheduler:
+    """Maintains a live AA assignment under thread churn."""
+
+    def __init__(self, n_servers: int, capacity: float, migration_cost: float = 0.0):
+        if n_servers < 1 or capacity <= 0:
+            raise ValueError("need n_servers >= 1 and capacity > 0")
+        if migration_cost < 0:
+            raise ValueError("migration_cost must be nonnegative")
+        self.n_servers = int(n_servers)
+        self.capacity = float(capacity)
+        self.migration_cost = float(migration_cost)
+        self._threads: dict[str, UtilityFunction] = {}
+        self._server_of: dict[str, int] = {}
+        self._alloc_of: dict[str, float] = {}
+        self.total_migrations = 0
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def thread_ids(self) -> list[str]:
+        return list(self._threads)
+
+    def _problem(self) -> AAProblem:
+        batch = GenericBatch([self._threads[t] for t in self._threads])
+        return AAProblem(batch, n_servers=self.n_servers, capacity=self.capacity)
+
+    def assignment(self) -> Assignment:
+        """Current assignment in thread-id insertion order."""
+        ids = self.thread_ids
+        return Assignment(
+            servers=np.array([self._server_of[t] for t in ids], dtype=np.int64),
+            allocations=np.array([self._alloc_of[t] for t in ids]),
+        )
+
+    def total_utility(self) -> float:
+        if not self._threads:
+            return 0.0
+        return self.assignment().total_utility(self._problem())
+
+    def _refill_server(self, server: int) -> None:
+        """Re-water-fill one server's capacity among its residents."""
+        ids = [t for t, j in self._server_of.items() if j == server]
+        if not ids:
+            return
+        batch = GenericBatch([self._threads[t] for t in ids])
+        res = water_fill(batch, self.capacity)
+        for t, c in zip(ids, res.allocations):
+            self._alloc_of[t] = float(c)
+
+    # -- churn ----------------------------------------------------------------
+
+    def add_thread(self, thread_id: str, utility: UtilityFunction) -> int:
+        """Place a new thread greedily; returns the chosen server.
+
+        The thread joins the server where re-water-filling with it present
+        yields the largest total-utility gain (no existing thread moves).
+        """
+        if thread_id in self._threads:
+            raise ValueError(f"thread {thread_id!r} already scheduled")
+        if utility.cap > self.capacity * (1 + 1e-9):
+            raise ValueError("utility cap exceeds server capacity")
+        best_server, best_gain = 0, -np.inf
+        for j in range(self.n_servers):
+            ids = [t for t, s in self._server_of.items() if s == j]
+            before = sum(
+                float(self._threads[t].value(self._alloc_of[t])) for t in ids
+            )
+            batch = GenericBatch([self._threads[t] for t in ids] + [utility])
+            after = water_fill(batch, self.capacity).total_utility
+            gain = after - before
+            if gain > best_gain:
+                best_gain, best_server = gain, j
+        self._threads[thread_id] = utility
+        self._server_of[thread_id] = best_server
+        self._alloc_of[thread_id] = 0.0
+        self._refill_server(best_server)
+        return best_server
+
+    def remove_thread(self, thread_id: str) -> None:
+        """Drop a thread and hand its resource to its server's residents."""
+        try:
+            server = self._server_of.pop(thread_id)
+        except KeyError:
+            raise KeyError(f"unknown thread {thread_id!r}") from None
+        del self._threads[thread_id], self._alloc_of[thread_id]
+        self._refill_server(server)
+
+    def rebalance(self) -> RebalanceReport:
+        """Full Algorithm 2 re-solve; applies only if the net gain is positive."""
+        before = self.total_utility()
+        if not self._threads:
+            return RebalanceReport(before, before, 0, 0.0)
+        ids = self.thread_ids
+        sol = solve(self._problem(), algorithm="alg2")
+        moved = sum(
+            1 for t, j in zip(ids, sol.assignment.servers) if self._server_of[t] != j
+        )
+        cost = moved * self.migration_cost
+        if sol.total_utility - cost <= before:
+            return RebalanceReport(before, before, 0, 0.0)
+        for t, j, c in zip(ids, sol.assignment.servers, sol.assignment.allocations):
+            self._server_of[t] = int(j)
+            self._alloc_of[t] = float(c)
+        self.total_migrations += moved
+        return RebalanceReport(before, sol.total_utility, moved, cost)
+
+
+class AdaptiveScheduler(OnlineScheduler):
+    """Online scheduler whose utilities are *learned* from measurements.
+
+    Threads are registered without a utility; every
+    ``observe(thread_id, allocation, throughput)`` refines a concave fit,
+    and :meth:`replan_from_measurements` re-solves with the current fits.
+    Until a thread has data it is modeled by a mild default prior (linear
+    up to the server capacity, unit peak).
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        capacity: float,
+        migration_cost: float = 0.0,
+        n_knots: int = 12,
+        window: int | None = 256,
+    ):
+        super().__init__(n_servers, capacity, migration_cost)
+        self._estimators: dict[str, OnlineUtilityEstimator] = {}
+        self._n_knots = int(n_knots)
+        self._window = window
+
+    def register(self, thread_id: str) -> int:
+        """Add an unmeasured thread under the default prior."""
+        from repro.utility.functions import LinearUtility
+
+        prior = LinearUtility(slope=1.0 / self.capacity, cap=self.capacity)
+        server = self.add_thread(thread_id, prior)
+        self._estimators[thread_id] = OnlineUtilityEstimator(
+            cap=self.capacity, n_knots=self._n_knots, window=self._window
+        )
+        return server
+
+    def observe(self, thread_id: str, allocation: float, throughput: float) -> None:
+        """Record one throughput measurement for a registered thread."""
+        try:
+            self._estimators[thread_id].observe(allocation, throughput)
+        except KeyError:
+            raise KeyError(f"unknown thread {thread_id!r}") from None
+
+    def replan_from_measurements(self) -> RebalanceReport:
+        """Swap in the current concave fits, then rebalance."""
+        for t, est in self._estimators.items():
+            fitted = est.estimate()
+            if fitted is not None:
+                self._threads[t] = fitted
+        # Allocations may now be valued differently; refill before comparing.
+        for j in range(self.n_servers):
+            self._refill_server(j)
+        return self.rebalance()

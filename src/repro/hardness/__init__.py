@@ -1,0 +1,13 @@
+"""NP-hardness machinery: the PARTITION ⇄ AA reduction of Theorem IV.1."""
+
+from repro.hardness.partition import (
+    aa_decides_partition,
+    has_partition_dp,
+    partition_to_aa,
+)
+
+__all__ = [
+    "aa_decides_partition",
+    "has_partition_dp",
+    "partition_to_aa",
+]

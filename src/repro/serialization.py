@@ -1,0 +1,167 @@
+"""JSON (de)serialization of problems, assignments and utilities.
+
+Lets users describe AA instances in plain JSON files (consumed by the
+``aart`` CLI) and persist solver output.  Every closed-form utility family
+round-trips through a small type registry; piecewise-linear utilities and
+the paper's quadratic splines serialize their knots/anchors.
+
+Format (version 1)::
+
+    {
+      "format": "aart-problem/1",
+      "n_servers": 2,
+      "capacity": 100.0,
+      "utilities": [
+        {"type": "log", "coeff": 2.0, "scale": 10.0, "cap": 100.0},
+        {"type": "power", "coeff": 1.0, "beta": 0.5, "cap": 100.0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.problem import AAProblem, Assignment
+from repro.utility.base import UtilityFunction
+from repro.utility.functions import (
+    CappedLinearUtility,
+    LinearUtility,
+    LogUtility,
+    PiecewiseLinearUtility,
+    PowerUtility,
+    SaturatingUtility,
+    ZeroUtility,
+)
+from repro.utility.quadspline import ConcaveQuadSpline
+
+PROBLEM_FORMAT = "aart-problem/1"
+ASSIGNMENT_FORMAT = "aart-assignment/1"
+
+
+def _encode_utility(f: UtilityFunction) -> dict[str, Any]:
+    if isinstance(f, ZeroUtility):
+        return {"type": "zero", "cap": f.cap}
+    if isinstance(f, CappedLinearUtility):
+        return {
+            "type": "capped_linear",
+            "slope": f.slope,
+            "breakpoint": f.breakpoint,
+            "cap": f.cap,
+        }
+    if isinstance(f, LinearUtility):
+        return {"type": "linear", "slope": f.slope, "cap": f.cap}
+    if isinstance(f, PowerUtility):
+        return {"type": "power", "coeff": f.coeff, "beta": f.beta, "cap": f.cap}
+    if isinstance(f, LogUtility):
+        return {"type": "log", "coeff": f.coeff, "scale": f.scale, "cap": f.cap}
+    if isinstance(f, SaturatingUtility):
+        return {"type": "saturating", "vmax": f.vmax, "k": f.k, "cap": f.cap}
+    if isinstance(f, PiecewiseLinearUtility):
+        return {
+            "type": "piecewise_linear",
+            "xs": f.xs.tolist(),
+            "ys": f.ys.tolist(),
+            "cap": f.cap,
+        }
+    if isinstance(f, ConcaveQuadSpline):
+        return {
+            "type": "quadspline",
+            "v": f.v,
+            "w": f.w,
+            "cap": f.cap,
+            "xm": f.xm,
+        }
+    raise TypeError(f"cannot serialize utility of type {type(f).__name__}")
+
+
+_DECODERS = {
+    "zero": lambda d: ZeroUtility(d["cap"]),
+    "linear": lambda d: LinearUtility(d["slope"], d["cap"]),
+    "capped_linear": lambda d: CappedLinearUtility(
+        d["slope"], d["breakpoint"], d["cap"]
+    ),
+    "power": lambda d: PowerUtility(d["coeff"], d["beta"], d["cap"]),
+    "log": lambda d: LogUtility(d["coeff"], d["scale"], d["cap"]),
+    "saturating": lambda d: SaturatingUtility(d["vmax"], d["k"], d["cap"]),
+    "piecewise_linear": lambda d: PiecewiseLinearUtility(
+        d["xs"], d["ys"], cap=d.get("cap")
+    ),
+    "quadspline": lambda d: ConcaveQuadSpline(
+        d["v"], d["w"], d["cap"], xm=d.get("xm")
+    ),
+}
+
+
+def _decode_utility(d: dict[str, Any]) -> UtilityFunction:
+    try:
+        kind = d["type"]
+    except (TypeError, KeyError):
+        raise ValueError(f"utility entry missing 'type': {d!r}") from None
+    try:
+        decoder = _DECODERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown utility type {kind!r}; known: {sorted(_DECODERS)}"
+        ) from None
+    return decoder(d)
+
+
+def problem_to_dict(problem: AAProblem) -> dict[str, Any]:
+    """Serialize an AA instance (requires materializable scalar utilities)."""
+    return {
+        "format": PROBLEM_FORMAT,
+        "n_servers": problem.n_servers,
+        "capacity": problem.capacity,
+        "utilities": [_encode_utility(f) for f in problem.utilities.functions()],
+    }
+
+
+def problem_from_dict(data: dict[str, Any]) -> AAProblem:
+    """Deserialize an AA instance; validates the format marker."""
+    if data.get("format") != PROBLEM_FORMAT:
+        raise ValueError(
+            f"not an {PROBLEM_FORMAT} document (format={data.get('format')!r})"
+        )
+    utilities = [_decode_utility(d) for d in data["utilities"]]
+    return AAProblem(utilities, n_servers=data["n_servers"], capacity=data["capacity"])
+
+
+def assignment_to_dict(assignment: Assignment) -> dict[str, Any]:
+    return {
+        "format": ASSIGNMENT_FORMAT,
+        "servers": assignment.servers.tolist(),
+        "allocations": assignment.allocations.tolist(),
+    }
+
+
+def assignment_from_dict(data: dict[str, Any]) -> Assignment:
+    if data.get("format") != ASSIGNMENT_FORMAT:
+        raise ValueError(
+            f"not an {ASSIGNMENT_FORMAT} document (format={data.get('format')!r})"
+        )
+    return Assignment(
+        servers=np.asarray(data["servers"], dtype=np.int64),
+        allocations=np.asarray(data["allocations"], dtype=float),
+    )
+
+
+def save_problem(problem: AAProblem, path) -> None:
+    Path(path).write_text(json.dumps(problem_to_dict(problem), indent=2))
+
+
+def load_problem(path) -> AAProblem:
+    return problem_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_assignment(assignment: Assignment, path) -> None:
+    Path(path).write_text(json.dumps(assignment_to_dict(assignment), indent=2))
+
+
+def load_assignment(path) -> Assignment:
+    return assignment_from_dict(json.loads(Path(path).read_text()))

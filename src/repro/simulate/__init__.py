@@ -1,0 +1,6 @@
+"""Application substrates: the three systems the paper's intro motivates.
+
+* :mod:`repro.simulate.cache` — multicore shared-cache partitioning;
+* :mod:`repro.simulate.cloud` — cloud VM placement and sizing for revenue;
+* :mod:`repro.simulate.hosting` — web hosting center with queueing services.
+"""

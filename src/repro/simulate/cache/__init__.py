@@ -1,0 +1,73 @@
+"""Multicore shared-cache substrate: traces, LRU profiling, chip model."""
+
+from repro.simulate.cache.chip import PartitionPlan, plan_partitioning, profile_traces
+from repro.simulate.cache.curves import concave_envelope, envelope_gap, hit_curve_batch
+from repro.simulate.cache.coschedule import (
+    CoschedulePlan,
+    coschedule_pairs,
+    greedy_pairing,
+    optimal_pairing,
+    pairwise_interference,
+)
+from repro.simulate.cache.phases import (
+    PhasedComparison,
+    compare_static_vs_phased,
+    split_phases,
+)
+from repro.simulate.cache.ipc import (
+    IPCModel,
+    PartitionMetrics,
+    ipc_curves,
+    partition_metrics,
+)
+from repro.simulate.cache.shared import (
+    SharingComparison,
+    compare_partitioned_vs_shared,
+    shared_lru_hits,
+)
+from repro.simulate.cache.lru import (
+    COLD,
+    hits_by_capacity,
+    miss_ratio_curve,
+    simulate_lru_hits,
+    stack_distances,
+)
+from repro.simulate.cache.trace import (
+    markov_trace,
+    sequential_trace,
+    working_set_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "COLD",
+    "CoschedulePlan",
+    "IPCModel",
+    "coschedule_pairs",
+    "greedy_pairing",
+    "optimal_pairing",
+    "pairwise_interference",
+    "PartitionMetrics",
+    "PartitionPlan",
+    "PhasedComparison",
+    "compare_static_vs_phased",
+    "split_phases",
+    "ipc_curves",
+    "partition_metrics",
+    "SharingComparison",
+    "compare_partitioned_vs_shared",
+    "shared_lru_hits",
+    "concave_envelope",
+    "envelope_gap",
+    "hit_curve_batch",
+    "hits_by_capacity",
+    "markov_trace",
+    "miss_ratio_curve",
+    "plan_partitioning",
+    "profile_traces",
+    "sequential_trace",
+    "simulate_lru_hits",
+    "stack_distances",
+    "working_set_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,161 @@
+"""Co-scheduling baseline (related work [13], Jiang et al.).
+
+Co-scheduling picks which threads run *together* on a core to minimize
+their cache interference, measured by running candidate groups and
+observing the damage.  For pairs this needs O(n²) co-run measurements —
+exactly the cost the paper contrasts with its utility-function approach,
+which profiles each thread alone.
+
+We implement the pairwise variant on the shared-LRU simulator: measure
+every pair's interference, greedily match least-interfering pairs onto
+cores, and replay the resulting co-runs *unpartitioned*.  The chip
+example compares this measurement-hungry baseline against AA planning
+from solo profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulate.cache.lru import simulate_lru_hits
+from repro.simulate.cache.shared import shared_lru_hits
+
+
+def pairwise_interference(traces, capacity: int) -> np.ndarray:
+    """``I[i, j]`` = hits lost when ``i`` and ``j`` share a cache vs run alone.
+
+    Symmetric, zero diagonal; requires one shared replay per pair (the
+    O(n²) measurement burden of co-scheduling).
+    """
+    n = len(traces)
+    alone = np.array(
+        [simulate_lru_hits(np.asarray(t), capacity) for t in traces], dtype=float
+    )
+    interference = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            together = shared_lru_hits([traces[i], traces[j]], capacity)
+            loss = (alone[i] + alone[j]) - float(together.sum())
+            interference[i, j] = interference[j, i] = loss
+    return interference
+
+
+def greedy_pairing(interference: np.ndarray) -> list[tuple[int, int]]:
+    """Greedy minimum-interference perfect matching (pairs of threads).
+
+    Repeatedly matches the currently least-interfering unmatched pair —
+    the standard practical stand-in for optimal matching in co-scheduling
+    studies.  Requires an even number of threads.
+    """
+    interference = np.asarray(interference, dtype=float)
+    n = interference.shape[0]
+    if interference.shape != (n, n):
+        raise ValueError("interference must be square")
+    if n % 2:
+        raise ValueError("pairing requires an even number of threads")
+    unmatched = set(range(n))
+    pairs: list[tuple[int, int]] = []
+    order = sorted(
+        ((interference[i, j], i, j) for i in range(n) for j in range(i + 1, n)),
+        key=lambda t: (t[0], t[1], t[2]),
+    )
+    for _, i, j in order:
+        if i in unmatched and j in unmatched:
+            pairs.append((i, j))
+            unmatched -= {i, j}
+            if not unmatched:
+                break
+    return pairs
+
+
+def optimal_pairing(interference: np.ndarray) -> list[tuple[int, int]]:
+    """Minimum-total-interference perfect matching (exact, bitmask DP).
+
+    Jiang et al. show optimal pairwise co-scheduling reduces to min-weight
+    perfect matching; this exact solver handles the small thread counts of
+    one chip (O(2^n · n) states, practical to n ≈ 20).
+    """
+    interference = np.asarray(interference, dtype=float)
+    n = interference.shape[0]
+    if interference.shape != (n, n):
+        raise ValueError("interference must be square")
+    if n % 2:
+        raise ValueError("pairing requires an even number of threads")
+    if n == 0:
+        return []
+    if n > 20:
+        raise ValueError("exact pairing limited to n <= 20 threads")
+    full = (1 << n) - 1
+    best = {0: (0.0, None)}
+
+    def solve(mask: int) -> float:
+        if mask in best:
+            return best[mask][0]
+        i = (mask & -mask).bit_length() - 1  # lowest set thread
+        out, choice = np.inf, None
+        rest = mask & ~(1 << i)
+        j_bits = rest
+        while j_bits:
+            j = (j_bits & -j_bits).bit_length() - 1
+            j_bits &= j_bits - 1
+            cand = interference[i, j] + solve(rest & ~(1 << j))
+            if cand < out:
+                out, choice = cand, (i, j)
+        best[mask] = (out, choice)
+        return out
+
+    solve(full)
+    pairs: list[tuple[int, int]] = []
+    mask = full
+    while mask:
+        _, choice = best[mask]
+        assert choice is not None
+        i, j = choice
+        pairs.append((i, j))
+        mask &= ~(1 << i) & ~(1 << j)
+    return pairs
+
+
+@dataclass(frozen=True)
+class CoschedulePlan:
+    """A pairwise co-schedule and its measured (shared-cache) outcome."""
+
+    pairs: list[tuple[int, int]]
+    cores: np.ndarray
+    realized_hits: float
+    measurements: int
+
+
+def coschedule_pairs(
+    traces, n_cores: int, ways: int, matcher: str = "optimal"
+) -> CoschedulePlan:
+    """Full pipeline: measure all pairs, match, replay shared.
+
+    Requires exactly two threads per core (the setting of the pairwise
+    co-scheduling literature).  ``matcher`` is ``"optimal"`` (exact
+    matching, the Jiang et al. result) or ``"greedy"``.
+    """
+    n = len(traces)
+    if n != 2 * n_cores:
+        raise ValueError(
+            f"pairwise co-scheduling needs exactly 2 threads per core "
+            f"(got {n} threads for {n_cores} cores)"
+        )
+    if matcher not in ("optimal", "greedy"):
+        raise ValueError(f"matcher must be 'optimal' or 'greedy', got {matcher!r}")
+    interference = pairwise_interference(traces, ways)
+    match = optimal_pairing if matcher == "optimal" else greedy_pairing
+    pairs = match(interference)
+    cores = np.zeros(n, dtype=np.int64)
+    total = 0.0
+    for core, (i, j) in enumerate(pairs):
+        cores[i] = cores[j] = core
+        total += float(shared_lru_hits([traces[i], traces[j]], ways).sum())
+    return CoschedulePlan(
+        pairs=pairs,
+        cores=cores,
+        realized_hits=total,
+        measurements=n * (n - 1) // 2,
+    )

@@ -1,0 +1,74 @@
+"""From hit curves to concave utilities (and back to realized performance).
+
+Raw LRU hit curves are nondecreasing but not necessarily concave (scan
+workloads have step-shaped curves).  The AA model requires concavity, so
+planning uses the *least concave majorant* (upper concave envelope) of the
+hit curve; realized performance is always measured on the true curve.
+This is the standard trick in utility-based cache partitioning — the
+envelope never underestimates, and the gap is reported so users can see
+when the concavity assumption is doing real work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utility.batch import SharedGridPWLBatch
+
+
+def concave_envelope(ys: np.ndarray) -> np.ndarray:
+    """Least concave majorant of ``ys`` sampled on a uniform unit grid.
+
+    Returns envelope values on the same grid.  ``ys`` must be 1-D; the
+    result is pointwise >= ``ys``, concave, and equal at the hull's contact
+    points.  For nondecreasing ``ys`` the result is nondecreasing.
+    """
+    ys = np.asarray(ys, dtype=float)
+    if ys.ndim != 1 or ys.size == 0:
+        raise ValueError("ys must be a non-empty 1-D array")
+    n = ys.size
+    # Monotone-chain upper hull over points (i, ys[i]).
+    hull: list[int] = []
+    for i in range(n):
+        while len(hull) >= 2:
+            a, b = hull[-2], hull[-1]
+            # b lies on or under segment a->i: drop it.
+            if (ys[b] - ys[a]) * (i - b) <= (ys[i] - ys[b]) * (b - a):
+                hull.pop()
+            else:
+                break
+        hull.append(i)
+    return np.interp(np.arange(n), hull, ys[hull])
+
+
+def hit_curve_batch(hit_curves: np.ndarray, envelope: bool = True) -> SharedGridPWLBatch:
+    """Bundle per-thread hit curves into a vectorized utility batch.
+
+    Parameters
+    ----------
+    hit_curves:
+        ``(n_threads, ways + 1)`` array, row ``i`` giving thread ``i``'s
+        hits at 0..ways cache units.
+    envelope:
+        Replace each row by its concave envelope (required by the AA model;
+        pass False only if the curves are already concave).
+    """
+    curves = np.asarray(hit_curves, dtype=float)
+    if curves.ndim != 2 or curves.shape[1] < 2:
+        raise ValueError("hit_curves must be (n_threads, ways+1) with ways >= 1")
+    if envelope:
+        curves = np.vstack([concave_envelope(row) for row in curves])
+    xs = np.arange(curves.shape[1], dtype=float)
+    return SharedGridPWLBatch(xs, curves)
+
+
+def envelope_gap(hit_curves: np.ndarray) -> np.ndarray:
+    """Per-thread max gap between the concave envelope and the true curve.
+
+    Zero rows mean the concavity assumption is exact for that thread; large
+    gaps flag scan-like threads where planned utility may overestimate.
+    """
+    curves = np.asarray(hit_curves, dtype=float)
+    return np.array(
+        [float(np.max(concave_envelope(row) - row)) for row in curves]
+    )

@@ -1,0 +1,111 @@
+"""Synthetic memory-address trace generators.
+
+The paper's first motivating application (Section I) is shared-cache
+partitioning on a multicore: each thread's utility is its hit throughput
+as a function of cache share.  Real traces are proprietary, so we generate
+synthetic ones whose locality structure spans the behaviours that matter
+for miss-ratio curves (see DESIGN.md §5):
+
+* :func:`zipf_trace` — skewed popularity (hot/cold data), the common case;
+  concave-ish hit curves.
+* :func:`sequential_trace` — cyclic scans, LRU's worst case; hit curves are
+  a step at the working-set size.
+* :func:`working_set_trace` — phased locality: tight loops over changing
+  working sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def zipf_trace(
+    n_addresses: int, length: int, s: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Trace of ``length`` accesses over ``n_addresses`` lines, rank-Zipf popular.
+
+    Line ``r`` (0-based rank) is accessed with probability ∝ ``1/(r+1)^s``;
+    larger ``s`` concentrates accesses on fewer hot lines.
+    """
+    if n_addresses < 1 or length < 0:
+        raise ValueError("need n_addresses >= 1 and length >= 0")
+    if s < 0:
+        raise ValueError(f"zipf exponent must be nonnegative, got {s}")
+    rng = as_generator(seed)
+    weights = 1.0 / np.power(np.arange(1, n_addresses + 1, dtype=float), s)
+    probs = weights / weights.sum()
+    return rng.choice(n_addresses, size=length, p=probs).astype(np.int64)
+
+
+def sequential_trace(n_addresses: int, length: int) -> np.ndarray:
+    """Cyclic scan 0,1,…,n-1,0,1,… — zero hits in any LRU cache smaller than n."""
+    if n_addresses < 1 or length < 0:
+        raise ValueError("need n_addresses >= 1 and length >= 0")
+    return (np.arange(length, dtype=np.int64) % n_addresses)
+
+
+def markov_trace(
+    hot_size: int,
+    cold_size: int,
+    length: int,
+    p_hot: float = 0.9,
+    stickiness: float = 0.95,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Two-state Markov trace: bursts of hot-set reuse with cold excursions.
+
+    A hidden state alternates between HOT (uniform over ``hot_size`` lines)
+    and COLD (uniform over ``cold_size`` disjoint lines); ``stickiness`` is
+    the self-transition probability and ``p_hot`` the stationary weight of
+    the hot state.  Produces the bursty temporal locality that neither pure
+    Zipf nor phase traces capture.
+    """
+    if hot_size < 1 or cold_size < 1 or length < 0:
+        raise ValueError("need hot_size, cold_size >= 1 and length >= 0")
+    if not 0.0 < p_hot < 1.0 or not 0.0 <= stickiness < 1.0:
+        raise ValueError("need 0 < p_hot < 1 and 0 <= stickiness < 1")
+    rng = as_generator(seed)
+    # Two-state chain with stationary distribution (p_hot, 1 - p_hot):
+    # leave probabilities scale inversely with the stationary weights.
+    leave = 1.0 - stickiness
+    p_hot_to_cold = leave * (1.0 - p_hot) / max(p_hot, 1.0 - p_hot)
+    p_cold_to_hot = leave * p_hot / max(p_hot, 1.0 - p_hot)
+    out = np.empty(length, dtype=np.int64)
+    hot = True
+    for k in range(length):
+        if hot:
+            out[k] = rng.integers(0, hot_size)
+            if rng.uniform() < p_hot_to_cold:
+                hot = False
+        else:
+            out[k] = hot_size + rng.integers(0, cold_size)
+            if rng.uniform() < p_cold_to_hot:
+                hot = True
+    return out
+
+
+def working_set_trace(
+    set_sizes,
+    accesses_per_phase: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Phased trace: uniform accesses within a per-phase working set.
+
+    Phase ``k`` touches addresses ``offset_k .. offset_k + set_sizes[k]``
+    uniformly; offsets are disjoint so phases share no lines.  Hit curves
+    saturate near the mean working-set size.
+    """
+    set_sizes = [int(s) for s in set_sizes]
+    if any(s < 1 for s in set_sizes) or accesses_per_phase < 0:
+        raise ValueError("set sizes must be >= 1 and accesses_per_phase >= 0")
+    rng = as_generator(seed)
+    pieces = []
+    offset = 0
+    for size in set_sizes:
+        pieces.append(offset + rng.integers(0, size, size=accesses_per_phase))
+        offset += size
+    if not pieces:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(pieces).astype(np.int64)

@@ -1,0 +1,16 @@
+"""Cloud-provider substrate: VM requests, placement/sizing, revenue, churn."""
+
+from repro.simulate.cloud.market import CloudMarket, MarketOutcome, MarketRound
+from repro.simulate.cloud.provider import CloudProvider, ProvisioningPlan
+from repro.simulate.cloud.vm import TIERS, VMRequest, random_portfolio
+
+__all__ = [
+    "CloudMarket",
+    "CloudProvider",
+    "MarketOutcome",
+    "MarketRound",
+    "ProvisioningPlan",
+    "TIERS",
+    "VMRequest",
+    "random_portfolio",
+]

@@ -1,0 +1,77 @@
+"""Cloud VM requests with willingness-to-pay utilities.
+
+Paper Section I, third application: a provider sells VM instances
+(threads) on physical machines (servers); customers express willingness
+to pay for instances of different sizes with concave utility functions,
+and the provider assigns and *sizes* the VMs to maximize revenue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utility.base import UtilityFunction
+from repro.utility.functions import LogUtility, PowerUtility, SaturatingUtility
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class VMRequest:
+    """One customer request: a named workload with a payment curve.
+
+    ``utility.value(c)`` is the customer's payment for a VM sized at ``c``
+    resource units (e.g. GB of RAM); tier is informational.
+    """
+
+    name: str
+    tier: str
+    utility: UtilityFunction
+
+
+#: Workload tiers and their payment-curve families.  Coefficients are drawn
+#: per request; shapes reflect how the workload class values marginal
+#: resource (batch: steady power-law gains; web: sharply saturating;
+#: analytics: logarithmic long tail).
+TIERS = ("batch", "web", "analytics")
+
+
+def random_portfolio(
+    n_requests: int,
+    capacity: float,
+    seed: SeedLike = None,
+    tier_weights=(0.4, 0.35, 0.25),
+) -> list[VMRequest]:
+    """Draw a random mix of customer requests for one planning round."""
+    if n_requests < 0:
+        raise ValueError("n_requests must be nonnegative")
+    if len(tier_weights) != len(TIERS):
+        raise ValueError(f"tier_weights must have {len(TIERS)} entries")
+    weights = np.asarray(tier_weights, dtype=float)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("tier_weights must be nonnegative and not all zero")
+    rng = as_generator(seed)
+    probs = weights / weights.sum()
+    requests: list[VMRequest] = []
+    for k in range(n_requests):
+        tier = TIERS[int(rng.choice(len(TIERS), p=probs))]
+        price = float(rng.lognormal(mean=0.0, sigma=0.6))
+        if tier == "batch":
+            utility = PowerUtility(
+                coeff=price, beta=float(rng.uniform(0.4, 0.9)), cap=capacity
+            )
+        elif tier == "web":
+            utility = SaturatingUtility(
+                vmax=price * 4.0,
+                k=float(rng.uniform(0.05, 0.3)) * capacity,
+                cap=capacity,
+            )
+        else:  # analytics
+            utility = LogUtility(
+                coeff=price * 2.0,
+                scale=float(rng.uniform(0.1, 0.5)) * capacity,
+                cap=capacity,
+            )
+        requests.append(VMRequest(name=f"req-{k:03d}", tier=tier, utility=utility))
+    return requests

@@ -1,0 +1,31 @@
+"""Hosting-center substrate: M/M/1/K services, placement, measurement."""
+
+from repro.simulate.hosting.autoscale import (
+    AutoscaleOutcome,
+    EpochRecord,
+    autoscale_run,
+)
+from repro.simulate.hosting.center import (
+    HostingCenter,
+    HostingPlan,
+    WebService,
+    random_services,
+)
+from repro.simulate.hosting.queueing import (
+    mm1k_blocking_probability,
+    mm1k_goodput,
+    simulate_mm1k,
+)
+
+__all__ = [
+    "AutoscaleOutcome",
+    "EpochRecord",
+    "autoscale_run",
+    "HostingCenter",
+    "HostingPlan",
+    "WebService",
+    "mm1k_blocking_probability",
+    "mm1k_goodput",
+    "random_services",
+    "simulate_mm1k",
+]

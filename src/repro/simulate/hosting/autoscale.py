@@ -1,0 +1,120 @@
+"""Autoscale loop: hosting plans under drifting demand.
+
+Service arrival rates drift over time (multiplicative lognormal shocks),
+so a plan that was optimal at epoch 0 slowly rots.  This loop measures the
+value of periodic re-planning: each epoch it evaluates the *current* plan
+against the drifted demand (closed-form goodput), re-plans every
+``replan_every`` epochs, and tracks regret against an oracle that re-plans
+every epoch.  The paper's conclusion gestures at exactly this dynamic
+("utility functions of threads may change over time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.simulate.hosting.center import HostingCenter, HostingPlan, WebService
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch's outcome under the periodic-replan policy."""
+
+    epoch: int
+    achieved_value: float
+    oracle_value: float
+    replanned: bool
+
+    @property
+    def regret(self) -> float:
+        return self.oracle_value - self.achieved_value
+
+
+@dataclass(frozen=True)
+class AutoscaleOutcome:
+    """Full run summary."""
+
+    records: list[EpochRecord]
+    total_achieved: float
+    total_oracle: float
+
+    @property
+    def total_regret(self) -> float:
+        return self.total_oracle - self.total_achieved
+
+    @property
+    def efficiency(self) -> float:
+        if self.total_oracle == 0:
+            return 1.0
+        return self.total_achieved / self.total_oracle
+
+
+def _plan_value(plan: HostingPlan, services: list[WebService]) -> float:
+    """Closed-form value of a (possibly stale) plan against current demand."""
+    total = 0.0
+    for svc, grant in zip(services, plan.grants):
+        total += svc.value_per_request * svc.goodput(float(grant))
+    return total
+
+
+def autoscale_run(
+    center: HostingCenter,
+    services: list[WebService],
+    epochs: int = 20,
+    replan_every: int = 5,
+    drift: float = 0.15,
+    seed: SeedLike = None,
+) -> AutoscaleOutcome:
+    """Simulate ``epochs`` of demand drift under periodic re-planning.
+
+    Parameters
+    ----------
+    center, services:
+        The hosting fleet and its initial service mix.
+    replan_every:
+        Re-plan cadence (1 = oracle behaviour, large = plan once).
+    drift:
+        Per-epoch lognormal sigma of each service's arrival rate.
+    """
+    if epochs < 0:
+        raise ValueError("epochs must be nonnegative")
+    if replan_every < 1:
+        raise ValueError("replan_every must be >= 1")
+    if drift < 0:
+        raise ValueError("drift must be nonnegative")
+    rng = as_generator(seed)
+    current = list(services)
+    plan = center.plan(current)
+    records: list[EpochRecord] = []
+    total_achieved = total_oracle = 0.0
+
+    for t in range(epochs):
+        # Demand shock.
+        shocks = np.exp(rng.normal(0.0, drift, size=len(current)))
+        current = [
+            replace(svc, arrival_rate=float(svc.arrival_rate * shock))
+            for svc, shock in zip(current, shocks)
+        ]
+        replanned = t % replan_every == 0 and t > 0
+        if replanned:
+            plan = center.plan(current)
+        achieved = _plan_value(plan, current)
+        oracle = _plan_value(center.plan(current), current)
+        total_achieved += achieved
+        total_oracle += oracle
+        records.append(
+            EpochRecord(
+                epoch=t,
+                achieved_value=achieved,
+                oracle_value=oracle,
+                replanned=replanned,
+            )
+        )
+    return AutoscaleOutcome(
+        records=records,
+        total_achieved=total_achieved,
+        total_oracle=total_oracle,
+    )

@@ -1,0 +1,57 @@
+"""Concave utility functions: scalar closed forms, batches, and calibration."""
+
+from repro.utility.base import UtilityFunction
+from repro.utility.batch import (
+    GenericBatch,
+    PowerBatch,
+    QuadSplineBatch,
+    SharedGridPWLBatch,
+    UtilityBatch,
+    as_batch,
+)
+from repro.utility.calibration import OnlineUtilityEstimator, fit_concave_utility
+from repro.utility.functions import (
+    CappedLinearUtility,
+    ExponentialUtility,
+    LinearUtility,
+    LogUtility,
+    PiecewiseLinearUtility,
+    PowerUtility,
+    SaturatingUtility,
+    ZeroUtility,
+)
+from repro.utility.quadspline import ConcaveQuadSpline, PchipUtility
+from repro.utility.transforms import (
+    Scaled,
+    Shifted,
+    SumUtility,
+    Truncated,
+    XStretched,
+)
+
+__all__ = [
+    "CappedLinearUtility",
+    "ConcaveQuadSpline",
+    "ExponentialUtility",
+    "GenericBatch",
+    "LinearUtility",
+    "LogUtility",
+    "OnlineUtilityEstimator",
+    "PchipUtility",
+    "PiecewiseLinearUtility",
+    "PowerBatch",
+    "PowerUtility",
+    "QuadSplineBatch",
+    "SaturatingUtility",
+    "Scaled",
+    "SharedGridPWLBatch",
+    "Shifted",
+    "SumUtility",
+    "Truncated",
+    "XStretched",
+    "UtilityBatch",
+    "UtilityFunction",
+    "ZeroUtility",
+    "as_batch",
+    "fit_concave_utility",
+]

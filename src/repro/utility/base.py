@@ -1,0 +1,113 @@
+"""Scalar utility-function interface.
+
+The paper models each thread by a nonnegative, nondecreasing, concave
+function ``f : [0, C] → R≥0`` mapping allocated resource to throughput.
+Every algorithm in the library consumes utilities through three operations:
+
+* ``value(x)``      — f(x)
+* ``derivative(x)`` — a nonincreasing (super)gradient of f
+* ``inverse_derivative(lam)`` — the largest ``x`` in ``[0, cap]`` with
+  ``derivative(x) >= lam`` (the demand at marginal price ``lam``; this is
+  the primitive that makes water-filling a pure bisection).
+
+Subclasses override the analytic pieces they have closed forms for; the
+base class supplies numerically robust fallbacks that only assume concavity.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_capacity
+
+#: Default derivative step for numeric differentiation, relative to the cap.
+_NUMERIC_EPS = 1e-7
+
+
+class UtilityFunction(abc.ABC):
+    """A nonnegative, nondecreasing, concave utility on ``[0, cap]``."""
+
+    def __init__(self, cap: float):
+        self.cap = check_capacity("cap", cap)
+
+    # -- required ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def value(self, x):
+        """Utility at allocation ``x`` (scalar or ndarray, clipped to domain)."""
+
+    # -- overridable numerics --------------------------------------------------
+
+    def derivative(self, x):
+        """Nonincreasing supergradient of the utility at ``x``.
+
+        The default is a symmetric difference shrunk to a one-sided
+        difference at the domain boundary.  Exact subclasses override this.
+        """
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        h = max(self.cap, 1.0) * _NUMERIC_EPS
+        lo = np.clip(x - h, 0.0, self.cap)
+        hi = np.clip(x + h, 0.0, self.cap)
+        width = hi - lo
+        # A zero-cap function has a single-point domain with zero slope.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d = np.where(width > 0, (self.value(hi) - self.value(lo)) / np.where(width > 0, width, 1.0), 0.0)
+        return d if d.ndim else float(d)
+
+    def inverse_derivative(self, lam: float) -> float:
+        """Largest ``x`` in ``[0, cap]`` with ``derivative(x) >= lam``.
+
+        Returns 0 when even ``derivative(0) < lam``.  The default bisects,
+        relying only on the derivative being nonincreasing.
+        """
+        lam = float(lam)
+        if lam <= 0.0:
+            # Nondecreasing utility: every point has derivative >= 0.
+            return self.cap
+        if self.cap == 0.0:
+            return 0.0
+        if self.derivative(self.cap) >= lam:
+            return self.cap
+        if self.derivative(0.0) < lam:
+            return 0.0
+        lo, hi = 0.0, self.cap  # invariant: deriv(lo) >= lam > deriv(hi)
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.derivative(mid) >= lam:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def validate(self, n_points: int = 257, rtol: float = 1e-6) -> None:
+        """Raise ``ValueError`` if sampled values violate the model assumptions.
+
+        Checks nonnegativity, monotonicity and midpoint concavity on a uniform
+        grid.  Cheap smoke check for user-supplied utilities; not a proof.
+        """
+        if self.cap == 0.0:
+            if self.value(0.0) < 0:
+                raise ValueError("utility must be nonnegative")
+            return
+        xs = np.linspace(0.0, self.cap, n_points)
+        ys = np.asarray(self.value(xs), dtype=float)
+        tol = rtol * (abs(ys[-1]) + 1.0)
+        if np.any(ys < -tol):
+            raise ValueError("utility must be nonnegative on [0, cap]")
+        if np.any(np.diff(ys) < -tol):
+            raise ValueError("utility must be nondecreasing on [0, cap]")
+        mid = 0.5 * (ys[:-2] + ys[2:])
+        if np.any(ys[1:-1] < mid - tol):
+            raise ValueError("utility must be concave on [0, cap]")
+
+    # -- conveniences ------------------------------------------------------------
+
+    def __call__(self, x):
+        return self.value(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(cap={self.cap!r})"

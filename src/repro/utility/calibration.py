@@ -1,0 +1,126 @@
+"""Fit concave nondecreasing utilities from (noisy) throughput measurements.
+
+The paper's future-work section asks for "online performance measurements
+… to produce dynamically optimal assignments".  This module provides the
+estimation half: least-squares regression of a concave, nondecreasing,
+piecewise-linear utility onto observed ``(allocation, throughput)`` samples.
+
+The fit is an exact nonnegative least squares problem.  Write the utility as
+
+    f(x) = b + sum_l u_l * min(x, g_l),      b >= 0, u_l >= 0,
+
+over grid knots ``g_1 < … < g_K``: every nonnegative combination of the
+"hinge" basis ``min(x, g_l)`` is concave and nondecreasing, and every
+concave nondecreasing piecewise-linear function with those knots is such a
+combination (``u_l`` is the slope *drop* after knot ``l``).  Fitting is then
+a single call to :func:`scipy.optimize.nnls` — no iterative projections, no
+tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.utility.functions import PiecewiseLinearUtility
+
+
+def _hinge_design(x: np.ndarray, grid: np.ndarray, fit_intercept: bool) -> np.ndarray:
+    cols = [np.minimum.outer(x, grid)[:, j] for j in range(grid.size)]
+    if fit_intercept:
+        cols.insert(0, np.ones_like(x))
+    return np.column_stack(cols)
+
+
+def fit_concave_utility(
+    x,
+    y,
+    cap: float,
+    n_knots: int = 16,
+    grid=None,
+    fit_intercept: bool = False,
+) -> PiecewiseLinearUtility:
+    """Least-squares concave nondecreasing fit of samples ``(x, y)`` on ``[0, cap]``.
+
+    Parameters
+    ----------
+    x, y:
+        Sample allocations and measured utilities (1-D, equal length).
+    cap:
+        Domain upper bound of the fitted utility.
+    n_knots:
+        Number of uniform grid knots when ``grid`` is not given.
+    grid:
+        Explicit strictly-increasing knot positions in ``(0, cap]``.
+    fit_intercept:
+        When True, allow ``f(0) = b >= 0`` instead of anchoring ``f(0) = 0``.
+
+    Returns
+    -------
+    PiecewiseLinearUtility
+        The best-fit utility; guaranteed concave and nondecreasing by
+        construction regardless of measurement noise.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape or x.size == 0:
+        raise ValueError("x and y must be equal-length non-empty 1-D arrays")
+    if np.any(x < 0) or np.any(x > cap):
+        raise ValueError("samples must lie inside [0, cap]")
+    if grid is None:
+        grid = np.linspace(cap / n_knots, cap, n_knots)
+    else:
+        grid = np.asarray(grid, dtype=float)
+        if grid.ndim != 1 or grid.size == 0 or np.any(np.diff(grid) <= 0):
+            raise ValueError("grid must be strictly increasing")
+        if grid[0] <= 0 or grid[-1] > cap:
+            raise ValueError("grid knots must lie in (0, cap]")
+    design = _hinge_design(x, grid, fit_intercept)
+    coef, _ = nnls(design, y)
+    if fit_intercept:
+        b, u = coef[0], coef[1:]
+    else:
+        b, u = 0.0, coef
+    knots = np.concatenate(([0.0], grid))
+    # f(g_k) = b + sum_l u_l * min(g_k, g_l)
+    values = b + np.minimum.outer(knots, grid) @ u
+    return PiecewiseLinearUtility(knots, values, cap=cap)
+
+
+class OnlineUtilityEstimator:
+    """Incrementally refitted concave utility from streaming measurements.
+
+    Feed ``observe(allocation, throughput)`` as samples arrive; ``estimate()``
+    returns the current best concave fit (or None before any data).  Backs
+    the :mod:`repro.extensions.online` re-optimization loop.
+    """
+
+    def __init__(self, cap: float, n_knots: int = 16, window: int | None = None):
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        self.cap = float(cap)
+        self.n_knots = int(n_knots)
+        self.window = window
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+
+    def observe(self, allocation: float, throughput: float) -> None:
+        """Record one measurement; old samples roll off past ``window``."""
+        if not 0 <= allocation <= self.cap:
+            raise ValueError(f"allocation {allocation!r} outside [0, {self.cap}]")
+        self._xs.append(float(allocation))
+        self._ys.append(float(throughput))
+        if self.window is not None and len(self._xs) > self.window:
+            del self._xs[0], self._ys[0]
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._xs)
+
+    def estimate(self) -> PiecewiseLinearUtility | None:
+        """Current concave fit, or None when no samples have been observed."""
+        if not self._xs:
+            return None
+        return fit_concave_utility(
+            self._xs, self._ys, cap=self.cap, n_knots=self.n_knots
+        )

@@ -1,0 +1,264 @@
+"""Closed-form concave utility families.
+
+Each class implements exact ``value`` / ``derivative`` / ``inverse_derivative``
+so that water-filling and the linearization run at full numpy speed without
+numeric differentiation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utility.base import UtilityFunction
+from repro.utils.validation import check_capacity, check_positive
+
+
+class ZeroUtility(UtilityFunction):
+    """The identically-zero utility; useful as a neutral element in tests."""
+
+    def value(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        return out if out.ndim else 0.0
+
+    def derivative(self, x):
+        return self.value(x)
+
+    def inverse_derivative(self, lam: float) -> float:
+        return self.cap if lam <= 0 else 0.0
+
+
+class LinearUtility(UtilityFunction):
+    """``f(x) = slope * x`` — the paper's thread-3 gadget in Theorem V.17."""
+
+    def __init__(self, slope: float, cap: float):
+        super().__init__(cap)
+        self.slope = check_capacity("slope", slope)
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = self.slope * x
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.full_like(x, self.slope)
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        return self.cap if self.slope >= lam else 0.0
+
+
+class CappedLinearUtility(UtilityFunction):
+    """``f(x) = slope * min(x, breakpoint)``.
+
+    This is the gadget of the NP-hardness reduction (Theorem IV.1): utility
+    grows linearly up to a demand ``breakpoint`` and is flat afterwards.
+    """
+
+    def __init__(self, slope: float, breakpoint: float, cap: float):
+        super().__init__(cap)
+        self.slope = check_positive("slope", slope)
+        self.breakpoint = check_capacity("breakpoint", breakpoint)
+        if self.breakpoint > self.cap:
+            raise ValueError(
+                f"breakpoint {breakpoint!r} exceeds the domain cap {cap!r}"
+            )
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = self.slope * np.minimum(x, self.breakpoint)
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x < self.breakpoint, self.slope, 0.0)
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        if lam <= 0:
+            return self.cap
+        return self.breakpoint if self.slope >= lam else 0.0
+
+
+class PowerUtility(UtilityFunction):
+    """``f(x) = coeff * x**beta`` with ``beta in (0, 1]``.
+
+    The intro's motivating example: under a fixed-request policy total
+    utility is constant in ``n`` while the optimal split earns
+    ``C**beta * n**(1-beta)``.
+    """
+
+    def __init__(self, coeff: float, beta: float, cap: float):
+        super().__init__(cap)
+        self.coeff = check_positive("coeff", coeff)
+        beta = float(beta)
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must lie in (0, 1], got {beta!r}")
+        self.beta = beta
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = self.coeff * np.power(x, self.beta)
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        if self.beta == 1.0:
+            out = np.full_like(x, self.coeff)
+        else:
+            with np.errstate(divide="ignore"):
+                out = self.coeff * self.beta * np.power(x, self.beta - 1.0)
+            out = np.where(x == 0.0, np.inf, out)
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        if lam <= 0:
+            return self.cap
+        if self.beta == 1.0:
+            return self.cap if self.coeff >= lam else 0.0
+        # Solve coeff * beta * x**(beta-1) = lam for x, in log space: the
+        # exponent 1/(1-beta) blows up as beta -> 1 and overflows otherwise.
+        log_x = np.log(self.coeff * self.beta / lam) / (1.0 - self.beta)
+        if self.cap == 0.0 or log_x >= np.log(self.cap):
+            return self.cap
+        return float(np.exp(log_x))
+
+
+class LogUtility(UtilityFunction):
+    """``f(x) = coeff * log(1 + x / scale)`` — a classic diminishing-returns model."""
+
+    def __init__(self, coeff: float, scale: float, cap: float):
+        super().__init__(cap)
+        self.coeff = check_positive("coeff", coeff)
+        self.scale = check_positive("scale", scale)
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = self.coeff * np.log1p(x / self.scale)
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = self.coeff / (self.scale + x)
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        if lam <= 0:
+            return self.cap
+        x = self.coeff / lam - self.scale
+        return float(np.clip(x, 0.0, self.cap))
+
+
+class SaturatingUtility(UtilityFunction):
+    """``f(x) = vmax * x / (x + k)`` — M/M/1-flavoured throughput saturation.
+
+    Used by the hosting-center substrate: goodput rises steeply with small
+    capacity grants and saturates at ``vmax``.
+    """
+
+    def __init__(self, vmax: float, k: float, cap: float):
+        super().__init__(cap)
+        self.vmax = check_positive("vmax", vmax)
+        self.k = check_positive("k", k)
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = self.vmax * x / (x + self.k)
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = self.vmax * self.k / (x + self.k) ** 2
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        if lam <= 0:
+            return self.cap
+        x = np.sqrt(self.vmax * self.k / lam) - self.k
+        return float(np.clip(x, 0.0, self.cap))
+
+
+class ExponentialUtility(UtilityFunction):
+    """``f(x) = vmax * (1 - exp(-x / k))`` — exponential saturation.
+
+    The limiting shape of many batching/pipelining throughput curves:
+    near-linear at small grants, asymptoting to ``vmax``.
+    """
+
+    def __init__(self, vmax: float, k: float, cap: float):
+        super().__init__(cap)
+        self.vmax = check_positive("vmax", vmax)
+        self.k = check_positive("k", k)
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = self.vmax * (-np.expm1(-x / self.k))
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = (self.vmax / self.k) * np.exp(-x / self.k)
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        if lam <= 0:
+            return self.cap
+        peak = self.vmax / self.k
+        if lam >= peak:
+            return 0.0
+        return min(self.k * np.log(peak / lam), self.cap)
+
+
+class PiecewiseLinearUtility(UtilityFunction):
+    """Concave piecewise-linear utility through knots ``(xs, ys)``.
+
+    ``xs`` must start at 0 and strictly increase; segment slopes must be
+    nonnegative and nonincreasing (concavity).  The function is constant at
+    ``ys[-1]`` between ``xs[-1]`` and ``cap``.
+    """
+
+    def __init__(self, xs, ys, cap: float | None = None):
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.ndim != 1 or xs.shape != ys.shape or xs.size < 1:
+            raise ValueError("xs and ys must be equal-length 1-D arrays")
+        if xs[0] != 0.0:
+            raise ValueError("the first knot must be at x = 0")
+        if np.any(np.diff(xs) <= 0):
+            raise ValueError("knot positions must strictly increase")
+        if ys[0] < 0:
+            raise ValueError("utility must be nonnegative")
+        slopes = np.diff(ys) / np.diff(xs) if xs.size > 1 else np.zeros(0)
+        if np.any(slopes < -1e-12):
+            raise ValueError("utility must be nondecreasing")
+        if np.any(np.diff(slopes) > 1e-9 * (1.0 + np.abs(slopes[:-1]))):
+            raise ValueError("segment slopes must be nonincreasing (concavity)")
+        super().__init__(cap if cap is not None else float(xs[-1]))
+        if self.cap < xs[-1]:
+            raise ValueError("cap must be at least the last knot position")
+        self.xs = xs
+        self.ys = ys
+        self.slopes = np.maximum(slopes, 0.0)
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = np.interp(x, self.xs, self.ys)
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        # Right-derivative: index of the segment that starts at or before x.
+        idx = np.searchsorted(self.xs, x, side="right") - 1
+        padded = np.append(self.slopes, 0.0)  # flat past the last knot
+        out = padded[np.clip(idx, 0, padded.size - 1)]
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        if lam <= 0:
+            return self.cap
+        if self.slopes.size == 0 or self.slopes[0] < lam:
+            return 0.0
+        # Slopes are nonincreasing: find the last segment with slope >= lam.
+        keep = np.nonzero(self.slopes >= lam)[0]
+        return float(self.xs[keep[-1] + 1])

@@ -1,0 +1,140 @@
+"""Utility transforms: build new concave utilities from existing ones.
+
+All transforms preserve the model invariants (nonnegative, nondecreasing,
+concave) by construction and forward exact derivatives/inverse
+derivatives, so transformed utilities stay first-class citizens of the
+fast allocation paths.
+
+* :class:`Scaled` — ``g(x) = weight · f(x)`` (priorities).
+* :class:`XStretched` — ``g(x) = f(x / s)`` (unit changes, dominant-share
+  reductions).
+* :class:`Truncated` — ``f`` restricted to a smaller domain.
+* :class:`Shifted` — ``g(x) = f(x) + c0`` for a nonnegative constant
+  (modeling a baseline throughput earned at zero allocation).
+* :class:`SumUtility` — ``g(x) = Σ f_k(x)`` (aggregating co-located
+  sub-components that share one grant).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utility.base import UtilityFunction
+
+
+class Scaled(UtilityFunction):
+    """``g(x) = weight * f(x)`` with ``weight > 0``."""
+
+    def __init__(self, inner: UtilityFunction, weight: float):
+        if weight <= 0 or not np.isfinite(weight):
+            raise ValueError(f"weight must be positive and finite, got {weight!r}")
+        super().__init__(inner.cap)
+        self.inner = inner
+        self.weight = float(weight)
+
+    def value(self, x):
+        out = np.asarray(self.inner.value(x), dtype=float) * self.weight
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        out = np.asarray(self.inner.derivative(x), dtype=float) * self.weight
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        return self.inner.inverse_derivative(lam / self.weight)
+
+
+class XStretched(UtilityFunction):
+    """``g(x) = f(x / s)`` on ``[0, s * f.cap]`` with ``s > 0``."""
+
+    def __init__(self, inner: UtilityFunction, s: float):
+        if s <= 0 or not np.isfinite(s):
+            raise ValueError(f"stretch factor must be positive and finite, got {s!r}")
+        super().__init__(inner.cap * s)
+        self.inner = inner
+        self.s = float(s)
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = np.asarray(self.inner.value(x / self.s), dtype=float)
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = np.asarray(self.inner.derivative(x / self.s), dtype=float) / self.s
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        return min(self.inner.inverse_derivative(lam * self.s) * self.s, self.cap)
+
+
+class Truncated(UtilityFunction):
+    """``f`` restricted to ``[0, new_cap]`` with ``new_cap <= f.cap``."""
+
+    def __init__(self, inner: UtilityFunction, new_cap: float):
+        if new_cap < 0:
+            raise ValueError("new_cap must be nonnegative")
+        super().__init__(min(float(new_cap), inner.cap))
+        self.inner = inner
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = np.asarray(self.inner.value(x), dtype=float)
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = np.asarray(self.inner.derivative(x), dtype=float)
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        return min(self.inner.inverse_derivative(lam), self.cap)
+
+
+class Shifted(UtilityFunction):
+    """``g(x) = f(x) + c0`` with ``c0 >= 0`` (baseline value at zero)."""
+
+    def __init__(self, inner: UtilityFunction, c0: float):
+        if c0 < 0 or not np.isfinite(c0):
+            raise ValueError(f"shift must be nonnegative and finite, got {c0!r}")
+        super().__init__(inner.cap)
+        self.inner = inner
+        self.c0 = float(c0)
+
+    def value(self, x):
+        out = np.asarray(self.inner.value(x), dtype=float) + self.c0
+        return out if out.ndim else float(out)
+
+    def derivative(self, x):
+        out = np.asarray(self.inner.derivative(x), dtype=float)
+        return out if out.ndim else float(out)
+
+    def inverse_derivative(self, lam: float) -> float:
+        return self.inner.inverse_derivative(lam)
+
+
+class SumUtility(UtilityFunction):
+    """``g(x) = sum_k f_k(x)`` — components sharing a single grant.
+
+    All components must share one domain cap (sum of concave = concave).
+    """
+
+    def __init__(self, parts: Sequence[UtilityFunction]):
+        parts = list(parts)
+        if not parts:
+            raise ValueError("need at least one component")
+        caps = {float(p.cap) for p in parts}
+        if len(caps) != 1:
+            raise ValueError(f"components must share one cap, got {sorted(caps)}")
+        super().__init__(parts[0].cap)
+        self.parts = parts
+
+    def value(self, x):
+        out = sum(np.asarray(p.value(x), dtype=float) for p in self.parts)
+        return out if np.ndim(out) else float(out)
+
+    def derivative(self, x):
+        out = sum(np.asarray(p.derivative(x), dtype=float) for p in self.parts)
+        return out if np.ndim(out) else float(out)

@@ -1,0 +1,22 @@
+"""Shared low-level utilities: seeded RNG, indexed heaps, validation, timing."""
+
+from repro.utils.heaps import IndexedMaxHeap
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_capacity,
+    check_nonnegative_array,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "IndexedMaxHeap",
+    "Timer",
+    "as_generator",
+    "check_capacity",
+    "check_nonnegative_array",
+    "check_positive",
+    "check_probability",
+    "spawn_generators",
+]

@@ -1,0 +1,114 @@
+"""Indexed max-heap keyed by float priority.
+
+Algorithm 2 repeatedly extracts the server with the most remaining resource
+and then decreases that server's key.  ``heapq`` alone cannot decrease keys
+in place, so we maintain an explicit binary heap with a position map.  All
+operations are O(log m); the heap stores (priority, item) pairs and breaks
+priority ties by item id so behaviour is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class IndexedMaxHeap:
+    """Binary max-heap over integer items ``0..k-1`` with updatable priorities.
+
+    Ties in priority are broken toward the *smallest* item id, which makes
+    algorithms built on top of the heap deterministic.
+    """
+
+    def __init__(self, priorities: Iterable[float]):
+        entries = [(float(p), i) for i, p in enumerate(priorities)]
+        self._heap: list[tuple[float, int]] = entries[:]
+        self._pos: dict[int, int] = {}
+        # Build heap in O(k) then record positions.
+        self._heapify()
+
+    # -- internal machinery -------------------------------------------------
+
+    @staticmethod
+    def _beats(a: tuple[float, int], b: tuple[float, int]) -> bool:
+        """True when entry ``a`` should sit above entry ``b``."""
+        return a[0] > b[0] or (a[0] == b[0] and a[1] < b[1])
+
+    def _heapify(self) -> None:
+        n = len(self._heap)
+        for i in range(n):
+            self._pos[self._heap[i][1]] = i
+        for i in range(n // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    def _swap(self, i: int, j: int) -> None:
+        h = self._heap
+        h[i], h[j] = h[j], h[i]
+        self._pos[h[i][1]] = i
+        self._pos[h[j][1]] = j
+
+    def _sift_up(self, i: int) -> None:
+        h = self._heap
+        while i > 0:
+            parent = (i - 1) // 2
+            if self._beats(h[i], h[parent]):
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        h = self._heap
+        n = len(h)
+        while True:
+            left, right = 2 * i + 1, 2 * i + 2
+            best = i
+            if left < n and self._beats(h[left], h[best]):
+                best = left
+            if right < n and self._beats(h[right], h[best]):
+                best = right
+            if best == i:
+                return
+            self._swap(i, best)
+            i = best
+
+    # -- public API ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._pos
+
+    def peek(self) -> tuple[int, float]:
+        """Return ``(item, priority)`` of the max entry without removing it."""
+        if not self._heap:
+            raise IndexError("peek from an empty heap")
+        priority, item = self._heap[0]
+        return item, priority
+
+    def priority(self, item: int) -> float:
+        """Current priority of ``item``."""
+        return self._heap[self._pos[item]][0]
+
+    def update(self, item: int, priority: float) -> None:
+        """Set ``item``'s priority, restoring the heap invariant."""
+        i = self._pos[item]
+        old = self._heap[i][0]
+        self._heap[i] = (float(priority), item)
+        if priority > old:
+            self._sift_up(i)
+        else:
+            self._sift_down(i)
+
+    def pop(self) -> tuple[int, float]:
+        """Remove and return the max ``(item, priority)`` entry."""
+        if not self._heap:
+            raise IndexError("pop from an empty heap")
+        priority, item = self._heap[0]
+        last = self._heap.pop()
+        del self._pos[item]
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last[1]] = 0
+            self._sift_down(0)
+        return item, priority

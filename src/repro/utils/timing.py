@@ -1,0 +1,28 @@
+"""Minimal wall-clock timer used by the experiment harness and benches."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager recording elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     sum(range(10))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None

@@ -1,0 +1,41 @@
+"""Argument-validation helpers shared across the library.
+
+All checks raise ``ValueError`` with the offending name and value so error
+messages stay actionable at the public API boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` and return it as ``float``."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_capacity(name: str, value: float) -> float:
+    """Require a nonnegative finite capacity and return it as ``float``."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a nonnegative finite number, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``value`` in [0, 1] and return it as ``float``."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_nonnegative_array(name: str, arr: np.ndarray) -> np.ndarray:
+    """Require a finite, elementwise-nonnegative float array."""
+    arr = np.asarray(arr, dtype=float)
+    if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr < 0)):
+        raise ValueError(f"{name} must be finite and nonnegative")
+    return arr

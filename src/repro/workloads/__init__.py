@@ -1,0 +1,30 @@
+"""Random utility workload generators (paper Section VII)."""
+
+from repro.workloads.suites import chip_phase_flip_suite, chip_trace_suite
+from repro.workloads.generators import (
+    DISTRIBUTIONS,
+    Distribution,
+    FoldedNormalDistribution,
+    PowerLawDistribution,
+    TwoPointDistribution,
+    UniformDistribution,
+    draw_anchors,
+    make_distribution,
+    make_problem,
+    paper_utilities,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "Distribution",
+    "FoldedNormalDistribution",
+    "PowerLawDistribution",
+    "TwoPointDistribution",
+    "UniformDistribution",
+    "chip_phase_flip_suite",
+    "chip_trace_suite",
+    "draw_anchors",
+    "make_distribution",
+    "make_problem",
+    "paper_utilities",
+]

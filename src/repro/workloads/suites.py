@@ -1,0 +1,64 @@
+"""Canonical scenario suites shared by examples, benches and docs.
+
+One place for the "realistic mixes" the application substrates use, so
+examples and regression tests exercise identical scenarios and a change in
+a suite is visible everywhere at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulate.cache.trace import (
+    markov_trace,
+    sequential_trace,
+    working_set_trace,
+    zipf_trace,
+)
+from repro.utils.rng import SeedLike, as_generator
+
+
+def chip_trace_suite(
+    n_friendly: int = 5,
+    trace_len: int = 3000,
+    seed: SeedLike = 7,
+) -> list[np.ndarray]:
+    """The standard multicore mix: skewed-reuse threads, one streaming
+    scan, a phased working set, and a bursty Markov thread.
+
+    Disjoint address ranges per thread keep interference purely capacity-
+    based in shared-cache replays.
+    """
+    rng = as_generator(seed)
+    traces: list[np.ndarray] = []
+    base = 0
+    for _ in range(max(n_friendly, 0)):
+        s = float(rng.uniform(0.6, 1.6))
+        traces.append(zipf_trace(60, trace_len, s=s, seed=rng) + base)
+        base += 1000
+    traces.append(sequential_trace(12, trace_len) + base)
+    base += 1000
+    traces.append(working_set_trace([5, 9], trace_len // 2, seed=rng) + base)
+    base += 1000
+    traces.append(markov_trace(6, 30, trace_len, p_hot=0.85, seed=rng) + base)
+    return traces
+
+
+def chip_phase_flip_suite(
+    half_len: int = 1500, seed: SeedLike = 3
+) -> list[np.ndarray]:
+    """Phase-shifting mix: two threads swap friendly/scanning behaviour at
+    the midpoint, plus two stable threads — the repartitioning stressor."""
+    rng = as_generator(seed)
+    return [
+        np.concatenate(
+            [zipf_trace(10, half_len, s=1.5, seed=rng),
+             sequential_trace(40, half_len) + 1000]
+        ),
+        np.concatenate(
+            [sequential_trace(40, half_len) + 2000,
+             zipf_trace(10, half_len, s=1.5, seed=rng) + 3000]
+        ),
+        zipf_trace(25, 2 * half_len, s=1.1, seed=rng) + 4000,
+        working_set_trace([6, 6], half_len, seed=rng) + 5000,
+    ]

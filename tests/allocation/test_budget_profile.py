@@ -1,0 +1,42 @@
+"""Value-of-budget profile: monotone, concave, correct endpoints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.allocation.waterfill import budget_profile, water_fill
+from repro.utility.functions import LinearUtility, LogUtility
+
+from tests.conftest import utility_lists
+
+CAP = 10.0
+
+
+def test_profile_matches_pointwise_waterfill():
+    fns = [LogUtility(c, 1.0, CAP) for c in (1.0, 2.0)]
+    budgets = [0.0, 3.0, 7.0]
+    prof = budget_profile(fns, budgets)
+    for b, v in zip(budgets, prof):
+        assert v == pytest.approx(water_fill(fns, b).total_utility)
+
+
+def test_profile_zero_budget_zero_value():
+    prof = budget_profile([LogUtility(1.0, 1.0, CAP)], [0.0])
+    assert prof[0] == pytest.approx(0.0)
+
+
+def test_profile_saturates_at_cap_sum():
+    fns = [LinearUtility(2.0, 3.0), LinearUtility(1.0, 4.0)]
+    prof = budget_profile(fns, [7.0, 100.0])
+    assert prof[0] == pytest.approx(prof[1]) == pytest.approx(10.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(utility_lists(1, 5))
+def test_profile_monotone_and_concave(fns):
+    budgets = np.linspace(0.0, 30.0, 13)
+    prof = budget_profile(fns, budgets)
+    scale = 1e-7 * (1.0 + abs(float(prof[-1])))
+    assert np.all(np.diff(prof) >= -scale)
+    mid = 0.5 * (prof[:-2] + prof[2:])
+    assert np.all(prof[1:-1] >= mid - scale)

@@ -1,0 +1,103 @@
+"""Fox greedy discrete allocator: exactness and edge cases."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.fox import fox_greedy
+from repro.utility.batch import GenericBatch
+from repro.utility.functions import (
+    CappedLinearUtility,
+    LinearUtility,
+    LogUtility,
+    PowerUtility,
+)
+
+from tests.conftest import utility_lists
+
+CAP = 10.0
+
+
+def _brute_force_best(fns, budget_units, unit=1.0):
+    """Enumerate all integer splits (tiny instances only)."""
+    batch = GenericBatch(fns)
+    n = len(fns)
+    best = -1.0
+    for combo in itertools.product(range(budget_units + 1), repeat=n):
+        if sum(combo) > budget_units:
+            continue
+        alloc = np.minimum(np.array(combo, dtype=float) * unit, batch.caps)
+        best = max(best, batch.total(alloc))
+    return best
+
+
+def test_matches_brute_force_small():
+    fns = [LogUtility(1.0, 1.0, CAP), PowerUtility(1.0, 0.5, CAP), LinearUtility(0.4, CAP)]
+    res = fox_greedy(fns, 6)
+    assert res.total_utility == pytest.approx(_brute_force_best(fns, 6), rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(utility_lists(1, 3), st.integers(min_value=0, max_value=5))
+def test_matches_brute_force_property(fns, budget):
+    res = fox_greedy(fns, budget)
+    assert res.total_utility == pytest.approx(
+        _brute_force_best(fns, budget), rel=1e-9, abs=1e-9
+    )
+
+
+def test_units_respect_budget():
+    fns = [LogUtility(c, 1.0, CAP) for c in (1, 2, 3)]
+    res = fox_greedy(fns, 7)
+    assert res.total_units <= 7
+
+
+def test_zero_budget():
+    res = fox_greedy([LinearUtility(1.0, CAP)], 0)
+    assert res.total_units == 0
+    assert res.total_utility == 0.0
+
+
+def test_empty_threads():
+    res = fox_greedy([], 5)
+    assert res.units.shape == (0,)
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        fox_greedy([LinearUtility(1.0, CAP)], -1)
+
+
+def test_bad_unit_rejected():
+    with pytest.raises(ValueError):
+        fox_greedy([LinearUtility(1.0, CAP)], 3, unit=0.0)
+
+
+def test_stops_at_zero_marginals():
+    fns = [CappedLinearUtility(1.0, 2.0, CAP)]
+    res = fox_greedy(fns, 9)
+    # Beyond the breakpoint the marginal is zero; greedy should stop at 2.
+    assert res.units[0] == 2
+    assert res.total_utility == pytest.approx(2.0)
+
+
+def test_respects_caps():
+    fns = [LinearUtility(5.0, 3.0), LinearUtility(1.0, CAP)]
+    res = fox_greedy(fns, 8)
+    assert res.allocations[0] <= 3.0 + 1e-12
+
+
+def test_fractional_unit():
+    fns = [LogUtility(1.0, 1.0, CAP), LogUtility(1.0, 1.0, CAP)]
+    res = fox_greedy(fns, 8, unit=0.5)
+    assert res.allocations == pytest.approx([2.0, 2.0])
+
+
+def test_prefers_steeper_thread_first():
+    fns = [LinearUtility(1.0, CAP), LinearUtility(2.0, CAP)]
+    res = fox_greedy(fns, 4)
+    assert res.units[1] == 4
+    assert res.units[0] == 0

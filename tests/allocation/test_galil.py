@@ -1,0 +1,85 @@
+"""Galil-style discrete bisection: agreement with Fox's exact greedy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.fox import fox_greedy
+from repro.allocation.galil import galil_discrete
+from repro.utility.functions import (
+    CappedLinearUtility,
+    LinearUtility,
+    LogUtility,
+    PowerUtility,
+)
+
+from tests.conftest import utility_lists
+
+CAP = 10.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(utility_lists(1, 6), st.integers(min_value=0, max_value=20))
+def test_matches_fox_total_utility(fns, budget):
+    a = galil_discrete(fns, budget)
+    b = fox_greedy(fns, budget)
+    assert a.total_utility == pytest.approx(b.total_utility, rel=1e-9, abs=1e-9)
+
+
+def test_budget_respected():
+    fns = [LogUtility(c, 1.0, CAP) for c in (1, 2, 3, 4)]
+    res = galil_discrete(fns, 15)
+    assert res.total_units <= 15
+
+
+def test_spends_budget_when_marginals_positive():
+    fns = [LogUtility(c, 1.0, CAP) for c in (1, 2, 3, 4)]
+    res = galil_discrete(fns, 15)
+    assert res.total_units == 15
+
+
+def test_stops_at_zero_marginals():
+    fns = [CappedLinearUtility(1.0, 3.0, CAP), CappedLinearUtility(2.0, 2.0, CAP)]
+    res = galil_discrete(fns, 18)
+    assert res.units.tolist() == [3, 2]
+
+
+def test_slack_budget_gives_all_useful_units():
+    fns = [LinearUtility(1.0, 4.0), LinearUtility(2.0, 3.0)]
+    res = galil_discrete(fns, 100)
+    assert res.units.tolist() == [4, 3]
+
+
+def test_tie_handling_exact_at_threshold():
+    # Two identical linear threads, budget forces a split of tied units.
+    fns = [LinearUtility(1.0, 5.0), LinearUtility(1.0, 5.0)]
+    res = galil_discrete(fns, 7)
+    assert res.total_units == 7
+    assert res.total_utility == pytest.approx(7.0)
+
+
+def test_empty_and_zero():
+    assert galil_discrete([], 5).units.shape == (0,)
+    assert galil_discrete([LinearUtility(1.0, CAP)], 0).total_units == 0
+
+
+def test_rejects_bad_args():
+    with pytest.raises(ValueError):
+        galil_discrete([LinearUtility(1.0, CAP)], -2)
+    with pytest.raises(ValueError):
+        galil_discrete([LinearUtility(1.0, CAP)], 2, unit=-1.0)
+
+
+def test_fractional_unit_matches_fox():
+    fns = [PowerUtility(1.0, 0.5, CAP), LogUtility(2.0, 1.0, CAP)]
+    a = galil_discrete(fns, 12, unit=0.5)
+    b = fox_greedy(fns, 12, unit=0.5)
+    assert a.total_utility == pytest.approx(b.total_utility, rel=1e-9)
+
+
+def test_large_budget_performance_shape():
+    """Bisection work grows with log(budget), not budget (smoke check)."""
+    fns = [LogUtility(float(c), 1.0, 1000.0) for c in range(1, 9)]
+    res = galil_discrete(fns, 4000, unit=0.25)
+    assert res.total_units == 4000

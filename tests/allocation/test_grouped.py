@@ -1,0 +1,127 @@
+"""Grouped water-filling: exact agreement with per-group scalar water-fill."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.grouped import water_fill_grouped
+from repro.allocation.waterfill import water_fill
+from repro.utility.batch import GenericBatch, PowerBatch, QuadSplineBatch
+from repro.utility.functions import LinearUtility, LogUtility, PowerUtility
+
+from tests.conftest import utility_lists
+
+CAP = 10.0
+
+
+def _reference(batch, groups, budgets):
+    """Per-group scalar water-fill (the slow, known-correct path)."""
+    alloc = np.zeros(len(batch))
+    for g in range(len(budgets)):
+        members = np.nonzero(groups == g)[0]
+        if members.size == 0:
+            continue
+        res = water_fill(batch.subset(members), float(budgets[g]))
+        alloc[members] = res.allocations
+    return alloc
+
+
+def test_matches_scalar_fixed_instance():
+    fns = [LogUtility(float(c), 1.0, CAP) for c in (1, 2, 3, 4, 5, 6)]
+    batch = GenericBatch(fns)
+    groups = np.array([0, 0, 1, 1, 2, 2])
+    budgets = np.array([8.0, 5.0, 12.0])
+    grouped = water_fill_grouped(batch, groups, budgets)
+    ref = _reference(batch, groups, budgets)
+    assert grouped.allocations == pytest.approx(ref, abs=1e-6)
+    assert grouped.total_utility == pytest.approx(batch.total(ref), rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    utility_lists(1, 8),
+    st.lists(st.floats(min_value=0.0, max_value=40.0), min_size=1, max_size=4),
+    st.data(),
+)
+def test_matches_scalar_property(fns, budgets, data):
+    batch = GenericBatch(fns)
+    k = len(budgets)
+    groups = np.array(
+        [data.draw(st.integers(min_value=0, max_value=k - 1)) for _ in fns]
+    )
+    budgets = np.asarray(budgets)
+    grouped = water_fill_grouped(batch, groups, budgets)
+    ref = _reference(batch, groups, budgets)
+    assert grouped.total_utility == pytest.approx(
+        batch.total(ref), rel=1e-6, abs=1e-6
+    )
+    loads = np.bincount(groups, weights=grouped.allocations, minlength=k)
+    assert np.all(loads <= budgets + 1e-6 * np.maximum(budgets, 1.0))
+
+
+def test_vectorized_batches_closed_form_paths():
+    rng = np.random.default_rng(0)
+    v = rng.uniform(0.5, 3.0, 12)
+    batch = QuadSplineBatch(v, v * rng.uniform(0, 1, 12), CAP)
+    groups = rng.integers(0, 3, 12)
+    budgets = np.array([10.0, 20.0, 5.0])
+    grouped = water_fill_grouped(batch, groups, budgets)
+    ref = _reference(batch, groups, budgets)
+    assert grouped.allocations == pytest.approx(ref, abs=1e-6)
+
+
+def test_power_batch_infinite_derivative():
+    batch = PowerBatch(np.full(6, 1.0), np.full(6, 0.5), CAP)
+    groups = np.array([0, 0, 0, 1, 1, 1])
+    budgets = np.array([6.0, 3.0])
+    grouped = water_fill_grouped(batch, groups, budgets)
+    assert grouped.allocations[:3] == pytest.approx(np.full(3, 2.0), rel=1e-6)
+    assert grouped.allocations[3:] == pytest.approx(np.full(3, 1.0), rel=1e-6)
+
+
+def test_zero_budget_group():
+    fns = [PowerUtility(1.0, 0.5, CAP), PowerUtility(1.0, 0.5, CAP)]
+    groups = np.array([0, 1])
+    grouped = water_fill_grouped(fns, groups, np.array([0.0, 4.0]))
+    assert grouped.allocations[0] == 0.0
+    assert grouped.allocations[1] == pytest.approx(4.0)
+
+
+def test_empty_group_leaves_budget_unused():
+    fns = [LinearUtility(1.0, CAP)]
+    grouped = water_fill_grouped(fns, np.array([0]), np.array([5.0, 7.0]))
+    assert grouped.allocations[0] == pytest.approx(5.0)
+    assert grouped.group_utilities[1] == 0.0
+
+
+def test_slack_budget_saturates_caps():
+    fns = [LogUtility(1.0, 1.0, 2.0), LogUtility(1.0, 1.0, 3.0)]
+    grouped = water_fill_grouped(fns, np.array([0, 0]), np.array([100.0]))
+    assert grouped.allocations == pytest.approx([2.0, 3.0])
+
+
+def test_group_utilities_partition_total():
+    fns = [LogUtility(float(c), 1.0, CAP) for c in (1, 2, 3)]
+    grouped = water_fill_grouped(fns, np.array([0, 1, 1]), np.array([5.0, 5.0]))
+    assert float(np.sum(grouped.group_utilities)) == pytest.approx(
+        grouped.total_utility
+    )
+
+
+def test_validation_errors():
+    fns = [LinearUtility(1.0, CAP)]
+    with pytest.raises(ValueError):
+        water_fill_grouped(fns, np.array([0, 1]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        water_fill_grouped(fns, np.array([2]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        water_fill_grouped(fns, np.array([0]), np.array([-1.0]))
+    with pytest.raises(ValueError):
+        water_fill_grouped(fns, np.array([0]), np.array([[1.0]]))
+
+
+def test_empty_threads():
+    grouped = water_fill_grouped([], np.zeros(0, dtype=int), np.array([5.0]))
+    assert grouped.allocations.shape == (0,)
+    assert grouped.total_utility == 0.0

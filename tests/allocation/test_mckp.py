@@ -1,0 +1,140 @@
+"""MCKP solvers: DP exactness, greedy quality, utility discretization."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.fox import fox_greedy
+from repro.allocation.mckp import (
+    MCKPItem,
+    mckp_dp,
+    mckp_greedy,
+    utilities_to_classes,
+)
+from repro.utility.functions import LinearUtility, LogUtility
+
+CAP = 10.0
+
+
+def _brute_force(classes, capacity):
+    best = -np.inf
+    for combo in itertools.product(*[range(len(c)) for c in classes]):
+        w = sum(classes[k][i].weight for k, i in enumerate(combo))
+        if w <= capacity:
+            v = sum(classes[k][i].value for k, i in enumerate(combo))
+            best = max(best, v)
+    return best
+
+
+def _random_classes(rng, n_classes, n_items, max_w=6):
+    classes = []
+    for _ in range(n_classes):
+        items = [MCKPItem(0, 0.0)]
+        for _ in range(n_items):
+            items.append(
+                MCKPItem(int(rng.integers(0, max_w + 1)), float(rng.uniform(0, 5)))
+            )
+        classes.append(items)
+    return classes
+
+
+def test_dp_matches_brute_force_fixed():
+    classes = [
+        [MCKPItem(0, 0.0), MCKPItem(2, 3.0), MCKPItem(4, 5.0)],
+        [MCKPItem(0, 0.0), MCKPItem(3, 4.0)],
+        [MCKPItem(1, 1.0), MCKPItem(5, 6.0)],
+    ]
+    sol = mckp_dp(classes, 7)
+    assert sol.total_value == pytest.approx(_brute_force(classes, 7))
+    assert sol.total_weight <= 7
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 30))
+def test_dp_matches_brute_force_random(seed):
+    rng = np.random.default_rng(seed)
+    classes = _random_classes(rng, int(rng.integers(1, 4)), int(rng.integers(1, 4)))
+    cap = int(rng.integers(0, 12))
+    sol = mckp_dp(classes, cap)
+    assert sol.total_value == pytest.approx(_brute_force(classes, cap))
+
+
+def test_dp_choice_reconstruction_consistent():
+    classes = [
+        [MCKPItem(0, 0.0), MCKPItem(2, 3.0)],
+        [MCKPItem(0, 0.0), MCKPItem(2, 4.0)],
+    ]
+    sol = mckp_dp(classes, 2)
+    value = sum(classes[k][i].value for k, i in enumerate(sol.choices))
+    weight = sum(classes[k][i].weight for k, i in enumerate(sol.choices))
+    assert value == pytest.approx(sol.total_value)
+    assert weight == sol.total_weight
+
+
+def test_dp_infeasible_class_raises():
+    classes = [[MCKPItem(5, 1.0)]]
+    with pytest.raises(ValueError):
+        mckp_dp(classes, 3)
+
+
+def test_dp_empty_class_raises():
+    with pytest.raises(ValueError):
+        mckp_dp([[]], 3)
+
+
+def test_dp_negative_capacity_raises():
+    with pytest.raises(ValueError):
+        mckp_dp([[MCKPItem(0, 0.0)]], -1)
+
+
+def test_item_validation():
+    with pytest.raises(ValueError):
+        MCKPItem(-1, 1.0)
+    with pytest.raises(ValueError):
+        MCKPItem(1, -1.0)
+
+
+def test_greedy_optimal_on_concave_classes():
+    fns = [LogUtility(2.0, 1.0, CAP), LogUtility(1.0, 1.0, CAP)]
+    classes = utilities_to_classes(fns, 10)
+    g = mckp_greedy(classes, 10)
+    d = mckp_dp(classes, 10)
+    assert g.total_value == pytest.approx(d.total_value, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 30))
+def test_greedy_never_exceeds_dp_and_is_feasible(seed):
+    rng = np.random.default_rng(seed)
+    classes = _random_classes(rng, int(rng.integers(1, 4)), int(rng.integers(1, 4)))
+    cap = int(rng.integers(2, 12))
+    g = mckp_greedy(classes, cap)
+    d = mckp_dp(classes, cap)
+    assert g.total_weight <= cap
+    assert g.total_value <= d.total_value + 1e-9
+
+
+def test_greedy_matches_fox_for_utilities():
+    """Single-server AA: MCKP-greedy == Fox greedy == DP for concave classes."""
+    fns = [LogUtility(3.0, 1.0, CAP), LogUtility(1.0, 2.0, CAP), LinearUtility(0.3, CAP)]
+    classes = utilities_to_classes(fns, 8)
+    g = mckp_greedy(classes, 8)
+    f = fox_greedy(fns, 8)
+    assert g.total_value == pytest.approx(f.total_utility, rel=1e-9)
+
+
+def test_utilities_to_classes_shapes():
+    fns = [LinearUtility(1.0, CAP)]
+    classes = utilities_to_classes(fns, 4, unit=2.0)
+    assert len(classes) == 1
+    assert [it.weight for it in classes[0]] == [0, 1, 2, 3, 4]
+    # Values are f(min(k*unit, cap)).
+    assert classes[0][4].value == pytest.approx(8.0)
+
+
+def test_utilities_to_classes_rejects_negative_capacity():
+    with pytest.raises(ValueError):
+        utilities_to_classes([LinearUtility(1.0, CAP)], -1)

@@ -1,0 +1,172 @@
+"""Water-filling: KKT optimality, budget handling, degenerate cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.waterfill import kkt_violation, water_fill
+from repro.utility.batch import GenericBatch, PowerBatch, QuadSplineBatch
+from repro.utility.functions import (
+    CappedLinearUtility,
+    LinearUtility,
+    LogUtility,
+    PowerUtility,
+    ZeroUtility,
+)
+
+from tests.conftest import assert_allocation_optimal, utility_lists
+
+CAP = 10.0
+
+
+def test_two_identical_logs_split_evenly():
+    fns = [LogUtility(1.0, 1.0, CAP), LogUtility(1.0, 1.0, CAP)]
+    res = water_fill(fns, 6.0)
+    assert res.allocations == pytest.approx([3.0, 3.0])
+
+
+def test_budget_fully_spent_when_binding():
+    fns = [LogUtility(c, 1.0, CAP) for c in (1.0, 2.0, 3.0)]
+    res = water_fill(fns, 8.0)
+    assert float(np.sum(res.allocations)) == pytest.approx(8.0)
+
+
+def test_marginals_equalized_at_interior_optimum():
+    fns = [LogUtility(1.0, 1.0, CAP), LogUtility(4.0, 1.0, CAP)]
+    res = water_fill(fns, 5.0)
+    batch = GenericBatch(fns)
+    d = batch.derivative(res.allocations)
+    assert d[0] == pytest.approx(d[1], rel=1e-6)
+
+
+def test_known_closed_form_two_logs():
+    # f1 = log(1+x), f2 = 4 log(1+x); equal marginals: 1/(1+c1) = 4/(1+c2)
+    fns = [LogUtility(1.0, 1.0, 100.0), LogUtility(4.0, 1.0, 100.0)]
+    res = water_fill(fns, 8.0)
+    # c1 + c2 = 8 and 1 + c2 = 4 (1 + c1)  =>  c1 = 1, c2 = 7
+    assert res.allocations == pytest.approx([1.0, 7.0], abs=1e-6)
+
+
+def test_slack_budget_saturates_caps():
+    fns = [LogUtility(1.0, 1.0, 2.0), LogUtility(1.0, 1.0, 3.0)]
+    res = water_fill(fns, 100.0)
+    assert res.allocations == pytest.approx([2.0, 3.0])
+    assert res.marginal_price == 0.0
+
+
+def test_zero_budget():
+    res = water_fill([LogUtility(1.0, 1.0, CAP)], 0.0)
+    assert res.allocations == pytest.approx([0.0])
+    assert res.total_utility == pytest.approx(0.0)
+
+
+def test_empty_batch():
+    res = water_fill([], 5.0)
+    assert res.allocations.shape == (0,)
+    assert res.total_utility == 0.0
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        water_fill([LinearUtility(1.0, CAP)], -1.0)
+
+
+def test_infinite_budget_rejected():
+    with pytest.raises(ValueError):
+        water_fill([LinearUtility(1.0, CAP)], np.inf)
+
+
+def test_linear_utilities_prefer_steepest():
+    fns = [LinearUtility(1.0, CAP), LinearUtility(3.0, CAP)]
+    res = water_fill(fns, CAP)
+    # All budget to the slope-3 thread.
+    assert res.allocations[1] == pytest.approx(CAP)
+    assert res.allocations[0] == pytest.approx(0.0)
+
+
+def test_capped_linear_tie_splits_arbitrarily_but_optimally():
+    fns = [CappedLinearUtility(2.0, 4.0, CAP), CappedLinearUtility(2.0, 4.0, CAP)]
+    res = water_fill(fns, 6.0)
+    assert float(np.sum(res.allocations)) == pytest.approx(6.0)
+    # Equal slopes below breakpoints: any split with both <= 4 is optimal.
+    assert np.all(res.allocations <= 4.0 + 1e-9)
+    assert res.total_utility == pytest.approx(12.0)
+
+
+def test_power_utilities_infinite_derivative_at_zero():
+    fns = [PowerUtility(1.0, 0.5, CAP), PowerUtility(1.0, 0.5, CAP)]
+    res = water_fill(fns, 4.0)
+    assert res.allocations == pytest.approx([2.0, 2.0], rel=1e-6)
+
+
+def test_equal_power_threads_split_evenly_many():
+    batch = PowerBatch(np.full(5, 2.0), np.full(5, 0.6), CAP)
+    res = water_fill(batch, 10.0)
+    assert res.allocations == pytest.approx(np.full(5, 2.0), rel=1e-6)
+
+
+def test_zero_utility_thread_gets_leftovers_only():
+    fns = [ZeroUtility(CAP), LogUtility(5.0, 1.0, CAP)]
+    res = water_fill(fns, 5.0)
+    assert res.allocations[1] == pytest.approx(5.0)
+
+
+def test_result_reports_iterations_and_price():
+    fns = [LogUtility(1.0, 1.0, CAP), LogUtility(2.0, 1.0, CAP)]
+    res = water_fill(fns, 5.0)
+    assert res.iterations > 0
+    assert res.marginal_price > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(utility_lists(1, 6), st.floats(min_value=0.0, max_value=60.0))
+def test_waterfill_satisfies_kkt_property(fns, budget):
+    batch = GenericBatch(fns)
+    res = water_fill(batch, budget)
+    assert np.all(res.allocations >= -1e-12)
+    assert np.all(res.allocations <= batch.caps + 1e-9)
+    assert float(np.sum(res.allocations)) <= budget + 1e-6 * max(budget, 1.0)
+    assert_allocation_optimal(batch, res.allocations, budget, tol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(utility_lists(2, 6), st.floats(min_value=1.0, max_value=40.0))
+def test_value_of_budget_is_monotone(fns, budget):
+    """More budget never hurts (utilities are nondecreasing)."""
+    lo = water_fill(fns, budget * 0.5).total_utility
+    hi = water_fill(fns, budget).total_utility
+    assert hi >= lo - 1e-8 * (1 + abs(hi))
+
+
+@settings(max_examples=40, deadline=None)
+@given(utility_lists(2, 6), st.floats(min_value=1.0, max_value=40.0))
+def test_permutation_invariance(fns, budget):
+    """Total utility does not depend on thread order."""
+    a = water_fill(fns, budget).total_utility
+    b = water_fill(list(reversed(fns)), budget).total_utility
+    assert a == pytest.approx(b, rel=1e-9, abs=1e-9)
+
+
+def test_quadspline_batch_waterfill_exact_vs_generic():
+    rng = np.random.default_rng(3)
+    v = rng.uniform(0.5, 3.0, 8)
+    w = v * rng.uniform(0, 1, 8)
+    batch = QuadSplineBatch(v, w, CAP)
+    generic = GenericBatch(batch.functions())
+    a = water_fill(batch, 30.0)
+    b = water_fill(generic, 30.0)
+    assert a.total_utility == pytest.approx(b.total_utility, rel=1e-9)
+    assert a.allocations == pytest.approx(b.allocations, abs=1e-6)
+
+
+def test_kkt_violation_flags_bad_allocation():
+    fns = [LogUtility(1.0, 1.0, CAP), LogUtility(4.0, 1.0, CAP)]
+    bad = np.array([5.0, 0.0])  # everything to the weak thread
+    assert kkt_violation(fns, bad, 5.0) > 0.1
+
+
+def test_kkt_violation_zero_at_optimum():
+    fns = [LogUtility(1.0, 1.0, CAP), LogUtility(4.0, 1.0, CAP)]
+    res = water_fill(fns, 5.0)
+    assert kkt_violation(fns, res.allocations, 5.0) < 1e-6

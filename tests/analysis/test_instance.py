@@ -1,0 +1,136 @@
+"""Instance profiling and loss decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.instance import gini, loss_decomposition, profile_instance
+from repro.core.linearize import linearize
+from repro.core.problem import AAProblem, Assignment
+from repro.core.solve import solve
+from repro.core.tightness import tightness_instance
+from repro.utility.functions import CappedLinearUtility, LinearUtility, LogUtility
+
+CAP = 10.0
+
+
+def _problem(n=6, m=2):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+# -- gini ---------------------------------------------------------------------
+
+
+def test_gini_equal_values_zero():
+    assert gini([3.0, 3.0, 3.0]) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_gini_concentrated_near_one():
+    assert gini([0.0] * 99 + [1.0]) > 0.95
+
+
+def test_gini_known_value():
+    # Two values {0, x}: gini = 1/2.
+    assert gini([0.0, 5.0]) == pytest.approx(0.5)
+
+
+def test_gini_scale_invariant():
+    v = np.array([1.0, 2.0, 7.0])
+    assert gini(v) == pytest.approx(gini(10 * v))
+
+
+def test_gini_edge_cases():
+    assert gini([]) == 0.0
+    assert gini([0.0, 0.0]) == 0.0
+    with pytest.raises(ValueError):
+        gini([-1.0, 1.0])
+
+
+# -- profile ------------------------------------------------------------------
+
+
+def test_profile_geometry():
+    prof = profile_instance(_problem(6, 2))
+    assert prof.n_threads == 6
+    assert prof.n_servers == 2
+    assert prof.beta == 3.0
+
+
+def test_profile_saturation_binding_pool():
+    prof = profile_instance(_problem(6, 2))
+    assert prof.saturation == pytest.approx(1.0, rel=1e-9)
+
+
+def test_profile_saturation_caps_binding():
+    prof = profile_instance(_problem(1, 3))  # one thread, three servers
+    assert prof.saturation == pytest.approx(1.0 / 3.0, rel=1e-9)
+
+
+def test_profile_identical_threads_zero_gini():
+    p = AAProblem([LogUtility(2.0, 1.0, CAP)] * 4, 2, CAP)
+    prof = profile_instance(p)
+    assert prof.top_gini == pytest.approx(0.0, abs=1e-9)
+
+
+def test_profile_dispersion_detects_heavy_thread():
+    fns = [LinearUtility(0.01, CAP)] * 5 + [LinearUtility(100.0, CAP)]
+    prof = profile_instance(AAProblem(fns, 2, CAP))
+    assert prof.top_gini > 0.5
+
+
+def test_profile_curvature_linear_is_half():
+    p = AAProblem([LinearUtility(1.0, CAP)], 1, CAP)
+    assert profile_instance(p).curvature_mean == pytest.approx(0.5)
+
+
+def test_profile_curvature_saturating_above_half():
+    p = AAProblem([CappedLinearUtility(1.0, 2.0, CAP)], 1, CAP)
+    assert profile_instance(p).curvature_mean > 0.9
+
+
+def test_profile_empty_instance():
+    prof = profile_instance(AAProblem([], 2, CAP))
+    assert prof.n_threads == 0
+    assert prof.top_gini == 0.0
+
+
+def test_profile_demand_fraction_bounds():
+    prof = profile_instance(_problem(8, 2))
+    assert 0.0 <= prof.demand_fraction_mean <= prof.demand_fraction_max <= 1.0
+
+
+# -- loss decomposition ---------------------------------------------------------
+
+
+def test_loss_zero_for_superoptimal_single_server():
+    p = _problem(4, 1)
+    sol = solve(p)
+    dec = loss_decomposition(p, sol.assignment, sol.linearization)
+    assert dec.bound_gap == pytest.approx(0.0, abs=1e-6)
+    assert dec.achieved_ratio == pytest.approx(1.0, rel=1e-6)
+
+
+def test_loss_explains_tightness_instance():
+    p = tightness_instance()
+    sol = solve(p)
+    dec = loss_decomposition(p, sol.assignment, sol.linearization)
+    assert dec.bound_gap == pytest.approx(0.5)
+    assert dec.total_shortfall == pytest.approx(0.5)
+    assert dec.starved_threads.tolist() == [2]  # the linear thread
+
+
+def test_loss_stranded_capacity_full_servers():
+    p = tightness_instance()
+    sol = solve(p)
+    dec = loss_decomposition(p, sol.assignment, sol.linearization)
+    # Both unit servers are fully loaded in the reclaimed assignment.
+    assert dec.stranded_capacity == pytest.approx([0.0, 0.0], abs=1e-9)
+
+
+def test_loss_flags_wasteful_assignment():
+    p = _problem(4, 2)
+    lin = linearize(p)
+    wasteful = Assignment(servers=np.zeros(4, dtype=np.int64), allocations=np.zeros(4))
+    dec = loss_decomposition(p, wasteful, lin)
+    assert dec.bound_gap == pytest.approx(lin.super_optimal_utility)
+    assert dec.stranded_capacity[1] == pytest.approx(CAP)
+    assert dec.achieved_ratio == 0.0

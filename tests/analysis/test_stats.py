@@ -1,0 +1,75 @@
+"""Sweep statistics: moments, confidence intervals, trial sizing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import SeriesStats, run_point_stats, trials_needed
+from repro.workloads.generators import UniformDistribution
+
+
+def test_from_sample_moments():
+    s = SeriesStats.from_sample(np.array([1.0, 2.0, 3.0]))
+    assert s.mean == pytest.approx(2.0)
+    assert s.std == pytest.approx(1.0)
+    assert s.sem == pytest.approx(1.0 / np.sqrt(3))
+    assert s.trials == 3
+
+
+def test_from_sample_single_value():
+    s = SeriesStats.from_sample(np.array([5.0]))
+    assert s.mean == 5.0
+    assert s.std == 0.0
+    assert s.ci95_low == s.ci95_high == 5.0
+
+
+def test_from_sample_empty_rejected():
+    with pytest.raises(ValueError):
+        SeriesStats.from_sample(np.array([]))
+
+
+def test_ci_contains_mean():
+    s = SeriesStats.from_sample(np.random.default_rng(0).normal(10, 1, 100))
+    assert s.contains(s.mean)
+    assert s.ci95_low < s.mean < s.ci95_high
+
+
+def test_run_point_stats_shapes():
+    stats = run_point_stats(UniformDistribution(), 4, 3, 100.0, trials=10, seed=0)
+    assert {"SO", "UU", "UR", "RU", "RR"} <= set(stats)
+    for s in stats.values():
+        assert s.trials == 10
+        assert s.ci95_low <= s.mean <= s.ci95_high
+
+
+def test_run_point_stats_so_below_one():
+    stats = run_point_stats(UniformDistribution(), 4, 3, 100.0, trials=10, seed=0)
+    assert stats["SO"].mean <= 1.0 + 1e-9
+
+
+def test_run_point_stats_needs_two_trials():
+    with pytest.raises(ValueError):
+        run_point_stats(UniformDistribution(), 4, 3, 100.0, trials=1)
+
+
+def test_run_point_stats_reproducible():
+    a = run_point_stats(UniformDistribution(), 4, 2, 100.0, trials=6, seed=3)
+    b = run_point_stats(UniformDistribution(), 4, 2, 100.0, trials=6, seed=3)
+    assert a["UU"].mean == b["UU"].mean
+
+
+def test_trials_needed_shrinks_with_width():
+    s = SeriesStats.from_sample(np.random.default_rng(1).normal(1.0, 0.1, 50))
+    tight = trials_needed(s, 0.001)
+    loose = trials_needed(s, 0.01)
+    assert tight > loose > 0
+
+
+def test_trials_needed_zero_variance():
+    s = SeriesStats.from_sample(np.array([2.0, 2.0, 2.0]))
+    assert trials_needed(s, 0.01) == 2
+
+
+def test_trials_needed_rejects_bad_width():
+    s = SeriesStats.from_sample(np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        trials_needed(s, 0.0)

@@ -1,0 +1,81 @@
+"""The intro's fixed-request pathology: first-fit policy and closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.assign.fixed_request import (
+    fixed_request_first_fit,
+    fixed_request_total_utility,
+    optimal_equal_split_utility,
+)
+from repro.core.problem import AAProblem
+from repro.utility.functions import PowerUtility
+
+C = 10.0
+
+
+def _power_problem(n, m=1, beta=0.5):
+    return AAProblem([PowerUtility(1.0, beta, C) for _ in range(n)], m, C)
+
+
+def test_first_fit_places_while_room():
+    p = _power_problem(4, m=1)
+    a = fixed_request_first_fit(p, np.full(4, 4.0))
+    # Requests of 4 on a 10-server: two fit, the rest get nothing.
+    assert sorted(a.allocations.tolist(), reverse=True)[:2] == [4.0, 4.0]
+    assert np.sum(a.allocations > 0) == 2
+
+
+def test_first_fit_feasible():
+    p = _power_problem(6, m=2)
+    a = fixed_request_first_fit(p, np.full(6, 3.0))
+    a.validate(p)
+
+
+def test_first_fit_rejects_bad_requests():
+    p = _power_problem(2)
+    with pytest.raises(ValueError):
+        fixed_request_first_fit(p, [1.0])
+    with pytest.raises(ValueError):
+        fixed_request_first_fit(p, [-1.0, 1.0])
+    with pytest.raises(ValueError):
+        fixed_request_first_fit(p, [C + 1.0, 1.0])
+
+
+def test_closed_form_matches_policy():
+    n, z, beta = 7, 4.0, 0.5
+    p = _power_problem(n, m=1, beta=beta)
+    a = fixed_request_first_fit(p, np.full(n, z))
+    assert a.total_utility(p) == pytest.approx(
+        fixed_request_total_utility(C, z, beta, n)
+    )
+
+
+def test_intro_gap_grows_with_n():
+    """Optimal / fixed-request utility grows like n^(1-beta) (Section I)."""
+    beta, z = 0.5, 2.0
+    gaps = [
+        optimal_equal_split_utility(C, beta, n) / fixed_request_total_utility(C, z, beta, n)
+        for n in (10, 40, 160)
+    ]
+    assert gaps[0] < gaps[1] < gaps[2]
+    # Quadrupling n should roughly double the gap at beta = 1/2.
+    assert gaps[1] / gaps[0] == pytest.approx(2.0, rel=0.05)
+
+
+def test_fixed_request_constant_in_n():
+    beta, z = 0.5, 2.0
+    u10 = fixed_request_total_utility(C, z, beta, 10)
+    u100 = fixed_request_total_utility(C, z, beta, 100)
+    assert u10 == pytest.approx(u100)
+
+
+def test_optimal_equal_split_closed_form():
+    # n threads with f = x^beta on pool mC: n * (mC/n)^beta.
+    assert optimal_equal_split_utility(10.0, 0.5, 4, m=2) == pytest.approx(
+        4 * (20.0 / 4) ** 0.5
+    )
+
+
+def test_equal_split_zero_threads():
+    assert optimal_equal_split_utility(10.0, 0.5, 0) == 0.0

@@ -1,0 +1,61 @@
+"""Statistical ordering of the heuristics (paper Sec VII observations).
+
+The paper observes that uniform allocation beats random allocation
+("UU and RU ... substantially better than UR and RR") and that assignment
+matters less than allocation.  These tests verify the orderings as sample
+means over many seeded instances — statistical claims, so moderately sized
+samples with comfortable margins.
+"""
+
+import numpy as np
+
+from repro.assign.heuristics import rr, ru, ur, uu
+from repro.workloads.generators import (
+    PowerLawDistribution,
+    UniformDistribution,
+    make_problem,
+)
+
+TRIALS = 60
+GEOM = dict(n_servers=4, beta=6.0, capacity=100.0)
+
+
+def _mean_utilities(dist, seed0=0):
+    sums = {"UU": 0.0, "UR": 0.0, "RU": 0.0, "RR": 0.0}
+    for t in range(TRIALS):
+        p = make_problem(dist, seed=(seed0, t), **GEOM)
+        for name, h in (("UU", uu), ("UR", ur), ("RU", ru), ("RR", rr)):
+            sums[name] += h(p, seed=t).total_utility(p)
+    return {k: v / TRIALS for k, v in sums.items()}
+
+
+def test_uniform_allocation_beats_random_allocation_uniform_dist():
+    means = _mean_utilities(UniformDistribution())
+    assert means["UU"] > means["UR"]
+    assert means["RU"] > means["RR"]
+
+
+def test_uniform_allocation_beats_random_allocation_powerlaw():
+    means = _mean_utilities(PowerLawDistribution(alpha=2.0), seed0=1)
+    assert means["UU"] > means["UR"]
+    assert means["RU"] > means["RR"]
+
+
+def test_allocation_matters_more_than_assignment():
+    """Sec VII-A: 'the way in which resources are allocated has a bigger
+    effect on performance than how threads are assigned'."""
+    means = _mean_utilities(UniformDistribution(), seed0=2)
+    allocation_effect = abs(means["UU"] - means["UR"])
+    assignment_effect = abs(means["UU"] - means["RU"])
+    assert allocation_effect > assignment_effect
+
+
+def test_round_robin_assignment_beats_random_assignment_on_average():
+    means = _mean_utilities(UniformDistribution(), seed0=3)
+    assert means["UU"] >= means["RU"] * 0.99
+    assert means["UR"] >= means["RR"] * 0.99
+
+
+def test_all_heuristics_positive_value():
+    means = _mean_utilities(UniformDistribution(), seed0=4)
+    assert all(v > 0 for v in means.values())

@@ -1,0 +1,130 @@
+"""UU / UR / RU / RR heuristics: feasibility, structure, known optima."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.assign.heuristics import (
+    HEURISTICS,
+    random_split,
+    round_robin_servers,
+    rr,
+    ru,
+    uniform_split,
+    ur,
+    uu,
+)
+from repro.core.problem import AAProblem
+from repro.utility.functions import LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+
+def _problem(n=8, m=3):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+@pytest.mark.parametrize("name", list(HEURISTICS))
+def test_heuristics_produce_feasible_assignments(name):
+    p = _problem()
+    HEURISTICS[name](p, seed=7).validate(p)
+
+
+@settings(max_examples=25, deadline=None)
+@given(aa_problems(max_threads=8, max_servers=4))
+def test_heuristics_feasible_on_random_instances(problem):
+    for name, h in HEURISTICS.items():
+        h(problem, seed=3).validate(problem)
+
+
+def test_round_robin_pattern():
+    assert round_robin_servers(7, 3).tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+
+def test_uu_equal_shares():
+    p = _problem(6, 3)
+    a = uu(p)
+    assert a.allocations == pytest.approx(np.full(6, CAP / 2))
+
+
+def test_uu_single_thread_per_server_gets_everything():
+    p = _problem(3, 3)
+    a = uu(p)
+    assert a.allocations == pytest.approx(np.full(3, CAP))
+
+
+def test_uu_is_optimal_at_beta_one_with_identical_threads():
+    """Paper Sec VII-A: at beta = 1, UU places one thread per server with
+    all resources — the optimum."""
+    from repro.core.solve import solve
+
+    p = _problem(4, 4)
+    sol = solve(p)
+    assert uu(p).total_utility(p) == pytest.approx(sol.total_utility, rel=1e-9)
+
+
+def test_uu_deterministic_ignores_seed():
+    p = _problem()
+    a = uu(p, seed=1)
+    b = uu(p, seed=999)
+    assert np.array_equal(a.servers, b.servers)
+    assert a.allocations == pytest.approx(b.allocations)
+
+
+def test_ur_round_robin_but_random_split():
+    p = _problem(6, 3)
+    a = ur(p, seed=0)
+    assert np.array_equal(a.servers, round_robin_servers(6, 3))
+    # Random split: extremely unlikely to be exactly equal.
+    assert not np.allclose(a.allocations, CAP / 2)
+
+
+def test_ru_random_assignment_uniform_split():
+    p = _problem(40, 4)
+    a = ru(p, seed=0)
+    counts = np.bincount(a.servers, minlength=4)
+    shares = a.allocations * counts[a.servers]
+    assert shares == pytest.approx(np.full(40, CAP))
+
+
+def test_rr_reproducible_by_seed():
+    p = _problem()
+    a = rr(p, seed=42)
+    b = rr(p, seed=42)
+    assert np.array_equal(a.servers, b.servers)
+    assert a.allocations == pytest.approx(b.allocations)
+
+
+def test_rr_seeds_differ():
+    p = _problem(30, 3)
+    a = rr(p, seed=1)
+    b = rr(p, seed=2)
+    assert not np.array_equal(a.servers, b.servers) or not np.allclose(
+        a.allocations, b.allocations
+    )
+
+
+def test_random_split_sums_to_capacity_per_server():
+    p = _problem(9, 3)
+    servers = round_robin_servers(9, 3)
+    rng = np.random.default_rng(0)
+    alloc = random_split(p, servers, rng)
+    # Caps are CAP here, so no clipping: each server's split sums to C.
+    loads = np.bincount(servers, weights=alloc, minlength=3)
+    assert loads == pytest.approx(np.full(3, CAP))
+
+
+def test_uniform_split_clips_to_thread_caps():
+    from repro.utility.functions import LinearUtility
+
+    fns = [LinearUtility(1.0, 2.0), LinearUtility(1.0, CAP)]
+    p = AAProblem(fns, 1, CAP)
+    alloc = uniform_split(p, np.array([0, 0]))
+    assert alloc[0] == pytest.approx(2.0)
+    assert alloc[1] == pytest.approx(5.0)
+
+
+def test_single_member_random_split_gets_everything():
+    p = _problem(1, 2)
+    a = ur(p, seed=0)
+    assert a.allocations[0] == pytest.approx(CAP)

@@ -1,0 +1,88 @@
+"""Two-step baselines: balanced water-fill, IPC-greedy, best-of-random."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.assign.twostep import balanced_waterfill, best_of_random, ipc_greedy
+from repro.core.problem import AAProblem
+from repro.core.solve import solve
+from repro.utility.functions import CappedLinearUtility, LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+
+def _problem(n=8, m=3):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+@pytest.mark.parametrize(
+    "baseline", [balanced_waterfill, ipc_greedy], ids=lambda f: f.__name__
+)
+def test_deterministic_baselines_feasible(baseline):
+    p = _problem()
+    baseline(p).validate(p)
+
+
+def test_best_of_random_feasible():
+    p = _problem()
+    best_of_random(p, samples=5, seed=1).validate(p)
+
+
+def test_balanced_waterfill_beats_uu():
+    """Optimal per-server allocation can only improve on equal shares."""
+    from repro.assign.heuristics import uu
+
+    p = _problem(9, 3)
+    assert balanced_waterfill(p).total_utility(p) >= uu(p).total_utility(p) - 1e-9
+
+
+def test_best_of_random_improves_with_samples():
+    p = _problem(12, 3)
+    one = best_of_random(p, samples=1, seed=0).total_utility(p)
+    many = best_of_random(p, samples=32, seed=0).total_utility(p)
+    assert many >= one - 1e-9
+
+
+def test_best_of_random_rejects_zero_samples():
+    with pytest.raises(ValueError):
+        best_of_random(_problem(), samples=0)
+
+
+def test_ipc_greedy_serpentine_balances_counts():
+    p = _problem(9, 3)
+    a = ipc_greedy(p)
+    counts = np.bincount(a.servers, minlength=3)
+    assert counts.tolist() == [3, 3, 3]
+
+
+def test_joint_beats_twostep_on_adversarial_mix():
+    """The paper's thesis: separate assign-then-allocate can be beaten.
+
+    Two 'hog' threads that only profit from a whole server plus small
+    threads: count-balancing splits hogs with small threads and wastes
+    capacity, while Algorithm 2 co-locates the small threads.
+    """
+    fns = [
+        CappedLinearUtility(1.0, CAP, CAP),  # hog: wants the whole server
+        CappedLinearUtility(1.0, CAP, CAP),
+        CappedLinearUtility(0.5, 2.0, CAP),
+        CappedLinearUtility(0.5, 2.0, CAP),
+        CappedLinearUtility(0.5, 2.0, CAP),
+        CappedLinearUtility(0.5, 2.0, CAP),
+    ]
+    p = AAProblem(fns, 2, CAP)
+    joint = solve(p).total_utility
+    assert joint >= balanced_waterfill(p).total_utility(p) - 1e-9
+    assert joint >= ipc_greedy(p).total_utility(p) - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(aa_problems(max_threads=7, max_servers=3))
+def test_all_baselines_within_superoptimal_bound(problem):
+    from repro.core.linearize import linearize
+
+    bound = linearize(problem).super_optimal_utility
+    for baseline in (balanced_waterfill, ipc_greedy):
+        value = baseline(problem).total_utility(problem)
+        assert value <= bound + 1e-6 * (1 + bound)

@@ -1,0 +1,54 @@
+"""Algorithm 2 vs a heap-free reference implementation.
+
+The production path uses an indexed max-heap; this naive re-implementation
+rescans the residual array each step.  Any divergence flags a heap bug —
+the two must agree *exactly* (same tie-breaking: max residual, then lowest
+server id).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.algorithm2 import algorithm2, thread_order
+from repro.core.linearize import linearize
+from repro.core.problem import AAProblem, Assignment
+
+from tests.conftest import aa_problems
+
+
+def _naive_algorithm2(problem: AAProblem, lin) -> Assignment:
+    n, m = problem.n_threads, problem.n_servers
+    order = thread_order(lin, m)
+    residual = np.full(m, problem.capacity)
+    servers = np.full(n, -1, dtype=np.int64)
+    alloc = np.zeros(n)
+    for i in order:
+        j = int(np.argmax(residual))  # first max = lowest id on ties
+        c = min(float(lin.c_hat[i]), float(residual[j]))
+        servers[i] = j
+        alloc[i] = c
+        residual[j] -= c
+    return Assignment(servers=servers, allocations=alloc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(aa_problems(max_threads=9, max_servers=4))
+def test_heap_matches_naive_exactly(problem):
+    lin = linearize(problem)
+    fast = algorithm2(problem, lin)
+    slow = _naive_algorithm2(problem, lin)
+    assert np.array_equal(fast.servers, slow.servers)
+    assert fast.allocations == slow.allocations if fast.n_threads == 0 else np.allclose(
+        fast.allocations, slow.allocations, rtol=0, atol=0
+    )
+
+
+def test_heap_matches_naive_large_instance():
+    from repro.workloads.generators import UniformDistribution, make_problem
+
+    problem = make_problem(UniformDistribution(), 16, 12.0, 1000.0, seed=5)
+    lin = linearize(problem)
+    fast = algorithm2(problem, lin)
+    slow = _naive_algorithm2(problem, lin)
+    assert np.array_equal(fast.servers, slow.servers)
+    assert np.array_equal(fast.allocations, slow.allocations)

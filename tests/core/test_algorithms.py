@@ -1,0 +1,250 @@
+"""Algorithms 1 and 2: feasibility, guarantee, determinism, structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm2 import algorithm2, thread_order
+from repro.core.exact import exact_continuous
+from repro.core.linearize import linearize
+from repro.core.postprocess import reclaim
+from repro.core.problem import ALPHA, AAProblem
+from repro.utility.functions import CappedLinearUtility, LinearUtility, LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+ALGORITHMS = [algorithm1, algorithm2]
+
+
+def _problem(n=6, m=2):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a.__name__)
+def test_assignment_is_feasible(alg):
+    p = _problem(7, 3)
+    alg(p).validate(p)
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a.__name__)
+def test_every_thread_assigned(alg):
+    p = _problem(7, 3)
+    a = alg(p)
+    assert np.all(a.servers >= 0)
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a.__name__)
+def test_deterministic(alg):
+    p = _problem(6, 2)
+    a = alg(p)
+    b = alg(p)
+    assert np.array_equal(a.servers, b.servers)
+    assert a.allocations == pytest.approx(b.allocations)
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a.__name__)
+def test_single_server_is_superoptimal(alg):
+    """m = 1: the pool bound is achievable, both algorithms achieve it."""
+    p = _problem(5, 1)
+    lin = linearize(p)
+    a = reclaim(p, alg(p, lin))
+    assert a.total_utility(p) == pytest.approx(lin.super_optimal_utility, rel=1e-6)
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a.__name__)
+def test_fewer_threads_than_servers(alg):
+    p = _problem(2, 5)
+    a = alg(p)
+    a.validate(p)
+    # Each thread fits alone: gets its full super-optimal grant (= cap here).
+    assert a.allocations == pytest.approx(np.full(2, CAP))
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a.__name__)
+def test_threads_land_on_distinct_servers_when_spread_is_free(alg):
+    p = _problem(3, 3)
+    a = alg(p)
+    assert len(set(a.servers.tolist())) == 3
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a.__name__)
+def test_empty_problem(alg):
+    p = AAProblem([], 2, CAP)
+    a = alg(p)
+    assert a.n_threads == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(aa_problems(max_threads=8, max_servers=4))
+def test_alpha_guarantee_vs_bound_alg2(problem):
+    """Theorem VI.1: F >= alpha * F̂ >= alpha * F* — the headline theorem."""
+    lin = linearize(problem)
+    a = algorithm2(problem, lin)
+    a.validate(problem)
+    value = a.total_utility(problem)
+    assert value >= ALPHA * lin.super_optimal_utility - 1e-6 * (1 + lin.super_optimal_utility)
+
+
+@settings(max_examples=40, deadline=None)
+@given(aa_problems(max_threads=7, max_servers=3))
+def test_alpha_guarantee_vs_bound_alg1(problem):
+    """Theorem V.16 for Algorithm 1."""
+    lin = linearize(problem)
+    a = algorithm1(problem, lin)
+    a.validate(problem)
+    value = a.total_utility(problem)
+    assert value >= ALPHA * lin.super_optimal_utility - 1e-6 * (1 + lin.super_optimal_utility)
+
+
+@settings(max_examples=25, deadline=None)
+@given(aa_problems(max_threads=6, max_servers=3))
+def test_alpha_guarantee_vs_exact_optimum(problem):
+    """F >= alpha * OPT, checked against the exhaustive solver."""
+    opt = exact_continuous(problem).total_utility(problem)
+    value = algorithm2(problem).total_utility(problem)
+    assert value >= ALPHA * opt - 1e-6 * (1 + opt)
+
+
+@settings(max_examples=25, deadline=None)
+@given(aa_problems(max_threads=7, max_servers=3))
+def test_reclaim_never_hurts(problem):
+    lin = linearize(problem)
+    raw = algorithm2(problem, lin)
+    better = reclaim(problem, raw)
+    better.validate(problem)
+    assert better.total_utility(problem) >= raw.total_utility(problem) - 1e-9
+
+
+def test_at_most_m_minus_one_unfull_threads_lemma_v6():
+    """Lemma V.6: fewer than m threads receive less than their ĉ."""
+    rng = np.random.default_rng(5)
+    for _ in range(20):
+        n, m = 12, 4
+        fns = [LogUtility(float(c), 1.0, CAP) for c in rng.uniform(0.5, 5.0, n)]
+        p = AAProblem(fns, m, CAP)
+        lin = linearize(p)
+        a = algorithm2(p, lin)
+        unfull = np.sum(a.allocations < lin.c_hat - 1e-9)
+        assert unfull <= m - 1
+
+
+def test_at_most_one_unfull_thread_per_server_lemma_v5():
+    rng = np.random.default_rng(6)
+    for _ in range(20):
+        n, m = 12, 4
+        fns = [LogUtility(float(c), 1.0, CAP) for c in rng.uniform(0.5, 5.0, n)]
+        p = AAProblem(fns, m, CAP)
+        lin = linearize(p)
+        a = algorithm2(p, lin)
+        unfull = a.allocations < lin.c_hat - 1e-9
+        for j in range(m):
+            assert np.sum(unfull[a.servers == j]) <= 1
+
+
+def test_first_m_threads_are_full_with_max_utility_lemma_v8():
+    """Lemma V.8: each of the first m assigned threads receives its full ĉ
+    and has utility at least the best unfull thread's super-optimal top."""
+    rng = np.random.default_rng(11)
+    for _ in range(15):
+        n, m = 10, 3
+        fns = [LogUtility(float(c), 1.0, CAP) for c in rng.uniform(0.5, 5.0, n)]
+        p = AAProblem(fns, m, CAP)
+        lin = linearize(p)
+        from repro.core.algorithm2 import thread_order
+
+        order = thread_order(lin, m)
+        a = algorithm2(p, lin)
+        head = order[:m]
+        # Full allocation for the head threads.
+        assert np.allclose(a.allocations[head], lin.c_hat[head])
+        # Their tops dominate every unfull thread's top (gamma).
+        unfull = np.nonzero(a.allocations < lin.c_hat - 1e-9)[0]
+        if unfull.size:
+            gamma = float(np.max(lin.top[unfull]))
+            assert np.all(lin.top[head] >= gamma - 1e-9)
+
+
+def test_steeper_unfull_threads_get_more_lemma_v10():
+    """Lemma V.10: among unfull threads, higher linearized slope implies at
+    least as much allocated resource."""
+    rng = np.random.default_rng(23)
+    checked = 0
+    for trial in range(40):
+        n, m = 12, 3
+        fns = [
+            CappedLinearUtility(float(s), float(b), CAP)
+            for s, b in zip(rng.uniform(0.5, 4.0, n), rng.uniform(1.0, CAP, n))
+        ]
+        p = AAProblem(fns, m, CAP)
+        lin = linearize(p)
+        a = algorithm2(p, lin)
+        unfull = np.nonzero(a.allocations < lin.c_hat - 1e-9)[0]
+        if unfull.size < 2:
+            continue
+        checked += 1
+        for i in unfull:
+            for j in unfull:
+                if lin.slope[i] > lin.slope[j] + 1e-9:
+                    assert a.allocations[i] >= a.allocations[j] - 1e-9, (
+                        f"slope {lin.slope[i]} thread got "
+                        f"{a.allocations[i]} < {a.allocations[j]}"
+                    )
+    assert checked >= 3  # the property was actually exercised
+
+
+def test_thread_order_two_keys():
+    """Lines 1-2 of Algorithm 2: head by top, tail re-sorted by slope."""
+    p = AAProblem(
+        [
+            CappedLinearUtility(1.0, 8.0, CAP),  # top 8, slope 1
+            CappedLinearUtility(4.0, 2.0, CAP),  # top 8, slope 4
+            CappedLinearUtility(3.0, 2.0, CAP),  # top 6, slope 3
+            CappedLinearUtility(0.5, 10.0, CAP),  # top 5, slope 0.5
+        ],
+        2,
+        CAP,
+    )
+    lin = linearize(p)
+    order = thread_order(lin, 2).tolist()
+    # Heads: the two largest tops (threads 0 and 1, stable tie by index).
+    assert set(order[:2]) == {0, 1}
+    # Tail sorted by slope: thread 2 (slope 3) before thread 3 (slope 0.5).
+    assert order[2:] == [2, 3]
+
+
+def test_algorithm1_unfull_step_takes_largest_leftover():
+    """Forces the line-9 branch: ĉ = [6, 6, 8] on two size-10 servers.
+
+    Thread 2 (top 7.2) fills server 0 to residual 2; thread 0 fits fully on
+    server 1 (residual 4); thread 1 then fits nowhere and must take the
+    largest leftover, 4 on server 1.
+    """
+    p = AAProblem(
+        [
+            CappedLinearUtility(1.0, 6.0, CAP),
+            CappedLinearUtility(1.0, 6.0, CAP),
+            CappedLinearUtility(0.9, 8.0, CAP),
+        ],
+        2,
+        CAP,
+    )
+    lin = linearize(p)
+    assert lin.c_hat == pytest.approx([6.0, 6.0, 8.0])
+    a = algorithm1(p, lin)
+    a.validate(p)
+    assert a.allocations[2] == pytest.approx(8.0)  # top thread, placed first
+    assert a.allocations[0] == pytest.approx(6.0)
+    assert a.allocations[1] == pytest.approx(4.0)  # unfull: largest leftover
+    assert a.servers[1] == a.servers[0]
+
+
+def test_shared_linearization_gives_same_superopt():
+    p = _problem(6, 2)
+    lin = linearize(p)
+    a1 = algorithm1(p, lin)
+    a2 = algorithm2(p, lin)
+    # Different assignments allowed, but both feasible and both guaranteed.
+    for a in (a1, a2):
+        a.validate(p)
+        assert a.total_utility(p) >= ALPHA * lin.super_optimal_utility - 1e-9

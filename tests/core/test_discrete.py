@@ -1,0 +1,120 @@
+"""Discrete (integer-unit) pipeline: granularity, guarantee, convergence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.discrete import (
+    algorithm2_discrete,
+    linearize_discrete,
+    reclaim_discrete,
+    solve_discrete,
+)
+from repro.core.linearize import linearize
+from repro.core.problem import ALPHA, AAProblem
+from repro.core.solve import solve
+from repro.core.tightness import tightness_instance
+from repro.utility.functions import LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+
+def _problem(n=6, m=2):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+def test_grants_are_unit_multiples():
+    p = _problem(7, 3)
+    a, dlin = solve_discrete(p, unit=0.5, reclaim=False)
+    units = a.allocations / 0.5
+    assert np.allclose(units, np.round(units))
+
+
+def test_feasible_and_every_thread_assigned():
+    p = _problem(8, 3)
+    a, _ = solve_discrete(p, unit=1.0)
+    a.validate(p)
+    assert np.all(a.servers >= 0)
+
+
+def test_superoptimal_units_spend_pool():
+    p = _problem(6, 2)
+    dlin = linearize_discrete(p, unit=1.0)
+    # LogUtility has positive marginals everywhere: all units are spent.
+    assert int(np.sum(dlin.units_hat)) == 2 * dlin.capacity_units
+
+
+def test_units_respect_single_server_cap():
+    p = _problem(1, 4)  # one thread, lots of pool
+    dlin = linearize_discrete(p, unit=1.0)
+    assert dlin.units_hat[0] <= dlin.capacity_units
+
+
+def test_discrete_bound_below_continuous():
+    """Unit granularity can only reduce the super-optimal utility."""
+    p = _problem(6, 2)
+    cont = linearize(p).super_optimal_utility
+    for unit in (5.0, 1.0, 0.25):
+        disc = linearize_discrete(p, unit).super_optimal_utility
+        assert disc <= cont + 1e-9
+
+
+def test_alpha_guarantee_against_discrete_bound():
+    p = _problem(9, 3)
+    a, dlin = solve_discrete(p, unit=1.0)
+    value = a.total_utility(p)
+    assert value >= ALPHA * dlin.super_optimal_utility - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(aa_problems(max_threads=7, max_servers=3))
+def test_alpha_guarantee_property(problem):
+    a, dlin = solve_discrete(problem, unit=1.0)
+    value = a.total_utility(problem)
+    assert value >= ALPHA * dlin.super_optimal_utility - 1e-6 * (
+        1 + dlin.super_optimal_utility
+    )
+
+
+def test_converges_to_continuous_as_unit_shrinks():
+    p = _problem(6, 2)
+    cont = solve(p).total_utility
+    gaps = []
+    for unit in (2.5, 1.0, 0.1):
+        a, _ = solve_discrete(p, unit=unit)
+        gaps.append(abs(cont - a.total_utility(p)))
+    assert gaps[-1] <= gaps[0] + 1e-9
+    assert gaps[-1] < 0.01 * cont
+
+
+def test_tightness_instance_with_half_units():
+    p = tightness_instance()
+    a, _ = solve_discrete(p, unit=0.5, reclaim=False)
+    assert a.total_utility(p) == pytest.approx(2.5)
+
+
+def test_reclaim_discrete_never_hurts():
+    p = _problem(8, 3)
+    dlin = linearize_discrete(p, unit=1.0)
+    raw = algorithm2_discrete(p, dlin)
+    rec = reclaim_discrete(p, raw, unit=1.0)
+    rec.validate(p)
+    assert rec.total_utility(p) >= raw.total_utility(p) - 1e-9
+    assert np.array_equal(rec.servers, raw.servers)
+
+
+def test_invalid_units_rejected():
+    p = _problem(4, 2)
+    with pytest.raises(ValueError):
+        linearize_discrete(p, unit=0.0)
+    with pytest.raises(ValueError):
+        linearize_discrete(p, unit=CAP * 2)
+    with pytest.raises(ValueError):
+        reclaim_discrete(p, algorithm2_discrete(p, unit=1.0), unit=-1.0)
+
+
+def test_coarse_unit_still_feasible():
+    p = _problem(5, 2)
+    a, dlin = solve_discrete(p, unit=CAP)  # one unit per server
+    a.validate(p)
+    assert dlin.capacity_units == 1

@@ -1,0 +1,144 @@
+"""Exact solvers: partition enumeration and the discrete DP cross-check."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exact import exact_continuous, exact_discrete_value, iter_partitions
+from repro.core.problem import AAProblem
+from repro.utility.functions import CappedLinearUtility, LinearUtility, LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+
+def _bell_like_count(n, m):
+    """Number of partitions of n elements into at most m blocks (reference)."""
+    # Stirling numbers of the second kind, summed.
+    S = [[0] * (n + 1) for _ in range(n + 1)]
+    S[0][0] = 1
+    for i in range(1, n + 1):
+        for k in range(1, i + 1):
+            S[i][k] = k * S[i - 1][k] + S[i - 1][k - 1]
+    return sum(S[n][k] for k in range(0, min(n, m) + 1))
+
+
+@pytest.mark.parametrize("n,m", [(1, 1), (3, 2), (4, 2), (4, 4), (5, 3)])
+def test_iter_partitions_count(n, m):
+    parts = list(iter_partitions(n, m))
+    assert len(parts) == _bell_like_count(n, m)
+
+
+def test_iter_partitions_cover_all_elements():
+    for blocks in iter_partitions(4, 3):
+        flat = sorted(t for b in blocks for t in b)
+        assert flat == [0, 1, 2, 3]
+
+
+def test_iter_partitions_unique():
+    seen = set()
+    for blocks in iter_partitions(5, 2):
+        key = tuple(sorted(tuple(b) for b in blocks))
+        assert key not in seen
+        seen.add(key)
+
+
+def test_iter_partitions_empty():
+    assert list(iter_partitions(0, 2)) == [[]]
+
+
+def test_exact_solves_tightness_style_instance():
+    p = AAProblem(
+        [
+            CappedLinearUtility(2.0, 0.5, 1.0),
+            CappedLinearUtility(2.0, 0.5, 1.0),
+            LinearUtility(1.0, 1.0),
+        ],
+        2,
+        1.0,
+    )
+    a = exact_continuous(p)
+    a.validate(p)
+    assert a.total_utility(p) == pytest.approx(3.0)
+    # The two capped threads must share one server.
+    assert a.servers[0] == a.servers[1]
+    assert a.servers[2] != a.servers[0]
+
+
+def test_exact_single_server_equals_waterfill():
+    from repro.allocation.waterfill import water_fill
+
+    fns = [LogUtility(float(c), 1.0, CAP) for c in (1, 2, 3)]
+    p = AAProblem(fns, 1, CAP)
+    a = exact_continuous(p)
+    wf = water_fill(p.utilities, CAP)
+    assert a.total_utility(p) == pytest.approx(wf.total_utility, rel=1e-9)
+
+
+def test_exact_guards_large_instances():
+    p = AAProblem([LinearUtility(1.0, CAP)] * 13, 2, CAP)
+    with pytest.raises(ValueError, match="n <= 12"):
+        exact_continuous(p)
+
+
+def test_exact_empty():
+    p = AAProblem([], 2, CAP)
+    assert exact_continuous(p).n_threads == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(aa_problems(max_threads=5, max_servers=3))
+def test_exact_at_least_any_single_server_packing(problem):
+    """Sanity: OPT >= utility of throwing everything on server 0."""
+    from repro.allocation.waterfill import water_fill
+
+    single = water_fill(problem.utilities, problem.capacity).total_utility
+    opt = exact_continuous(problem).total_utility(problem)
+    assert opt >= single - 1e-8 * (1 + abs(single))
+
+
+def test_discrete_dp_matches_continuous_on_integral_instance():
+    """Capped-linear utilities with integer breakpoints: the continuum
+    optimum is attained at integer allocations, so both solvers agree."""
+    fns = [
+        CappedLinearUtility(2.0, 2.0, 4.0),
+        CappedLinearUtility(1.0, 3.0, 4.0),
+        CappedLinearUtility(3.0, 1.0, 4.0),
+    ]
+    p = AAProblem(fns, 2, 4.0)
+    opt_cont = exact_continuous(p).total_utility(p)
+    opt_disc = exact_discrete_value(fns, 2, 4)
+    assert opt_disc == pytest.approx(opt_cont, rel=1e-9)
+
+
+def test_discrete_dp_single_server_matches_fox():
+    from repro.allocation.fox import fox_greedy
+
+    fns = [LogUtility(float(c), 1.0, 6.0) for c in (1, 2, 3)]
+    val = exact_discrete_value(fns, 1, 6)
+    fox = fox_greedy(fns, 6).total_utility
+    assert val == pytest.approx(fox, rel=1e-9)
+
+
+def test_discrete_dp_unit_scaling():
+    fns = [LinearUtility(1.0, 4.0), LinearUtility(2.0, 4.0)]
+    # 8 half-units on one server ≡ 4 whole units.
+    a = exact_discrete_value(fns, 1, 8, unit=0.5)
+    b = exact_discrete_value(fns, 1, 4, unit=1.0)
+    assert a == pytest.approx(b)
+
+
+def test_discrete_dp_rejects_bad_args():
+    with pytest.raises(ValueError):
+        exact_discrete_value([LinearUtility(1.0, CAP)], 0, 4)
+    with pytest.raises(ValueError):
+        exact_discrete_value([LinearUtility(1.0, CAP)], 1, -1)
+
+
+def test_discrete_dp_two_servers_beats_one():
+    fns = [CappedLinearUtility(1.0, 4.0, 4.0), CappedLinearUtility(1.0, 4.0, 4.0)]
+    one = exact_discrete_value(fns, 1, 4)
+    two = exact_discrete_value(fns, 2, 4)
+    assert two == pytest.approx(8.0)
+    assert one == pytest.approx(4.0)

@@ -1,0 +1,123 @@
+"""Structural invariances of the pipeline (hypothesis-driven).
+
+These tests pin down symmetries that must hold for *any* correct
+implementation: scaling utilities scales solutions, resource units are
+arbitrary, thread order does not change total utility under deterministic
+tie-breaking by value, and adding useless threads or empty servers never
+hurts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linearize import linearize
+from repro.core.problem import AAProblem
+from repro.core.solve import solve
+from repro.extensions.weighted import WeightedUtility
+from repro.utility.functions import LogUtility, ZeroUtility
+
+from tests.conftest import CAP, aa_problems, utility_lists
+
+
+class _XScaled(LogUtility):
+    """LogUtility with the x-axis stretched by ``s`` (u(x) = base(x/s))."""
+
+    def __init__(self, coeff, scale, cap, s):
+        super().__init__(coeff, scale * s, cap * s)
+        self._s = s
+
+
+@settings(max_examples=25, deadline=None)
+@given(utility_lists(1, 6), st.floats(min_value=0.1, max_value=10.0))
+def test_value_scaling_scales_solution(fns, scale):
+    """Multiplying all utilities by k multiplies F and F̂ by k."""
+    base = solve(AAProblem(fns, 2, CAP))
+    scaled_fns = [WeightedUtility(f, scale) for f in fns]
+    scaled = solve(AAProblem(scaled_fns, 2, CAP))
+    assert scaled.total_utility == pytest.approx(
+        scale * base.total_utility, rel=1e-6, abs=1e-9
+    )
+    assert scaled.super_optimal_utility == pytest.approx(
+        scale * base.super_optimal_utility, rel=1e-6, abs=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.1, max_value=10.0))
+def test_resource_units_are_arbitrary(s):
+    """Stretching the resource axis by s (capacity and all utilities)
+    leaves total utility unchanged."""
+    base_fns = [LogUtility(1.0 + i, 1.0, CAP) for i in range(5)]
+    base = solve(AAProblem(base_fns, 2, CAP))
+    stretched = [_XScaled(1.0 + i, 1.0, CAP, s) for i in range(5)]
+    scaled = solve(AAProblem(stretched, 2, CAP * s))
+    assert scaled.total_utility == pytest.approx(base.total_utility, rel=1e-6)
+    assert scaled.super_optimal_utility == pytest.approx(
+        base.super_optimal_utility, rel=1e-6
+    )
+    # Allocations need not match elementwise — floating-point rescaling can
+    # flip exact heap ties and regroup servers — but resource totals scale.
+    assert float(np.sum(scaled.assignment.allocations)) == pytest.approx(
+        s * float(np.sum(base.assignment.allocations)), rel=1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(aa_problems(max_threads=6, max_servers=3))
+def test_adding_zero_threads_never_changes_value(problem):
+    fns = problem.utilities.functions()
+    augmented = AAProblem(
+        fns + [ZeroUtility(problem.capacity)], problem.n_servers, problem.capacity
+    )
+    a = solve(problem).total_utility
+    b = solve(augmented).total_utility
+    assert b == pytest.approx(a, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(aa_problems(max_threads=6, max_servers=3))
+def test_adding_a_server_never_hurts(problem):
+    fns = problem.utilities.functions()
+    fewer = solve(problem).total_utility
+    more = solve(
+        AAProblem(fns, problem.n_servers + 1, problem.capacity)
+    ).total_utility
+    assert more >= fewer - 1e-6 * (1 + abs(fewer))
+
+
+@settings(max_examples=25, deadline=None)
+@given(aa_problems(max_threads=6, max_servers=3))
+def test_bound_is_permutation_invariant(problem):
+    fns = problem.utilities.functions()
+    shuffled = AAProblem(list(reversed(fns)), problem.n_servers, problem.capacity)
+    a = linearize(problem).super_optimal_utility
+    b = linearize(shuffled).super_optimal_utility
+    assert a == pytest.approx(b, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(aa_problems(max_threads=6, max_servers=3))
+def test_algorithm2_permutation_changes_value_little(problem):
+    """Thread order may flip ties, but both orders carry the α guarantee
+    against the same bound."""
+    from repro.core.problem import ALPHA
+
+    fns = problem.utilities.functions()
+    shuffled = AAProblem(list(reversed(fns)), problem.n_servers, problem.capacity)
+    bound = linearize(problem).super_optimal_utility
+    for p in (problem, shuffled):
+        value = solve(p).total_utility
+        assert value >= ALPHA * bound - 1e-6 * (1 + bound)
+
+
+@settings(max_examples=15, deadline=None)
+@given(aa_problems(max_threads=5, max_servers=2))
+def test_duplicating_the_system_doubles_the_bound(problem):
+    """Two disjoint copies of (threads, servers) earn exactly twice F̂."""
+    fns = problem.utilities.functions()
+    doubled = AAProblem(fns + fns, 2 * problem.n_servers, problem.capacity)
+    a = linearize(problem).super_optimal_utility
+    b = linearize(doubled).super_optimal_utility
+    assert b == pytest.approx(2 * a, rel=1e-6, abs=1e-9)

@@ -1,0 +1,112 @@
+"""Super-optimal allocation and linearization: Lemmas V.2-V.4 as tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exact import exact_continuous
+from repro.core.linearize import linearize
+from repro.core.problem import AAProblem
+from repro.utility.functions import CappedLinearUtility, LinearUtility, LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+
+def _problem(n=5, m=2):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+def test_pool_saturated_lemma_v3():
+    """Σ ĉ_i = mC when threads can absorb the pool (Lemma V.3)."""
+    p = _problem(5, 2)
+    lin = linearize(p)
+    assert float(np.sum(lin.c_hat)) == pytest.approx(p.pool, rel=1e-9)
+
+
+def test_pool_partially_used_when_n_below_m():
+    """n < m: every thread is capped at C, pool cannot be saturated."""
+    p = _problem(2, 4)
+    lin = linearize(p)
+    assert np.all(lin.c_hat == pytest.approx(CAP))
+    assert float(np.sum(lin.c_hat)) == pytest.approx(2 * CAP)
+
+
+def test_chat_never_exceeds_capacity():
+    p = _problem(8, 3)
+    lin = linearize(p)
+    assert np.all(lin.c_hat <= CAP + 1e-9)
+
+
+def test_top_is_value_at_chat():
+    p = _problem(4, 2)
+    lin = linearize(p)
+    assert lin.top == pytest.approx(np.asarray(p.utilities.value(lin.c_hat)))
+
+
+def test_super_optimal_utility_is_sum_of_tops():
+    p = _problem(4, 2)
+    lin = linearize(p)
+    assert lin.super_optimal_utility == pytest.approx(float(np.sum(lin.top)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(aa_problems(max_threads=7, max_servers=3))
+def test_bound_dominates_exact_optimum_lemma_v2(problem):
+    """F* <= F̂ (Lemma V.2) on random instances, via the exact solver."""
+    lin = linearize(problem)
+    opt = exact_continuous(problem).total_utility(problem)
+    assert opt <= lin.super_optimal_utility + 1e-6 * (1 + abs(opt))
+
+
+@settings(max_examples=40, deadline=None)
+@given(aa_problems(max_threads=8, max_servers=4))
+def test_g_minorizes_f_lemma_v4(problem):
+    """g_i(x) <= f_i(x) for all x (Lemma V.4) and touches at ĉ_i."""
+    lin = linearize(problem)
+    n = problem.n_threads
+    idx = np.arange(n)
+    for frac in (0.0, 0.1, 0.5, 0.9, 1.0):
+        x = np.full(n, frac * CAP)
+        g = lin.g_value(idx, x)
+        f = np.asarray(problem.utilities.value(x))
+        assert np.all(g <= f + 1e-7 * (1 + np.abs(f)))
+    at_chat = lin.g_value(idx, lin.c_hat)
+    assert at_chat == pytest.approx(lin.top, rel=1e-9, abs=1e-9)
+
+
+def test_g_value_ramp_and_flat():
+    # Two breakpoint-5 threads exactly absorb the pool: ĉ_i = 5 each.
+    fns = [CappedLinearUtility(2.0, 5.0, CAP), CappedLinearUtility(2.0, 5.0, CAP)]
+    p = AAProblem(fns, 1, CAP)
+    lin = linearize(p)
+    c_hat = float(lin.c_hat[0])
+    assert c_hat == pytest.approx(5.0)
+    assert lin.g_value(0, 0.0) == pytest.approx(0.0)
+    assert lin.g_value(0, c_hat / 2) == pytest.approx(lin.top[0] / 2)
+    assert lin.g_value(0, CAP) == pytest.approx(lin.top[0])
+
+
+def test_g_value_zero_chat_thread_is_flat():
+    """A thread with ĉ = 0 contributes its (constant) f(0) to g."""
+    # Slope-0 thread loses the whole pool to the strong thread.
+    p = AAProblem(
+        [LinearUtility(0.0, CAP), LinearUtility(5.0, CAP)], 1, CAP
+    )
+    lin = linearize(p)
+    assert lin.c_hat[0] == pytest.approx(0.0)
+    assert lin.g_value(0, 3.0) == pytest.approx(lin.top[0])
+
+
+def test_g_total_sums():
+    p = _problem(3, 2)
+    lin = linearize(p)
+    x = np.array([1.0, 2.0, 3.0])
+    expected = sum(float(lin.g_value(i, x[i])) for i in range(3))
+    assert lin.g_total(x) == pytest.approx(expected)
+
+
+def test_slope_definition():
+    p = _problem(3, 1)
+    lin = linearize(p)
+    pos = lin.c_hat > 0
+    assert lin.slope[pos] == pytest.approx(lin.top[pos] / lin.c_hat[pos])

@@ -1,0 +1,71 @@
+"""Reclamation pass: per-server optimality and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.allocation.waterfill import water_fill
+from repro.core.algorithm2 import algorithm2
+from repro.core.postprocess import reclaim, waterfill_within_servers
+from repro.core.problem import AAProblem, Assignment
+from repro.utility.functions import CappedLinearUtility, LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+
+def _problem(n=6, m=2):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+def test_reclaims_stranded_capacity():
+    """A full-thread server with leftovers must hand them to its threads."""
+    p = AAProblem(
+        [CappedLinearUtility(1.0, 6.0, CAP), LogUtility(3.0, 1.0, CAP)],
+        2,
+        CAP,
+    )
+    # Put each thread alone on a server but under-allocate thread 1.
+    before = Assignment(servers=[0, 1], allocations=[6.0, 4.0])
+    after = waterfill_within_servers(p, before.servers)
+    assert after.allocations[1] == pytest.approx(CAP)
+    assert after.total_utility(p) > before.total_utility(p)
+
+
+def test_assignment_unchanged():
+    p = _problem(7, 3)
+    a = algorithm2(p)
+    b = reclaim(p, a)
+    assert np.array_equal(a.servers, b.servers)
+
+
+@settings(max_examples=30, deadline=None)
+@given(aa_problems(max_threads=8, max_servers=3))
+def test_per_server_allocations_are_optimal(problem):
+    a = reclaim(problem, algorithm2(problem))
+    a.validate(problem)
+    for j in range(problem.n_servers):
+        members = a.threads_on(j)
+        if members.size == 0:
+            continue
+        sub = problem.utilities.subset(members)
+        best = water_fill(sub, problem.capacity).total_utility
+        got = float(np.sum(np.asarray(sub.value(a.allocations[members]))))
+        assert got == pytest.approx(best, rel=1e-6, abs=1e-6)
+
+
+def test_rejects_wrong_length():
+    p = _problem(3, 2)
+    with pytest.raises(ValueError):
+        waterfill_within_servers(p, np.array([0, 1]))
+
+
+def test_rejects_out_of_range_server():
+    p = _problem(2, 2)
+    with pytest.raises(ValueError):
+        waterfill_within_servers(p, np.array([0, 5]))
+
+
+def test_empty_problem():
+    p = AAProblem([], 2, CAP)
+    a = waterfill_within_servers(p, np.zeros(0, dtype=int))
+    assert a.n_threads == 0

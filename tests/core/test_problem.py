@@ -1,0 +1,119 @@
+"""AAProblem and Assignment: construction, validation, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ALPHA, AAProblem, Assignment
+from repro.utility.functions import LinearUtility, LogUtility
+
+CAP = 10.0
+
+
+def test_alpha_constant_value():
+    assert ALPHA == pytest.approx(2 * (np.sqrt(2) - 1))
+    assert 0.828 < ALPHA < 0.829
+
+
+def _problem(n=4, m=2):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+def test_problem_basic_properties():
+    p = _problem(6, 3)
+    assert p.n_threads == 6
+    assert p.n_servers == 3
+    assert p.beta == 2.0
+    assert p.pool == 30.0
+
+
+def test_problem_rejects_zero_servers():
+    with pytest.raises(ValueError):
+        _problem(4, 0)
+
+
+def test_problem_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        AAProblem([LinearUtility(1.0, 0.0)], 1, 0.0)
+
+
+def test_problem_rejects_cap_above_capacity():
+    with pytest.raises(ValueError, match="server capacity"):
+        AAProblem([LinearUtility(1.0, CAP + 1)], 1, CAP)
+
+
+def test_empty_problem_allowed():
+    p = AAProblem([], 2, CAP)
+    assert p.n_threads == 0
+
+
+def test_assignment_roundtrip():
+    a = Assignment(servers=[0, 1, 0], allocations=[1.0, 2.0, 3.0])
+    assert a.n_threads == 3
+    assert a.threads_on(0).tolist() == [0, 2]
+    assert a.server_loads(2).tolist() == [4.0, 2.0]
+
+
+def test_assignment_shape_mismatch():
+    with pytest.raises(ValueError):
+        Assignment(servers=[0, 1], allocations=[1.0])
+
+
+def test_total_utility():
+    p = _problem(2, 2)
+    a = Assignment(servers=[0, 1], allocations=[1.0, 2.0])
+    expected = float(p.utilities.value(np.array([1.0, 2.0])).sum())
+    assert a.total_utility(p) == pytest.approx(expected)
+
+
+def test_validate_accepts_feasible():
+    p = _problem(4, 2)
+    a = Assignment(servers=[0, 0, 1, 1], allocations=[5.0, 5.0, 10.0, 0.0])
+    a.validate(p)
+
+
+def test_validate_rejects_overload():
+    p = _problem(3, 2)
+    a = Assignment(servers=[0, 0, 1], allocations=[6.0, 5.0, 1.0])
+    with pytest.raises(ValueError, match="exceeds capacity"):
+        a.validate(p)
+
+
+def test_validate_rejects_out_of_range_server():
+    p = _problem(2, 2)
+    with pytest.raises(ValueError, match="in range"):
+        Assignment(servers=[0, 2], allocations=[1.0, 1.0]).validate(p)
+    with pytest.raises(ValueError, match="in range"):
+        Assignment(servers=[-1, 0], allocations=[1.0, 1.0]).validate(p)
+
+
+def test_validate_rejects_negative_allocation():
+    p = _problem(2, 2)
+    a = Assignment(servers=[0, 1], allocations=[-0.5, 1.0])
+    with pytest.raises(ValueError, match="nonnegative"):
+        a.validate(p)
+
+
+def test_validate_rejects_allocation_beyond_cap():
+    utilities = [LinearUtility(1.0, 4.0), LinearUtility(1.0, CAP)]
+    p = AAProblem(utilities, 2, CAP)
+    a = Assignment(servers=[0, 1], allocations=[5.0, 1.0])
+    with pytest.raises(ValueError, match="domain"):
+        a.validate(p)
+
+
+def test_validate_rejects_wrong_length():
+    p = _problem(3, 2)
+    a = Assignment(servers=[0, 1], allocations=[1.0, 1.0])
+    with pytest.raises(ValueError, match="covers"):
+        a.validate(p)
+
+
+def test_validate_tolerates_float_slack():
+    p = _problem(2, 1)
+    a = Assignment(servers=[0, 0], allocations=[5.0, 5.0 + 1e-12])
+    a.validate(p)
+
+
+def test_validate_empty_assignment():
+    p = AAProblem([], 1, CAP)
+    Assignment(servers=np.zeros(0, dtype=int), allocations=np.zeros(0)).validate(p)

@@ -1,0 +1,76 @@
+"""solve() facade and Solution certificates."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ALPHA, AAProblem
+from repro.core.solve import solve
+from repro.core.tightness import tightness_instance
+from repro.utility.functions import LogUtility, ZeroUtility
+
+CAP = 10.0
+
+
+def _problem(n=6, m=2):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+def test_solution_fields():
+    sol = solve(_problem())
+    assert sol.algorithm == "alg2"
+    assert sol.total_utility > 0
+    assert sol.super_optimal_utility >= sol.total_utility - 1e-9
+    assert 0 < sol.certified_ratio <= 1 + 1e-9
+
+
+def test_meets_guarantee_flag():
+    sol = solve(_problem())
+    assert sol.meets_guarantee
+    assert sol.certified_ratio >= ALPHA - 1e-9
+
+
+def test_alg1_selection():
+    sol = solve(_problem(), algorithm="alg1")
+    assert sol.algorithm == "alg1"
+    assert sol.meets_guarantee
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        solve(_problem(), algorithm="magic")
+
+
+def test_reclaim_improves_or_matches_raw():
+    p = tightness_instance()
+    raw = solve(p, reclaim=False)
+    rec = solve(p, reclaim=True)
+    assert rec.total_utility >= raw.total_utility - 1e-12
+
+
+def test_raw_mode_reproduces_paper_algorithm():
+    p = tightness_instance()
+    sol = solve(p, reclaim=False)
+    assert sol.total_utility == pytest.approx(2.5)
+
+
+def test_shared_linearization_reused():
+    from repro.core.linearize import linearize
+
+    p = _problem()
+    lin = linearize(p)
+    sol = solve(p, lin=lin)
+    assert sol.linearization is lin
+
+
+def test_zero_utility_instance_ratio_is_one():
+    p = AAProblem([ZeroUtility(CAP), ZeroUtility(CAP)], 2, CAP)
+    sol = solve(p)
+    assert sol.super_optimal_utility == 0.0
+    assert sol.certified_ratio == 1.0
+    assert sol.meets_guarantee
+
+
+def test_assignment_validated_on_return():
+    sol = solve(_problem(8, 3))
+    # Would have raised inside solve() otherwise; double-check here.
+    sol.assignment.validate(_problem(8, 3))

@@ -1,0 +1,46 @@
+"""Theorem V.17: the 5/6 tightness instance, end to end."""
+
+import pytest
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm2 import algorithm2
+from repro.core.exact import exact_continuous
+from repro.core.problem import ALPHA
+from repro.core.tightness import (
+    TIGHTNESS_RATIO,
+    tightness_instance,
+    tightness_optimal_utility,
+)
+
+
+def test_optimal_utility_is_three():
+    p = tightness_instance()
+    opt = exact_continuous(p)
+    assert opt.total_utility(p) == pytest.approx(tightness_optimal_utility())
+
+
+@pytest.mark.parametrize("alg", [algorithm1, algorithm2], ids=lambda a: a.__name__)
+def test_paper_algorithms_achieve_exactly_five_sixths(alg):
+    p = tightness_instance()
+    a = alg(p)
+    a.validate(p)
+    ratio = a.total_utility(p) / tightness_optimal_utility()
+    assert ratio == pytest.approx(TIGHTNESS_RATIO)
+
+
+def test_ratio_sits_between_alpha_and_one():
+    assert ALPHA < TIGHTNESS_RATIO < 1.0
+
+
+def test_tightness_constant():
+    assert TIGHTNESS_RATIO == pytest.approx(5.0 / 6.0)
+
+
+def test_reclaim_does_not_rescue_the_instance():
+    """Reclamation reallocates within servers; the loss here is a bad
+    *assignment* (the capped threads split), so the ratio stays 5/6."""
+    from repro.core.postprocess import reclaim
+
+    p = tightness_instance()
+    a = reclaim(p, algorithm2(p))
+    assert a.total_utility(p) / 3.0 == pytest.approx(TIGHTNESS_RATIO)

@@ -1,0 +1,60 @@
+"""Trial-budget convergence tooling."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.convergence import (
+    ConvergencePoint,
+    convergence_study,
+    render_convergence,
+    required_trials,
+)
+from repro.workloads.generators import UniformDistribution
+
+DIST = UniformDistribution()
+GEOM = dict(n_servers=4, beta=3.0, capacity=100.0)
+
+
+def test_study_returns_schedule():
+    pts = convergence_study(DIST, trial_schedule=(4, 8), seed=1, **GEOM)
+    assert [p.trials for p in pts] == [4, 8]
+    for p in pts:
+        assert "SO" in p.stats and "UU" in p.stats
+
+
+def test_ci_shrinks_with_budget():
+    pts = convergence_study(DIST, trial_schedule=(8, 128), seed=0, **GEOM)
+    widths = [
+        p.stats["UU"].ci95_high - p.stats["UU"].ci95_low for p in pts
+    ]
+    assert widths[1] < widths[0]
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        convergence_study(DIST, trial_schedule=(1, 5), **GEOM)
+    with pytest.raises(ValueError):
+        convergence_study(DIST, trial_schedule=(10, 5), **GEOM)
+
+
+def test_required_trials_scales_with_precision():
+    coarse = required_trials(DIST, series="UU", half_width=0.05,
+                             pilot_trials=20, seed=2, **GEOM)
+    fine = required_trials(DIST, series="UU", half_width=0.005,
+                           pilot_trials=20, seed=2, **GEOM)
+    assert fine > coarse
+    # Normal theory: 10x tighter CI needs ~100x the trials.
+    assert fine == pytest.approx(100 * coarse, rel=0.1)
+
+
+def test_required_trials_unknown_series():
+    with pytest.raises(ValueError, match="unknown series"):
+        required_trials(DIST, series="XYZ", half_width=0.01,
+                        pilot_trials=5, seed=0, **GEOM)
+
+
+def test_render_table():
+    pts = convergence_study(DIST, trial_schedule=(4, 8), seed=3, **GEOM)
+    out = render_convergence(pts, "SO")
+    assert "trials" in out
+    assert out.count("\n") == 2

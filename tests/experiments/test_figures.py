@@ -1,0 +1,70 @@
+"""Figure registry and qualitative shape checks (fast, low-trial smoke)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    BETA_SWEEP,
+    FIGURES,
+    FigureSpec,
+    expected_shape_violations,
+    run_figure,
+)
+from repro.experiments.harness import SO
+
+
+def test_all_panels_registered():
+    assert set(FIGURES) == {
+        "fig1a",
+        "fig1b",
+        "fig2a",
+        "fig2b",
+        "fig3a",
+        "fig3b",
+        "fig3c",
+    }
+
+
+def test_beta_sweep_matches_paper():
+    assert BETA_SWEEP == tuple(range(1, 16))
+
+
+def test_specs_have_factories():
+    for spec in FIGURES.values():
+        dist, beta = spec.factory(spec.sweep[0])
+        assert beta > 0
+        assert hasattr(dist, "sample")
+
+
+def test_run_figure_small_smoke():
+    pts = run_figure("fig1a", trials=2, seed=0)
+    assert len(pts) == len(BETA_SWEEP)
+    for p in pts:
+        assert 0.8 <= p.ratios[SO] <= 1.0 + 1e-9
+
+
+def test_unknown_figure_raises():
+    with pytest.raises(KeyError):
+        run_figure("fig9z", trials=1)
+
+
+def test_shape_checker_flags_fabricated_regression():
+    """Feed the checker series that violate every claim and expect noise."""
+    from repro.experiments.harness import SweepPoint
+
+    bad = [
+        SweepPoint(
+            value=float(b),
+            ratios={SO: 0.5, "UU": 0.9, "UR": 0.9, "RU": 0.9, "RR": 0.9},
+            trials=1,
+        )
+        for b in BETA_SWEEP
+    ]
+    violations = expected_shape_violations("fig1a", bad)
+    assert any("Alg2/SO" in v for v in violations)
+    assert any("dipped below 1" in v for v in violations)
+
+
+@pytest.mark.slow
+def test_fig3c_shape_holds_at_moderate_trials():
+    pts = run_figure("fig3c", trials=25, seed=0)
+    assert expected_shape_violations("fig3c", pts) == []

@@ -1,0 +1,101 @@
+"""Experiment harness: trial records, ratios, sweeps, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ALPHA
+from repro.experiments.harness import (
+    ALG2,
+    ALG2RAW,
+    SO,
+    TrialRecord,
+    run_point,
+    run_sweep,
+    run_trial,
+)
+from repro.workloads.generators import UniformDistribution, make_problem
+
+DIST = UniformDistribution()
+
+
+def test_trial_record_ratio():
+    rec = TrialRecord(utilities={ALG2: 8.0, SO: 10.0, "UU": 4.0}, n_threads=5)
+    assert rec.ratio(SO) == pytest.approx(0.8)
+    assert rec.ratio("UU") == pytest.approx(2.0)
+
+
+def test_trial_record_zero_division():
+    rec = TrialRecord(utilities={ALG2: 0.0, SO: 0.0, "UU": 1.0}, n_threads=1)
+    assert rec.ratio(SO) == 1.0
+    rec2 = TrialRecord(utilities={ALG2: 1.0, "UU": 0.0}, n_threads=1)
+    assert rec2.ratio("UU") == np.inf
+
+
+def test_run_trial_contains_all_series(rng):
+    p = make_problem(DIST, 4, 3, 100.0, seed=rng)
+    rec = run_trial(p, rng, include_alg1=True, include_raw=True)
+    assert {SO, ALG2, "ALG1", ALG2RAW, "UU", "UR", "RU", "RR"} <= set(rec.utilities)
+
+
+def test_run_trial_alg2_within_bound(rng):
+    p = make_problem(DIST, 4, 3, 100.0, seed=rng)
+    rec = run_trial(p, rng)
+    assert rec.utilities[ALG2] <= rec.utilities[SO] + 1e-6
+    assert rec.utilities[ALG2] >= ALPHA * rec.utilities[SO] - 1e-6
+
+
+def test_run_trial_reclaim_beats_raw(rng):
+    p = make_problem(DIST, 4, 5, 100.0, seed=rng)
+    rec = run_trial(p, rng, include_raw=True)
+    assert rec.utilities[ALG2] >= rec.utilities[ALG2RAW] - 1e-9
+
+
+def test_run_point_mean_ratios():
+    r = run_point(DIST, 4, 3, 100.0, trials=5, seed=0)
+    assert set(r) >= {SO, "UU", "UR", "RU", "RR"}
+    assert 0.9 <= r[SO] <= 1.0 + 1e-9
+    for h in ("UU", "UR", "RU", "RR"):
+        assert r[h] >= 0.99  # Alg2 should not lose on average
+
+
+def test_run_point_reproducible():
+    a = run_point(DIST, 4, 3, 100.0, trials=4, seed=7)
+    b = run_point(DIST, 4, 3, 100.0, trials=4, seed=7)
+    assert a == b
+
+
+def test_run_point_seed_matters():
+    a = run_point(DIST, 4, 3, 100.0, trials=4, seed=1)
+    b = run_point(DIST, 4, 3, 100.0, trials=4, seed=2)
+    assert a != b
+
+
+def test_run_point_rejects_zero_trials():
+    with pytest.raises(ValueError):
+        run_point(DIST, 4, 3, 100.0, trials=0)
+
+
+def test_run_sweep_beta_factory():
+    pts = run_sweep(
+        lambda beta: (DIST, float(beta)),
+        sweep_values=(1, 2),
+        n_servers=4,
+        capacity=100.0,
+        trials=3,
+        seed=0,
+    )
+    assert [p.value for p in pts] == [1.0, 2.0]
+    assert all(p.trials == 3 for p in pts)
+
+
+def test_run_sweep_fixed_beta_override():
+    pts = run_sweep(
+        lambda theta: (DIST, 99.0),  # factory beta ignored when beta= given
+        sweep_values=(0.5,),
+        beta=2.0,
+        n_servers=4,
+        capacity=100.0,
+        trials=2,
+        seed=0,
+    )
+    assert len(pts) == 1

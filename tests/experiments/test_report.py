@@ -1,0 +1,84 @@
+"""Plain-text reporting of sweeps."""
+
+from repro.experiments.harness import SO, SweepPoint
+from repro.experiments.report import (
+    series_table,
+    spark_table,
+    sparkline,
+    summarize_headlines,
+)
+
+
+def _points():
+    return [
+        SweepPoint(value=1.0, ratios={SO: 0.999, "UU": 1.0, "RR": 1.3}, trials=10),
+        SweepPoint(value=2.0, ratios={SO: 0.998, "UU": 1.1, "RR": 1.4}, trials=10),
+    ]
+
+
+def test_series_table_contains_rows_and_columns():
+    out = series_table(_points(), x_label="beta")
+    assert "alg2/SO" in out
+    assert "alg2/UU" in out
+    assert "0.9990" in out
+    assert "1.4000" in out
+    assert "10 trials" in out
+
+
+def test_series_table_column_order_bound_first():
+    out = series_table(_points())
+    header = out.splitlines()[0]
+    assert header.index("SO") < header.index("UU") < header.index("RR")
+
+
+def test_series_table_empty():
+    assert series_table([]) == "(no data)"
+
+
+def test_sparkline_monotone_series():
+    s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+    assert s[0] == "▁"
+    assert s[-1] == "█"
+    assert len(s) == 8
+
+
+def test_sparkline_flat_series():
+    assert sparkline([2.0, 2.0, 2.0]) == "▄▄▄"
+
+
+def test_sparkline_pinned_scale():
+    s = sparkline([0.5], lo=0.0, hi=1.0)
+    assert s in "▄▅"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_spark_table_lists_all_series():
+    out = spark_table(_points())
+    assert "alg2/SO" in out and "alg2/RR" in out
+    assert "[" in out and "…" in out
+
+
+def test_spark_table_empty():
+    assert spark_table([]) == "(no data)"
+
+
+def test_headlines_reports_worst_so():
+    panels = {"fig1a": _points()}
+    out = summarize_headlines(panels)
+    assert "0.9980" in out
+
+
+def test_headlines_power_law_multipliers():
+    pts = [
+        SweepPoint(
+            value=15.0,
+            ratios={SO: 0.999, "UU": 3.5, "RU": 3.4, "UR": 5.0, "RR": 5.2},
+            trials=10,
+        )
+    ]
+    out = summarize_headlines({"fig2a": pts})
+    assert "3.50x UU/RU" in out
+    assert "5.20x UR/RR" in out

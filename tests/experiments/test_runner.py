@@ -1,0 +1,65 @@
+"""Result persistence round-trips."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import SweepPoint
+from repro.experiments.runner import (
+    load_result,
+    points_from_dict,
+    points_to_dict,
+    run_and_save,
+    verify_saved_result,
+)
+
+
+def _points():
+    return [
+        SweepPoint(value=1.0, ratios={"SO": 0.999, "UU": 1.0}, trials=5),
+        SweepPoint(value=2.0, ratios={"SO": 0.998, "UU": 1.1}, trials=5),
+    ]
+
+
+def test_dict_roundtrip():
+    doc = points_to_dict("fig1a", _points(), seed=3)
+    figure_id, points = points_from_dict(doc)
+    assert figure_id == "fig1a"
+    assert [p.value for p in points] == [1.0, 2.0]
+    assert points[0].ratios["SO"] == 0.999
+
+
+def test_provenance_recorded():
+    doc = points_to_dict("fig2b", _points(), seed=7)
+    assert doc["seed"] == 7
+    assert doc["trials"] == 5
+    assert "library_version" in doc
+
+
+def test_bad_format_rejected():
+    with pytest.raises(ValueError, match="aart-figure-result"):
+        points_from_dict({"format": "nope"})
+
+
+def test_run_and_save_creates_file(tmp_path):
+    path = tmp_path / "fig3c.json"
+    points = run_and_save("fig3c", path, trials=2, seed=0)
+    assert path.exists()
+    figure_id, loaded = load_result(path)
+    assert figure_id == "fig3c"
+    assert len(loaded) == len(points)
+    for a, b in zip(points, loaded):
+        assert a.ratios == pytest.approx(b.ratios)
+
+
+def test_run_and_save_unknown_figure(tmp_path):
+    with pytest.raises(ValueError, match="unknown figure"):
+        run_and_save("fig99", tmp_path / "x.json", trials=1)
+
+
+def test_verify_saved_result(tmp_path):
+    path = tmp_path / "r.json"
+    doc = points_to_dict("fig3c", _points(), seed=0)
+    path.write_text(json.dumps(doc))
+    violations = verify_saved_result(path)
+    assert isinstance(violations, list)  # fabricated data may violate shape

@@ -1,0 +1,39 @@
+"""Sensitivity sweeps over the paper's fixed geometry knobs."""
+
+import pytest
+
+from repro.experiments.sensitivity import capacity_sweep, max_spread, server_sweep
+from repro.workloads.generators import UniformDistribution
+
+DIST = UniformDistribution()
+
+
+def test_server_sweep_shapes():
+    pts = server_sweep(DIST, m_values=(2, 4), trials=5, seed=0)
+    assert [p.value for p in pts] == [2.0, 4.0]
+    for p in pts:
+        assert "SO" in p.ratios
+
+
+def test_server_sweep_near_optimal_everywhere():
+    pts = server_sweep(DIST, m_values=(2, 8), beta=4.0, trials=10, seed=1)
+    for p in pts:
+        assert p.ratios["SO"] >= 0.98
+
+
+def test_capacity_scale_invariance():
+    """Ratios are scale-free in C by construction of the generator."""
+    pts = capacity_sweep(
+        DIST, c_values=(10.0, 1000.0), beta=4.0, trials=30, seed=2
+    )
+    # Same seeds across C give statistically indistinguishable ratios;
+    # with independent draws, spread should still be small.
+    assert max_spread(pts, "SO") < 0.01
+    assert max_spread(pts, "UU") < 0.08
+
+
+def test_max_spread_accounting():
+    pts = server_sweep(DIST, m_values=(2, 4), trials=4, seed=3)
+    spread = max_spread(pts, "UU")
+    values = [p.ratios["UU"] for p in pts]
+    assert spread == pytest.approx(max(values) - min(values))

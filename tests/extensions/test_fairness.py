@@ -1,0 +1,85 @@
+"""Max-min fairness: progressive filling and the efficiency trade-off."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.problem import AAProblem
+from repro.core.solve import solve
+from repro.extensions.fairness import (
+    fairness_report,
+    maxmin_fair,
+    progressive_fill,
+)
+from repro.utility.batch import GenericBatch
+from repro.utility.functions import CappedLinearUtility, LinearUtility, LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+
+def test_progressive_fill_identical_threads_split_evenly():
+    batch = GenericBatch([LogUtility(1.0, 1.0, CAP)] * 4)
+    alloc = progressive_fill(batch, np.arange(4), CAP)
+    assert alloc == pytest.approx(np.full(4, CAP / 4), rel=1e-6)
+
+
+def test_progressive_fill_equalizes_utilities():
+    fns = [LinearUtility(1.0, CAP), LinearUtility(4.0, CAP)]
+    batch = GenericBatch(fns)
+    alloc = progressive_fill(batch, np.arange(2), CAP)
+    u = [float(f.value(a)) for f, a in zip(fns, alloc)]
+    assert u[0] == pytest.approx(u[1], rel=1e-5)
+    assert float(np.sum(alloc)) == pytest.approx(CAP, rel=1e-6)
+
+
+def test_progressive_fill_saturated_thread_keeps_cap():
+    fns = [CappedLinearUtility(1.0, 1.0, CAP), LinearUtility(1.0, CAP)]
+    alloc = progressive_fill(GenericBatch(fns), np.arange(2), CAP)
+    # Thread 0 peaks at utility 1 using 1 unit; the rest goes to thread 1.
+    assert alloc[0] == pytest.approx(CAP, rel=1e-5) or alloc[1] == pytest.approx(9.0, rel=1e-3)
+    assert float(np.sum(alloc)) == pytest.approx(CAP, rel=1e-6)
+
+
+def test_progressive_fill_empty():
+    batch = GenericBatch([LinearUtility(1.0, CAP)])
+    assert progressive_fill(batch, np.array([], dtype=int), CAP).size == 0
+
+
+def test_maxmin_fair_is_feasible():
+    p = AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(7)], 3, CAP)
+    a = maxmin_fair(p)
+    a.validate(p)
+
+
+def test_maxmin_raises_the_floor():
+    """A weak thread gets more under fairness than under utility max."""
+    fns = [LinearUtility(0.05, CAP), LinearUtility(5.0, CAP)]
+    p = AAProblem(fns, 1, CAP)
+    util = solve(p).assignment
+    fair = maxmin_fair(p)
+    weak_util = float(fns[0].value(util.allocations[0]))
+    weak_fair = float(fns[0].value(fair.allocations[0]))
+    assert weak_fair > weak_util
+
+
+def test_report_fields_consistent():
+    p = AAProblem([LinearUtility(0.1, CAP), LinearUtility(3.0, CAP)], 1, CAP)
+    rep = fairness_report(p)
+    assert rep.fair_min >= rep.utilitarian_min - 1e-9
+    assert rep.utilitarian_total >= rep.fair_total - 1e-9
+    assert 0.0 <= rep.efficiency_cost <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(aa_problems(max_threads=6, max_servers=3))
+def test_fairness_never_beats_utilitarian_total(problem):
+    rep = fairness_report(problem)
+    assert rep.fair_total <= rep.utilitarian_total + 1e-6 * (
+        1 + abs(rep.utilitarian_total)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(aa_problems(max_threads=6, max_servers=3))
+def test_fair_assignment_always_feasible(problem):
+    maxmin_fair(problem).validate(problem)

@@ -1,0 +1,95 @@
+"""Local-search refinement: monotonicity, fixability, termination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exact import exact_continuous
+from repro.core.problem import AAProblem, Assignment
+from repro.core.solve import solve
+from repro.core.tightness import tightness_instance
+from repro.extensions.localsearch import local_search, solve_with_refinement
+from repro.utility.functions import LogUtility
+
+from tests.conftest import CAP, aa_problems
+
+
+def _problem(n=6, m=2):
+    return AAProblem([LogUtility(1.0 + i, 1.0, CAP) for i in range(n)], m, CAP)
+
+
+def test_never_decreases_utility():
+    p = _problem(8, 3)
+    base = solve(p)
+    refined = local_search(p, base.assignment)
+    assert refined.total_utility >= base.total_utility - 1e-9
+
+
+def test_result_is_feasible():
+    p = _problem(8, 3)
+    refined = solve_with_refinement(p)
+    refined.assignment.validate(p)
+
+
+def test_fixes_the_tightness_instance():
+    """Local search repairs Theorem V.17's bad split: 5/6 -> 1.0.
+
+    Moving one capped thread next to the other costs nothing (its server
+    mate is flat past 0.5) and frees a whole server for the linear thread.
+    """
+    p = tightness_instance()
+    base = solve(p)
+    assert base.total_utility == pytest.approx(2.5)
+    refined = local_search(p, base.assignment, use_swaps=True)
+    assert refined.total_utility == pytest.approx(3.0)
+    assert refined.moves + refined.swaps >= 1
+
+
+def test_moves_alone_also_fix_tightness():
+    p = tightness_instance()
+    base = solve(p)
+    refined = local_search(p, base.assignment, use_swaps=False)
+    assert refined.total_utility == pytest.approx(3.0)
+    assert refined.moves >= 1
+
+
+def test_improvement_accounting():
+    p = tightness_instance()
+    base = solve(p)
+    refined = local_search(p, base.assignment)
+    assert refined.improvement == pytest.approx(0.5)
+    assert refined.initial_utility == pytest.approx(2.5)
+
+
+def test_terminates_on_optimal_start():
+    p = _problem(4, 2)
+    opt = exact_continuous(p)
+    refined = local_search(p, opt)
+    assert refined.total_utility == pytest.approx(opt.total_utility(p), rel=1e-9)
+    assert refined.moves == 0 and refined.swaps == 0
+    assert refined.passes == 1
+
+
+def test_refines_a_bad_start():
+    p = _problem(6, 3)
+    # Everything dumped on server 0 with nothing allocated.
+    bad = Assignment(servers=np.zeros(6, dtype=np.int64), allocations=np.zeros(6))
+    refined = local_search(p, bad)
+    refined.assignment.validate(p)
+    opt = exact_continuous(p).total_utility(p)
+    assert refined.total_utility >= 0.99 * opt
+
+
+def test_rejects_mismatched_start():
+    p = _problem(4, 2)
+    bad = Assignment(servers=np.zeros(3, dtype=np.int64), allocations=np.zeros(3))
+    with pytest.raises(ValueError):
+        local_search(p, bad)
+
+
+@settings(max_examples=15, deadline=None)
+@given(aa_problems(max_threads=6, max_servers=3))
+def test_refined_close_to_exact(problem):
+    refined = solve_with_refinement(problem)
+    opt = exact_continuous(problem).total_utility(problem)
+    assert refined.total_utility >= 0.98 * opt - 1e-9

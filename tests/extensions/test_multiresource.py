@@ -1,0 +1,86 @@
+"""Multi-resource (Leontief) extension via dominant-share scalarization."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.multiresource import MultiResourceProblem, solve_multiresource
+from repro.utility.functions import LogUtility, PowerUtility
+
+
+def _problem(n=4, m=2):
+    utils = [PowerUtility(1.0 + i, 0.7, cap=100.0) for i in range(n)]
+    demands = np.tile([[1.0, 0.5]], (n, 1))
+    demands[1:, 1] = np.linspace(0.2, 2.0, n - 1) if n > 1 else demands[1:, 1]
+    return MultiResourceProblem(utils, demands, n_servers=m, capacities=[50.0, 40.0])
+
+
+def test_shapes_and_validation():
+    p = _problem(4, 2)
+    assert p.n_threads == 4
+    assert p.n_resources == 2
+
+
+def test_rejects_bad_inputs():
+    utils = [LogUtility(1.0, 1.0, 10.0)]
+    with pytest.raises(ValueError):
+        MultiResourceProblem(utils, np.zeros((1, 2)), 1, [1.0, 1.0])  # zero demand
+    with pytest.raises(ValueError):
+        MultiResourceProblem(utils, np.ones((2, 2)), 1, [1.0, 1.0])  # shape
+    with pytest.raises(ValueError):
+        MultiResourceProblem(utils, np.ones((1, 2)), 1, [1.0])  # capacities
+    with pytest.raises(ValueError):
+        MultiResourceProblem(utils, -np.ones((1, 2)), 1, [1.0, 1.0])
+    with pytest.raises(ValueError):
+        MultiResourceProblem(utils, np.ones((1, 2)), 0, [1.0, 1.0])
+
+
+def test_dominant_share_formula():
+    utils = [LogUtility(1.0, 1.0, 10.0)]
+    p = MultiResourceProblem(utils, [[2.0, 1.0]], 1, [10.0, 10.0])
+    assert p.dominant_share_per_unit()[0] == pytest.approx(0.2)
+
+
+def test_scalar_problem_capacity_one():
+    p = _problem()
+    scalar = p.to_scalar_aa()
+    assert scalar.capacity == 1.0
+    assert np.all(scalar.utilities.caps <= 1.0 + 1e-12)
+
+
+def test_solution_respects_every_resource():
+    p = _problem(6, 2)
+    sol = solve_multiresource(p)
+    assert np.all(sol.usage <= p.capacities * (1 + 1e-9))
+    report = sol.utilization_report()
+    assert np.all((report >= -1e-12) & (report <= 1 + 1e-9))
+
+
+def test_task_units_consistent_with_usage():
+    p = _problem(5, 2)
+    sol = solve_multiresource(p)
+    total_units = sol.task_units
+    recomputed = np.zeros_like(sol.usage)
+    for j in range(p.n_servers):
+        members = sol.scalar.assignment.servers == j
+        recomputed[j] = (total_units[members, None] * p.demands[members]).sum(axis=0)
+    assert recomputed == pytest.approx(sol.usage)
+
+
+def test_dominant_resource_binds_when_uniform_demands():
+    """Threads demanding only resource 0 should be able to use ~all of it."""
+    utils = [PowerUtility(1.0, 0.8, cap=100.0) for _ in range(4)]
+    demands = np.tile([[1.0, 0.0]], (4, 1))
+    p = MultiResourceProblem(utils, demands, n_servers=2, capacities=[10.0, 99.0])
+    sol = solve_multiresource(p)
+    assert sol.usage[:, 0].sum() == pytest.approx(20.0, rel=1e-6)
+    assert sol.usage[:, 1].sum() == pytest.approx(0.0)
+
+
+def test_total_utility_counts_scalarized_values():
+    p = _problem(4, 2)
+    sol = solve_multiresource(p)
+    direct = sum(
+        float(f.value(u))
+        for f, u in zip(p.utilities.functions(), sol.task_units)
+    )
+    assert sol.total_utility == pytest.approx(direct, rel=1e-6)

@@ -1,0 +1,171 @@
+"""Online scheduler: churn, rebalance, migration accounting, adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.online import AdaptiveScheduler, OnlineScheduler
+from repro.utility.functions import LogUtility, SaturatingUtility
+
+CAP = 10.0
+
+
+def _util(c=1.0):
+    return LogUtility(c, 1.0, CAP)
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        OnlineScheduler(0, CAP)
+    with pytest.raises(ValueError):
+        OnlineScheduler(2, 0.0)
+    with pytest.raises(ValueError):
+        OnlineScheduler(2, CAP, migration_cost=-1.0)
+
+
+def test_add_places_on_some_server():
+    s = OnlineScheduler(3, CAP)
+    j = s.add_thread("a", _util())
+    assert 0 <= j < 3
+    assert s.thread_ids == ["a"]
+
+
+def test_added_thread_gets_resource():
+    s = OnlineScheduler(2, CAP)
+    s.add_thread("a", _util())
+    a = s.assignment()
+    assert a.allocations[0] == pytest.approx(CAP)
+
+
+def test_duplicate_id_rejected():
+    s = OnlineScheduler(2, CAP)
+    s.add_thread("a", _util())
+    with pytest.raises(ValueError):
+        s.add_thread("a", _util())
+
+
+def test_cap_above_capacity_rejected():
+    s = OnlineScheduler(2, CAP)
+    with pytest.raises(ValueError):
+        s.add_thread("big", LogUtility(1.0, 1.0, CAP * 2))
+
+
+def test_arrivals_spread_over_servers():
+    s = OnlineScheduler(2, CAP)
+    for k in range(4):
+        s.add_thread(f"t{k}", _util(1.0))
+    servers = s.assignment().servers
+    assert set(servers.tolist()) == {0, 1}
+
+
+def test_remove_returns_resource_to_residents():
+    s = OnlineScheduler(1, CAP)
+    s.add_thread("a", _util(1.0))
+    s.add_thread("b", _util(1.0))
+    s.remove_thread("a")
+    a = s.assignment()
+    assert a.allocations[0] == pytest.approx(CAP)
+
+
+def test_remove_unknown_raises():
+    s = OnlineScheduler(1, CAP)
+    with pytest.raises(KeyError):
+        s.remove_thread("ghost")
+
+
+def test_total_utility_empty():
+    assert OnlineScheduler(2, CAP).total_utility() == 0.0
+
+
+def test_rebalance_empty_noop():
+    s = OnlineScheduler(2, CAP)
+    rep = s.rebalance()
+    assert rep.migrations == 0
+    assert rep.net_gain == 0.0
+
+
+def test_rebalance_never_reduces_net_value():
+    rng = np.random.default_rng(0)
+    s = OnlineScheduler(3, CAP, migration_cost=0.05)
+    for k in range(9):
+        s.add_thread(f"t{k}", _util(float(rng.uniform(0.5, 4.0))))
+    before = s.total_utility()
+    rep = s.rebalance()
+    assert s.total_utility() >= before - 1e-9
+    assert rep.utility_after >= rep.utility_before - 1e-9
+
+
+def test_rebalance_declines_when_migration_too_expensive():
+    s = OnlineScheduler(2, CAP, migration_cost=1e9)
+    for k in range(6):
+        s.add_thread(f"t{k}", _util(1.0 + k))
+    before_servers = s.assignment().servers.copy()
+    rep = s.rebalance()
+    assert rep.migrations == 0
+    assert np.array_equal(s.assignment().servers, before_servers)
+
+
+def test_migration_counter_accumulates():
+    s = OnlineScheduler(2, CAP)
+    for k in range(6):
+        s.add_thread(f"t{k}", _util(1.0 + k))
+    s.rebalance()
+    assert s.total_migrations >= 0  # counted, never negative
+
+
+def test_churn_sequence_keeps_feasibility():
+    rng = np.random.default_rng(1)
+    s = OnlineScheduler(3, CAP, migration_cost=0.01)
+    alive = []
+    for step in range(30):
+        if alive and rng.uniform() < 0.4:
+            victim = alive.pop(int(rng.integers(len(alive))))
+            s.remove_thread(victim)
+        else:
+            tid = f"t{step}"
+            s.add_thread(tid, _util(float(rng.uniform(0.5, 3.0))))
+            alive.append(tid)
+        if step % 7 == 0:
+            s.rebalance()
+        a = s.assignment()
+        if a.n_threads:
+            loads = np.bincount(a.servers, weights=a.allocations, minlength=3)
+            assert np.all(loads <= CAP + 1e-6)
+
+
+# -- AdaptiveScheduler -------------------------------------------------------
+
+
+def test_adaptive_register_and_observe():
+    ad = AdaptiveScheduler(2, CAP)
+    ad.register("x")
+    ad.observe("x", 5.0, 2.0)
+    with pytest.raises(KeyError):
+        ad.observe("ghost", 1.0, 1.0)
+
+
+def test_adaptive_learns_and_improves():
+    rng = np.random.default_rng(2)
+    truths = {f"s{k}": SaturatingUtility(1.0 + 2 * k, 1.0, CAP) for k in range(4)}
+    ad = AdaptiveScheduler(2, CAP, n_knots=10)
+    for tid in truths:
+        ad.register(tid)
+    for _ in range(50):
+        for tid, f in truths.items():
+            x = float(rng.uniform(0, CAP))
+            ad.observe(tid, x, float(f.value(x)) + float(rng.normal(0, 0.02)))
+    ad.replan_from_measurements()
+    # Evaluate the *true* value of the learned plan vs a uniform split.
+    a = ad.assignment()
+    ids = ad.thread_ids
+    learned = sum(
+        float(truths[t].value(c)) for t, c in zip(ids, a.allocations)
+    )
+    uniform = sum(float(truths[t].value(CAP / 2)) for t in ids)
+    assert learned >= uniform * 0.95
+
+
+def test_adaptive_replan_without_data_keeps_prior():
+    ad = AdaptiveScheduler(2, CAP)
+    ad.register("a")
+    rep = ad.replan_from_measurements()
+    assert rep.utility_after >= 0.0

@@ -1,0 +1,85 @@
+"""Priority-weighted solving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import AAProblem
+from repro.core.solve import solve
+from repro.extensions.weighted import WeightedUtility, solve_weighted
+from repro.utility.functions import LinearUtility, LogUtility
+
+CAP = 10.0
+
+
+def test_weighted_utility_scales_values():
+    f = LogUtility(2.0, 1.0, CAP)
+    g = WeightedUtility(f, 3.0)
+    xs = np.linspace(0, CAP, 9)
+    assert np.allclose(g.value(xs), 3.0 * np.asarray(f.value(xs)))
+    assert np.allclose(g.derivative(xs), 3.0 * np.asarray(f.derivative(xs)))
+
+
+def test_weighted_inverse_derivative_consistent():
+    f = LogUtility(2.0, 1.0, CAP)
+    g = WeightedUtility(f, 4.0)
+    lam = 1.5
+    x = g.inverse_derivative(lam)
+    assert g.derivative(x) == pytest.approx(lam, rel=1e-6)
+
+
+def test_weighted_utility_still_concave():
+    WeightedUtility(LogUtility(1.0, 1.0, CAP), 7.0).validate()
+
+
+def test_weight_validation():
+    f = LinearUtility(1.0, CAP)
+    with pytest.raises(ValueError):
+        WeightedUtility(f, 0.0)
+    with pytest.raises(ValueError):
+        WeightedUtility(f, -1.0)
+    with pytest.raises(ValueError):
+        WeightedUtility(f, np.inf)
+
+
+def test_uniform_weights_match_unweighted():
+    fns = [LogUtility(1.0 + i, 1.0, CAP) for i in range(5)]
+    plain = solve(AAProblem(fns, 2, CAP))
+    weighted = solve_weighted(fns, np.ones(5), 2, CAP)
+    assert weighted.weighted_utility == pytest.approx(plain.total_utility, rel=1e-9)
+    assert weighted.raw_total == pytest.approx(plain.total_utility, rel=1e-9)
+
+
+def test_heavy_weight_attracts_resource():
+    fns = [LogUtility(1.0, 1.0, CAP), LogUtility(1.0, 1.0, CAP)]
+    even = solve_weighted(fns, [1.0, 1.0], 1, CAP)
+    skew = solve_weighted(fns, [1.0, 10.0], 1, CAP)
+    assert skew.assignment.allocations[1] > even.assignment.allocations[1]
+
+
+def test_raw_utilities_reported_unweighted():
+    fns = [LinearUtility(1.0, CAP)]
+    ws = solve_weighted(fns, [5.0], 1, CAP)
+    assert ws.raw_utilities[0] == pytest.approx(CAP)  # f(10) = 10, not 50
+    assert ws.weighted_utility == pytest.approx(5 * CAP)
+
+
+def test_weight_count_mismatch():
+    with pytest.raises(ValueError):
+        solve_weighted([LinearUtility(1.0, CAP)], [1.0, 2.0], 1, CAP)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.1, max_value=10.0))
+def test_global_rescaling_keeps_allocations(scale):
+    """Multiplying every weight by a constant changes nothing physical."""
+    fns = [LogUtility(1.0 + i, 1.0, CAP) for i in range(4)]
+    base = solve_weighted(fns, np.ones(4), 2, CAP)
+    scaled = solve_weighted(fns, np.full(4, scale), 2, CAP)
+    assert np.allclose(
+        base.assignment.allocations, scaled.assignment.allocations, atol=1e-6
+    )
+    assert scaled.weighted_utility == pytest.approx(
+        scale * base.weighted_utility, rel=1e-6
+    )

@@ -1,0 +1,101 @@
+"""Theorem IV.1: PARTITION ⇄ AA reduction, verified in both directions."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.partition import (
+    aa_decides_partition,
+    has_partition_dp,
+    partition_to_aa,
+)
+
+
+def _brute_force_partition(values) -> bool:
+    total = sum(values)
+    if total % 2:
+        return False
+    half = total // 2
+    n = len(values)
+    return any(
+        sum(values[i] for i in combo) == half
+        for r in range(n + 1)
+        for combo in itertools.combinations(range(n), r)
+    )
+
+
+def test_dp_matches_brute_force_exhaustive_small():
+    for n in (1, 2, 3, 4):
+        for values in itertools.product(range(1, 5), repeat=n):
+            arr = np.array(values, dtype=np.int64)
+            assert has_partition_dp(arr) == _brute_force_partition(values), values
+
+
+def test_dp_classic_yes_instance():
+    assert has_partition_dp(np.array([3, 1, 1, 2, 2, 1]))
+
+
+def test_dp_classic_no_instance():
+    assert not has_partition_dp(np.array([2, 2, 3]))
+
+
+def test_dp_odd_total_is_no():
+    assert not has_partition_dp(np.array([1, 1, 1]))
+
+
+def test_dp_rejects_nonintegers():
+    with pytest.raises(ValueError):
+        has_partition_dp(np.array([1.5, 2.5]))
+
+
+def test_dp_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        has_partition_dp(np.array([1, 0]))
+
+
+def test_dp_rejects_empty():
+    with pytest.raises(ValueError):
+        has_partition_dp(np.array([], dtype=np.int64))
+
+
+def test_reduction_builds_capped_linear_gadgets():
+    p = partition_to_aa([2, 3, 5])
+    assert p.n_servers == 2
+    assert p.capacity == pytest.approx(5.0)
+    # f_i(x) = min(x, c_i) on [0, C].
+    assert p.utilities.value(np.array([2.0, 5.0, 5.0])) == pytest.approx([2.0, 3.0, 5.0])
+
+
+def test_reduction_rejects_bad_values():
+    with pytest.raises(ValueError):
+        partition_to_aa([])
+    with pytest.raises(ValueError):
+        partition_to_aa([1, -2])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=7))
+def test_reduction_decides_partition_correctly(values):
+    """The iff of Theorem IV.1 on random instances (exact AA solver)."""
+    arr = np.array(values, dtype=np.int64)
+    assert aa_decides_partition(arr) == has_partition_dp(arr)
+
+
+def test_yes_instance_reaches_full_utility():
+    values = [1, 1, 2]
+    assert aa_decides_partition(values)
+
+
+def test_no_instance_falls_short():
+    values = [2, 2, 3]  # total 7, odd-ish split impossible
+    assert not aa_decides_partition(values)
+
+
+def test_element_larger_than_half_total():
+    # One huge element: never partitionable; breakpoint clamps to C.
+    values = [10, 1, 1]
+    assert not has_partition_dp(np.array(values))
+    assert not aa_decides_partition(values)

@@ -1,0 +1,65 @@
+"""Autoscale loop under demand drift."""
+
+import pytest
+
+from repro.simulate.hosting.autoscale import autoscale_run
+from repro.simulate.hosting.center import HostingCenter, random_services
+
+
+def _setup(n=8, seed=0):
+    return HostingCenter(2, 30.0), random_services(n, seed=seed)
+
+
+def test_run_shapes():
+    center, svcs = _setup()
+    out = autoscale_run(center, svcs, epochs=6, replan_every=3, seed=1)
+    assert len(out.records) == 6
+    assert out.total_achieved > 0
+    assert out.total_oracle >= out.total_achieved - 1e-9
+
+
+def test_oracle_dominates_every_epoch():
+    center, svcs = _setup()
+    out = autoscale_run(center, svcs, epochs=8, replan_every=4, drift=0.3, seed=2)
+    for r in out.records:
+        assert r.oracle_value >= r.achieved_value - 1e-6
+        assert r.regret >= -1e-6
+
+
+def test_zero_drift_makes_replanning_pointless():
+    center, svcs = _setup()
+    out = autoscale_run(center, svcs, epochs=6, replan_every=100, drift=0.0, seed=3)
+    assert out.efficiency == pytest.approx(1.0, abs=1e-9)
+
+
+def test_frequent_replanning_beats_never_under_drift():
+    center, svcs = _setup(seed=4)
+    never = autoscale_run(center, svcs, epochs=15, replan_every=10**6,
+                          drift=0.35, seed=5)
+    often = autoscale_run(center, svcs, epochs=15, replan_every=2,
+                          drift=0.35, seed=5)
+    assert often.efficiency >= never.efficiency - 1e-9
+
+
+def test_reproducible():
+    center, svcs = _setup()
+    a = autoscale_run(center, svcs, epochs=5, seed=9)
+    b = autoscale_run(center, svcs, epochs=5, seed=9)
+    assert a.total_achieved == pytest.approx(b.total_achieved)
+
+
+def test_validation():
+    center, svcs = _setup()
+    with pytest.raises(ValueError):
+        autoscale_run(center, svcs, epochs=-1)
+    with pytest.raises(ValueError):
+        autoscale_run(center, svcs, epochs=3, replan_every=0)
+    with pytest.raises(ValueError):
+        autoscale_run(center, svcs, epochs=3, drift=-0.1)
+
+
+def test_replanned_flag_cadence():
+    center, svcs = _setup()
+    out = autoscale_run(center, svcs, epochs=9, replan_every=3, seed=6)
+    flags = [r.replanned for r in out.records]
+    assert flags == [False, False, False, True, False, False, True, False, False]

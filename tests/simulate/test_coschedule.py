@@ -1,0 +1,131 @@
+"""Pairwise co-scheduling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.cache.coschedule import (
+    coschedule_pairs,
+    greedy_pairing,
+    pairwise_interference,
+)
+from repro.simulate.cache.trace import sequential_trace, zipf_trace
+
+
+def _traces(seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        zipf_trace(20, 800, s=1.4, seed=rng),
+        zipf_trace(20, 800, s=1.1, seed=rng),
+        sequential_trace(30, 800),
+        zipf_trace(12, 800, s=0.9, seed=rng),
+    ]
+
+
+def test_interference_symmetric_zero_diagonal():
+    interference = pairwise_interference(_traces(), capacity=8)
+    assert interference.shape == (4, 4)
+    assert np.allclose(interference, interference.T)
+    assert np.allclose(np.diag(interference), 0.0)
+
+
+def test_interference_nonnegative():
+    """Sharing never creates hits: the other thread's lines only push a
+    thread's own lines deeper in the LRU stack."""
+    interference = pairwise_interference(_traces(), capacity=8)
+    assert np.all(interference >= -1e-9)
+
+
+def test_greedy_pairing_covers_everyone():
+    interference = pairwise_interference(_traces(), capacity=8)
+    pairs = greedy_pairing(interference)
+    flat = sorted(t for p in pairs for t in p)
+    assert flat == [0, 1, 2, 3]
+
+
+def test_greedy_pairing_prefers_cheap_pairs():
+    # Crafted matrix: pairing (0,1) and (2,3) costs 0; anything else costs 10.
+    interference = np.full((4, 4), 10.0)
+    np.fill_diagonal(interference, 0.0)
+    interference[0, 1] = interference[1, 0] = 0.0
+    interference[2, 3] = interference[3, 2] = 0.0
+    pairs = {tuple(sorted(p)) for p in greedy_pairing(interference)}
+    assert pairs == {(0, 1), (2, 3)}
+
+
+def test_greedy_pairing_validation():
+    with pytest.raises(ValueError):
+        greedy_pairing(np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        greedy_pairing(np.zeros((2, 3)))
+
+
+def test_coschedule_plan_accounting():
+    plan = coschedule_pairs(_traces(), n_cores=2, ways=8)
+    assert plan.measurements == 6
+    assert len(plan.pairs) == 2
+    assert set(plan.cores.tolist()) == {0, 1}
+    assert plan.realized_hits > 0
+
+
+def test_coschedule_requires_two_per_core():
+    with pytest.raises(ValueError, match="2 threads per core"):
+        coschedule_pairs(_traces(), n_cores=3, ways=8)
+
+
+def test_optimal_matching_is_best_of_all_pairings():
+    traces = _traces(seed=5)
+    ways = 8
+    plan = coschedule_pairs(traces, n_cores=2, ways=ways, matcher="optimal")
+    from repro.simulate.cache.shared import shared_lru_hits
+
+    def value(matching):
+        return sum(
+            float(shared_lru_hits([traces[i], traces[j]], ways).sum())
+            for i, j in matching
+        )
+
+    candidates = [
+        [(0, 1), (2, 3)],
+        [(0, 2), (1, 3)],
+        [(0, 3), (1, 2)],
+    ]
+    assert plan.realized_hits == pytest.approx(max(value(m) for m in candidates))
+
+
+def test_greedy_can_trail_optimal():
+    traces = _traces(seed=5)
+    greedy = coschedule_pairs(traces, 2, 8, matcher="greedy")
+    optimal = coschedule_pairs(traces, 2, 8, matcher="optimal")
+    assert optimal.realized_hits >= greedy.realized_hits
+
+
+def test_optimal_pairing_crafted_matrix():
+    from repro.simulate.cache.coschedule import optimal_pairing
+
+    # Greedy takes the (0,1)=0 edge and is forced into (2,3)=100;
+    # the optimum pairs (0,2)+(1,3) for total 4.
+    interference = np.array(
+        [
+            [0.0, 0.0, 2.0, 50.0],
+            [0.0, 0.0, 50.0, 2.0],
+            [2.0, 50.0, 0.0, 100.0],
+            [50.0, 2.0, 100.0, 0.0],
+        ]
+    )
+    pairs = {tuple(sorted(p)) for p in optimal_pairing(interference)}
+    assert pairs == {(0, 2), (1, 3)}
+    greedy = {tuple(sorted(p)) for p in greedy_pairing(interference)}
+    assert greedy == {(0, 1), (2, 3)}
+
+
+def test_optimal_pairing_validation():
+    from repro.simulate.cache.coschedule import optimal_pairing
+
+    with pytest.raises(ValueError):
+        optimal_pairing(np.zeros((3, 3)))
+    assert optimal_pairing(np.zeros((0, 0))) == []
+
+
+def test_matcher_name_validation():
+    with pytest.raises(ValueError, match="matcher"):
+        coschedule_pairs(_traces(), 2, 8, matcher="psychic")

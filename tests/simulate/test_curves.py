@@ -1,0 +1,90 @@
+"""Concave envelopes and hit-curve batches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulate.cache.curves import concave_envelope, envelope_gap, hit_curve_batch
+
+
+def test_envelope_of_concave_is_identity():
+    ys = np.sqrt(np.arange(10, dtype=float))
+    assert concave_envelope(ys) == pytest.approx(ys)
+
+
+def test_envelope_of_step_is_ramp():
+    ys = np.array([0.0, 0.0, 0.0, 6.0])
+    env = concave_envelope(ys)
+    assert env == pytest.approx([0.0, 2.0, 4.0, 6.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40))
+def test_envelope_majorizes_and_is_concave(values):
+    ys = np.array(values)
+    env = concave_envelope(ys)
+    assert np.all(env >= ys - 1e-9)
+    if env.size >= 3:
+        mid = 0.5 * (env[:-2] + env[2:])
+        assert np.all(env[1:-1] >= mid - 1e-7 * (1 + np.abs(env[1:-1])))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=50), min_size=2, max_size=30
+    )
+)
+def test_envelope_of_nondecreasing_is_nondecreasing(increments):
+    ys = np.cumsum(np.array(increments))
+    env = concave_envelope(ys)
+    assert np.all(np.diff(env) >= -1e-9)
+
+
+def test_envelope_touches_endpoints():
+    ys = np.array([1.0, 0.0, 5.0, 2.0])
+    env = concave_envelope(ys)
+    assert env[0] == pytest.approx(1.0)
+    assert env[-1] == pytest.approx(2.0)
+
+
+def test_envelope_rejects_empty():
+    with pytest.raises(ValueError):
+        concave_envelope(np.array([]))
+
+
+def test_envelope_gap_zero_for_concave():
+    rows = np.array([[0.0, 3.0, 5.0, 6.0]])
+    assert envelope_gap(rows)[0] == pytest.approx(0.0)
+
+
+def test_envelope_gap_positive_for_step():
+    rows = np.array([[0.0, 0.0, 0.0, 9.0]])
+    assert envelope_gap(rows)[0] == pytest.approx(6.0)
+
+
+def test_hit_curve_batch_builds_valid_utilities():
+    rows = np.array(
+        [
+            [0.0, 10.0, 15.0, 18.0],
+            [0.0, 0.0, 0.0, 12.0],  # scan: needs the envelope
+        ]
+    )
+    batch = hit_curve_batch(rows, envelope=True)
+    assert len(batch) == 2
+    for f in batch.functions():
+        f.validate()
+
+
+def test_hit_curve_batch_envelope_false_rejects_nonconcave():
+    rows = np.array([[0.0, 0.0, 0.0, 12.0]])
+    with pytest.raises(ValueError):
+        hit_curve_batch(rows, envelope=False)
+
+
+def test_hit_curve_batch_shape_validation():
+    with pytest.raises(ValueError):
+        hit_curve_batch(np.array([0.0, 1.0]))  # 1-D
+    with pytest.raises(ValueError):
+        hit_curve_batch(np.zeros((2, 1)))  # ways < 1

@@ -1,0 +1,95 @@
+"""IPC model and multiprogram partition metrics."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.cache.ipc import IPCModel, ipc_curves, partition_metrics
+
+
+def test_model_perfect_cache_gives_peak():
+    m = IPCModel(peak_ipc=2.0, miss_penalty=40.0, accesses_per_instruction=0.3)
+    assert m.ipc(0.0) == pytest.approx(2.0)
+
+
+def test_model_all_misses_known_value():
+    m = IPCModel(peak_ipc=1.0, miss_penalty=100.0, accesses_per_instruction=0.5)
+    # 0.5 misses/instr * 100 cycles = 50 extra cycles per instruction.
+    assert m.ipc(1.0) == pytest.approx(1.0 / 51.0)
+
+
+def test_model_monotone_in_miss_ratio():
+    m = IPCModel()
+    vals = [m.ipc(r) for r in (0.0, 0.25, 0.5, 1.0)]
+    assert all(a > b for a, b in zip(vals, vals[1:]))
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        IPCModel(peak_ipc=0.0)
+    with pytest.raises(ValueError):
+        IPCModel(miss_penalty=-1.0)
+    with pytest.raises(ValueError):
+        IPCModel(accesses_per_instruction=0.0)
+    with pytest.raises(ValueError):
+        IPCModel().ipc(1.5)
+
+
+def _curves():
+    # Two threads, 4 ways + zero column; 1000 accesses each.
+    hits = np.array(
+        [
+            [0.0, 400.0, 700.0, 850.0, 900.0],
+            [0.0, 100.0, 200.0, 250.0, 280.0],
+        ]
+    )
+    return hits, np.array([1000.0, 1000.0])
+
+
+def test_ipc_curves_shape_and_monotonicity():
+    hits, acc = _curves()
+    curves = ipc_curves(hits, acc, IPCModel())
+    assert curves.shape == hits.shape
+    assert np.all(np.diff(curves, axis=1) >= -1e-12)
+
+
+def test_ipc_curves_validation():
+    hits, acc = _curves()
+    with pytest.raises(ValueError):
+        ipc_curves(hits[0], acc, IPCModel())
+    with pytest.raises(ValueError):
+        ipc_curves(hits, acc[:1], IPCModel())
+    with pytest.raises(ValueError):
+        ipc_curves(hits, np.array([0.0, 1000.0]), IPCModel())
+
+
+def test_partition_metrics_alone_reference():
+    hits, acc = _curves()
+    metrics = partition_metrics(hits, acc, np.array([4, 4]))
+    # Everyone at the 'alone' point: speedups are exactly 1.
+    assert metrics.per_thread_speedup == pytest.approx([1.0, 1.0])
+    assert metrics.weighted_speedup == pytest.approx(2.0)
+    assert metrics.harmonic_speedup == pytest.approx(1.0)
+
+
+def test_partition_metrics_ordering():
+    hits, acc = _curves()
+    good = partition_metrics(hits, acc, np.array([3, 1]))
+    bad = partition_metrics(hits, acc, np.array([0, 0]))
+    assert good.throughput > bad.throughput
+    assert good.weighted_speedup > bad.weighted_speedup
+
+
+def test_partition_metrics_validation():
+    hits, acc = _curves()
+    with pytest.raises(ValueError):
+        partition_metrics(hits, acc, np.array([1]))
+    with pytest.raises(ValueError):
+        partition_metrics(hits, acc, np.array([5, 0]))
+    with pytest.raises(ValueError):
+        partition_metrics(hits, acc, np.array([-1, 0]))
+
+
+def test_harmonic_leq_arithmetic_mean_speedup():
+    hits, acc = _curves()
+    m = partition_metrics(hits, acc, np.array([2, 2]))
+    assert m.harmonic_speedup <= m.weighted_speedup / 2 + 1e-12

@@ -1,0 +1,85 @@
+"""LRU stack-distance profiling vs direct simulation (inclusion property)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulate.cache.lru import (
+    COLD,
+    hits_by_capacity,
+    miss_ratio_curve,
+    simulate_lru_hits,
+    stack_distances,
+)
+from repro.simulate.cache.trace import sequential_trace, zipf_trace
+
+
+def test_stack_distances_known_sequence():
+    # a b a c b a: the second b sits under {c, a} in the stack (depth 3),
+    # and the final a under {b, c} (depth 3).
+    trace = [0, 1, 0, 2, 1, 0]
+    d = stack_distances(np.array(trace))
+    assert d.tolist() == [COLD, COLD, 2, COLD, 3, 3]
+
+
+def test_first_touches_are_cold():
+    d = stack_distances(np.arange(5))
+    assert np.all(d == COLD)
+
+
+def test_repeated_address_distance_one():
+    d = stack_distances(np.zeros(4, dtype=int))
+    assert d.tolist() == [COLD, 1, 1, 1]
+
+
+def test_hits_by_capacity_monotone():
+    trace = zipf_trace(30, 2000, s=1.0, seed=0)
+    hits = hits_by_capacity(stack_distances(trace), 30)
+    assert hits[0] == 0
+    assert np.all(np.diff(hits) >= 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=120))
+def test_inclusion_property_vs_direct_simulation(trace):
+    """hits_by_capacity must equal a direct LRU simulation at every size."""
+    arr = np.array(trace)
+    hits = hits_by_capacity(stack_distances(arr), 10)
+    for c in range(0, 11):
+        assert hits[c] == simulate_lru_hits(arr, c), f"capacity {c}"
+
+
+def test_scan_has_zero_hits_below_working_set():
+    trace = sequential_trace(8, 400)
+    hits = hits_by_capacity(stack_distances(trace), 10)
+    assert np.all(hits[:8] == 0)
+    assert hits[8] == 400 - 8
+
+
+def test_miss_ratio_curve_bounds_and_monotonicity():
+    trace = zipf_trace(40, 3000, s=1.2, seed=1)
+    mrc = miss_ratio_curve(trace, 40)
+    assert np.all((0 <= mrc) & (mrc <= 1))
+    assert np.all(np.diff(mrc) <= 1e-12)
+    assert mrc[0] == 1.0
+
+
+def test_miss_ratio_curve_empty_trace():
+    mrc = miss_ratio_curve(np.array([], dtype=int), 5)
+    assert np.all(mrc == 1.0)
+
+
+def test_simulate_rejects_negative_capacity():
+    with pytest.raises(ValueError):
+        simulate_lru_hits(np.array([1, 2]), -1)
+
+
+def test_stack_distances_rejects_2d():
+    with pytest.raises(ValueError):
+        stack_distances(np.zeros((2, 2), dtype=int))
+
+
+def test_capacity_zero_never_hits():
+    trace = zipf_trace(5, 100, seed=0)
+    assert simulate_lru_hits(trace, 0) == 0

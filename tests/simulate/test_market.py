@@ -1,0 +1,77 @@
+"""Dynamic cloud market simulation."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.cloud.market import CloudMarket
+
+
+def _market(**kw):
+    defaults = dict(n_machines=2, capacity=32.0, arrival_rate=2.0,
+                    mean_lifetime=6.0, migration_cost=0.01)
+    defaults.update(kw)
+    return CloudMarket(**defaults)
+
+
+def test_run_produces_records():
+    out = _market().run(n_rounds=12, seed=0)
+    assert len(out.rounds) == 12
+    assert out.total_revenue >= 0.0
+
+
+def test_zero_rounds():
+    out = _market().run(n_rounds=0, seed=0)
+    assert out.rounds == []
+    assert out.mean_revenue_rate == 0.0
+
+
+def test_vm_count_conserved_by_flow():
+    out = _market().run(n_rounds=25, seed=1)
+    active = 0
+    for r in out.rounds:
+        active = active - r.departures + r.arrivals
+        assert r.active_vms == active
+
+
+def test_reproducible_by_seed():
+    a = _market().run(n_rounds=15, seed=7)
+    b = _market().run(n_rounds=15, seed=7)
+    assert a.total_revenue == pytest.approx(b.total_revenue)
+    assert [r.arrivals for r in a.rounds] == [r.arrivals for r in b.rounds]
+
+
+def test_seeds_differ():
+    a = _market().run(n_rounds=15, seed=1)
+    b = _market().run(n_rounds=15, seed=2)
+    assert a.total_revenue != b.total_revenue
+
+
+def test_rebalancing_never_hurts_total_revenue_much():
+    """With near-zero migration cost, periodic rebalancing should at least
+    match never rebalancing on average revenue."""
+    never = _market(migration_cost=0.0).run(n_rounds=40, rebalance_every=10**6, seed=3)
+    often = _market(migration_cost=0.0).run(n_rounds=40, rebalance_every=3, seed=3)
+    assert often.total_revenue >= never.total_revenue * 0.98
+
+
+def test_migrations_tracked():
+    out = _market().run(n_rounds=30, rebalance_every=4, seed=4)
+    per_round = sum(r.migrations for r in out.rounds)
+    assert out.total_migrations == per_round
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CloudMarket(2, 32.0, arrival_rate=-1.0)
+    with pytest.raises(ValueError):
+        CloudMarket(2, 32.0, mean_lifetime=0.5)
+    with pytest.raises(ValueError):
+        _market().run(n_rounds=-1)
+    with pytest.raises(ValueError):
+        _market().run(n_rounds=5, rebalance_every=0)
+
+
+def test_no_arrivals_market_is_silent():
+    out = _market(arrival_rate=0.0).run(n_rounds=10, seed=5)
+    assert out.total_revenue == 0.0
+    assert all(r.active_vms == 0 for r in out.rounds)

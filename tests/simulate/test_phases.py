@@ -1,0 +1,65 @@
+"""Phased repartitioning of the cache substrate."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.cache.phases import compare_static_vs_phased, split_phases
+from repro.simulate.cache.trace import sequential_trace, working_set_trace, zipf_trace
+
+
+def test_split_phases_partitions_traces():
+    traces = [np.arange(10), np.arange(7)]
+    phases = split_phases(traces, 2)
+    assert len(phases) == 2
+    rebuilt = np.concatenate([phases[0][0], phases[1][0]])
+    assert np.array_equal(rebuilt, traces[0])
+    rebuilt1 = np.concatenate([phases[0][1], phases[1][1]])
+    assert np.array_equal(rebuilt1, traces[1])
+
+
+def test_split_phases_validation():
+    with pytest.raises(ValueError):
+        split_phases([np.arange(4)], 0)
+
+
+def _phase_shifting_traces(seed=0):
+    """Threads whose behaviour flips between halves."""
+    rng = np.random.default_rng(seed)
+    traces = []
+    # Thread 0: cache-friendly then scanning.
+    a = zipf_trace(10, 1500, s=1.5, seed=rng)
+    b = sequential_trace(40, 1500) + 100
+    traces.append(np.concatenate([a, b]))
+    # Thread 1: the reverse.
+    c = sequential_trace(40, 1500) + 200
+    d = zipf_trace(10, 1500, s=1.5, seed=rng) + 300
+    traces.append(np.concatenate([c, d]))
+    # Two stable threads.
+    traces.append(zipf_trace(25, 3000, s=1.1, seed=rng) + 400)
+    traces.append(working_set_trace([6, 6], 1500, seed=rng) + 500)
+    return traces
+
+
+def test_dynamic_replanning_never_loses():
+    cmp = compare_static_vs_phased(_phase_shifting_traces(), 2, 12, n_phases=2)
+    assert cmp.dynamic_hits >= cmp.static_hits - 1e-9
+    assert cmp.repartitioning_gain >= -1e-9
+
+
+def test_phase_shifting_workload_rewards_replanning():
+    cmp = compare_static_vs_phased(_phase_shifting_traces(seed=3), 2, 12, n_phases=2)
+    # The flip threads make the static plan wrong in both halves.
+    assert cmp.repartitioning_gain > 0
+
+
+def test_per_phase_accounting_sums():
+    cmp = compare_static_vs_phased(_phase_shifting_traces(), 2, 12, n_phases=3)
+    assert cmp.static_hits == pytest.approx(sum(cmp.per_phase_static))
+    assert cmp.dynamic_hits == pytest.approx(sum(cmp.per_phase_dynamic))
+    assert len(cmp.per_phase_static) == 3
+
+
+def test_single_phase_arms_agree():
+    traces = _phase_shifting_traces()
+    cmp = compare_static_vs_phased(traces, 2, 12, n_phases=1)
+    assert cmp.dynamic_hits == pytest.approx(cmp.static_hits)

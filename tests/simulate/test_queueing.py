@@ -1,0 +1,86 @@
+"""M/M/1/K closed forms and the discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.hosting.queueing import (
+    mm1k_blocking_probability,
+    mm1k_goodput,
+    simulate_mm1k,
+)
+
+
+def test_blocking_zero_arrivals():
+    assert mm1k_blocking_probability(0.0, 1.0, 5) == 0.0
+
+
+def test_blocking_known_value_k1():
+    # K=1 (no waiting room): p_block = rho/(1+rho).
+    lam, mu = 2.0, 4.0
+    rho = lam / mu
+    assert mm1k_blocking_probability(lam, mu, 1) == pytest.approx(rho / (1 + rho))
+
+
+def test_blocking_rho_one_limit():
+    # rho = 1: p_K = 1/(K+1).
+    assert mm1k_blocking_probability(3.0, 3.0, 4) == pytest.approx(1 / 5)
+
+
+def test_blocking_decreases_with_buffer():
+    ps = [mm1k_blocking_probability(5.0, 6.0, k) for k in (1, 2, 4, 8, 16)]
+    assert all(a > b for a, b in zip(ps, ps[1:]))
+
+
+def test_blocking_in_unit_interval():
+    for mu in (0.5, 1.0, 5.0):
+        p = mm1k_blocking_probability(2.0, mu, 6)
+        assert 0.0 <= p <= 1.0
+
+
+def test_goodput_bounded_by_arrival_and_service():
+    lam, mu = 8.0, 5.0
+    g = mm1k_goodput(lam, mu, 10)
+    assert g <= lam
+    assert g <= mu * 1.0001
+
+
+def test_goodput_increases_with_capacity():
+    gs = [mm1k_goodput(10.0, mu, 8) for mu in (2.0, 5.0, 10.0, 20.0)]
+    assert all(a < b for a, b in zip(gs, gs[1:]))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        mm1k_blocking_probability(-1.0, 1.0, 2)
+    with pytest.raises(ValueError):
+        mm1k_blocking_probability(1.0, 0.0, 2)
+    with pytest.raises(ValueError):
+        mm1k_blocking_probability(1.0, 1.0, 0)
+    with pytest.raises(ValueError):
+        simulate_mm1k(1.0, 1.0, 2, horizon=0.0)
+
+
+def test_simulation_counters_consistent():
+    s = simulate_mm1k(5.0, 6.0, 8, horizon=200.0, seed=0)
+    # Served + dropped + in-system-at-end == arrivals.
+    assert s["served"] + s["dropped"] <= s["arrivals"]
+    assert s["arrivals"] - s["served"] - s["dropped"] <= 8
+
+
+def test_simulation_matches_closed_form_long_horizon():
+    lam, mu, k = 8.0, 10.0, 6
+    sim = simulate_mm1k(lam, mu, k, horizon=30000.0, seed=1)
+    assert sim["goodput"] == pytest.approx(mm1k_goodput(lam, mu, k), rel=0.03)
+
+
+def test_simulation_heavy_load_drops():
+    s = simulate_mm1k(20.0, 2.0, 4, horizon=500.0, seed=2)
+    assert s["dropped"] > 0
+    # Goodput pinned near the service rate.
+    assert s["goodput"] == pytest.approx(2.0, rel=0.1)
+
+
+def test_simulation_reproducible():
+    a = simulate_mm1k(5.0, 6.0, 8, horizon=100.0, seed=9)
+    b = simulate_mm1k(5.0, 6.0, 8, horizon=100.0, seed=9)
+    assert a == b

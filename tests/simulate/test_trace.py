@@ -1,0 +1,111 @@
+"""Synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.cache.trace import (
+    markov_trace,
+    sequential_trace,
+    working_set_trace,
+    zipf_trace,
+)
+
+
+def test_zipf_range_and_length():
+    t = zipf_trace(100, 5000, s=1.0, seed=0)
+    assert t.shape == (5000,)
+    assert t.min() >= 0 and t.max() < 100
+
+
+def test_zipf_skew_increases_with_s():
+    flat = zipf_trace(50, 20000, s=0.0, seed=1)
+    skew = zipf_trace(50, 20000, s=2.0, seed=1)
+    top_flat = np.mean(flat == 0)
+    top_skew = np.mean(skew == 0)
+    assert top_skew > 3 * top_flat
+
+
+def test_zipf_s_zero_is_uniform():
+    t = zipf_trace(10, 50000, s=0.0, seed=2)
+    counts = np.bincount(t, minlength=10) / t.size
+    assert np.allclose(counts, 0.1, atol=0.01)
+
+
+def test_zipf_reproducible():
+    assert np.array_equal(zipf_trace(10, 100, seed=3), zipf_trace(10, 100, seed=3))
+
+
+def test_zipf_rejects_bad_args():
+    with pytest.raises(ValueError):
+        zipf_trace(0, 10)
+    with pytest.raises(ValueError):
+        zipf_trace(10, -1)
+    with pytest.raises(ValueError):
+        zipf_trace(10, 10, s=-0.5)
+
+
+def test_sequential_is_cyclic():
+    t = sequential_trace(4, 10)
+    assert t.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+
+def test_sequential_rejects_bad_args():
+    with pytest.raises(ValueError):
+        sequential_trace(0, 5)
+
+
+def test_working_set_phases_are_disjoint():
+    t = working_set_trace([4, 6], 100, seed=0)
+    first, second = t[:100], t[100:]
+    assert set(first) <= set(range(0, 4))
+    assert set(second) <= set(range(4, 10))
+
+
+def test_working_set_length():
+    t = working_set_trace([3, 3, 3], 50, seed=0)
+    assert t.shape == (150,)
+
+
+def test_working_set_empty():
+    assert working_set_trace([], 10).shape == (0,)
+
+
+def test_working_set_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        working_set_trace([0], 10)
+
+
+def test_markov_address_ranges():
+    t = markov_trace(4, 16, 5000, p_hot=0.8, seed=0)
+    assert t.min() >= 0 and t.max() < 20
+    hot = t < 4
+    assert 0.6 < np.mean(hot) < 0.95  # near the stationary weight
+
+
+def test_markov_stationary_weight_tracks_p_hot():
+    cooler = markov_trace(4, 16, 8000, p_hot=0.5, seed=1)
+    hotter = markov_trace(4, 16, 8000, p_hot=0.95, seed=1)
+    assert np.mean(hotter < 4) > np.mean(cooler < 4)
+
+
+def test_markov_burstiness():
+    """High stickiness produces long same-state runs."""
+    t = markov_trace(4, 16, 4000, p_hot=0.5, stickiness=0.99, seed=2)
+    states = (t < 4).astype(int)
+    switches = int(np.sum(np.abs(np.diff(states))))
+    assert switches < 400  # far fewer than i.i.d. (~2000 expected)
+
+
+def test_markov_reproducible():
+    a = markov_trace(3, 5, 100, seed=7)
+    b = markov_trace(3, 5, 100, seed=7)
+    assert np.array_equal(a, b)
+
+
+def test_markov_validation():
+    with pytest.raises(ValueError):
+        markov_trace(0, 5, 10)
+    with pytest.raises(ValueError):
+        markov_trace(3, 5, 10, p_hot=1.0)
+    with pytest.raises(ValueError):
+        markov_trace(3, 5, 10, stickiness=1.0)

@@ -1,0 +1,104 @@
+"""CLI: generate → solve → evaluate round-trip, figure smoke, error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_writes_problem(tmp_path, capsys):
+    out = tmp_path / "p.json"
+    rc = main(["generate", "--dist", "uniform", "--servers", "2", "--beta", "3",
+               "--capacity", "50", "--seed", "1", "-o", str(out)])
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert data["format"] == "aart-problem/1"
+    assert data["n_servers"] == 2
+    assert len(data["utilities"]) == 6
+    assert "6-thread" in capsys.readouterr().out
+
+
+def test_generate_discrete_params(tmp_path):
+    out = tmp_path / "d.json"
+    rc = main(["generate", "--dist", "discrete", "--gamma", "0.5", "--theta", "3",
+               "--servers", "2", "--beta", "2", "-o", str(out)])
+    assert rc == 0
+
+
+def test_solve_prints_certificate(tmp_path, capsys):
+    out = tmp_path / "p.json"
+    main(["generate", "--servers", "2", "--beta", "4", "--capacity", "100",
+          "--seed", "3", "-o", str(out)])
+    rc = main(["solve", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "certified ratio" in text
+    assert "server 0" in text
+
+
+def test_solve_saves_and_evaluate_scores(tmp_path, capsys):
+    p = tmp_path / "p.json"
+    a = tmp_path / "a.json"
+    main(["generate", "--servers", "2", "--beta", "3", "--seed", "5", "-o", str(p)])
+    rc = main(["solve", str(p), "-o", str(a)])
+    assert rc == 0
+    assert a.exists()
+    rc = main(["evaluate", str(p), str(a)])
+    assert rc == 0
+    assert "evaluated assignment" in capsys.readouterr().out
+
+
+def test_solve_refine_flag(tmp_path, capsys):
+    p = tmp_path / "p.json"
+    main(["generate", "--servers", "2", "--beta", "2", "--seed", "4", "-o", str(p)])
+    rc = main(["solve", str(p), "--refine"])
+    assert rc == 0
+    assert "local search" in capsys.readouterr().out
+
+
+def test_solve_raw_mode(tmp_path):
+    p = tmp_path / "p.json"
+    main(["generate", "--servers", "2", "--beta", "3", "--seed", "6", "-o", str(p)])
+    assert main(["solve", str(p), "--no-reclaim", "--algorithm", "alg1"]) == 0
+
+
+def test_figure_smoke(capsys):
+    rc = main(["figure", "fig3c", "--trials", "2"])
+    # Shape warnings allowed at 2 trials; command must still render rows.
+    out = capsys.readouterr().out
+    assert "alg2/SO" in out
+    assert rc in (0, 1)
+
+
+def test_figure_spark_and_save(tmp_path, capsys):
+    out_path = tmp_path / "fig.json"
+    rc = main(["figure", "fig3c", "--trials", "2", "--spark",
+               "--save", str(out_path)])
+    assert rc in (0, 1)
+    out = capsys.readouterr().out
+    assert "…" in out  # sparkline range markers
+    assert out_path.exists()
+    data = json.loads(out_path.read_text())
+    assert data["figure_id"] == "fig3c"
+
+
+def test_profile_diagnostics(tmp_path, capsys):
+    p = tmp_path / "p.json"
+    main(["generate", "--dist", "powerlaw", "--servers", "2", "--beta", "4",
+          "--seed", "8", "-o", str(p)])
+    rc = main(["profile", str(p)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "gini" in out
+    assert "saturation" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,123 @@
+"""Failure injection: malformed inputs must fail loudly, never corrupt state.
+
+Production-quality libraries reject garbage at the boundary.  These tests
+throw NaNs, infinities, wrong shapes and hostile configurations at every
+public entry point and assert clean ``ValueError``/``TypeError`` behaviour
+— or graceful degenerate handling where the input is merely extreme.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation.waterfill import water_fill
+from repro.core.problem import AAProblem, Assignment
+from repro.core.solve import solve
+from repro.utility.batch import GenericBatch, QuadSplineBatch
+from repro.utility.functions import LinearUtility, LogUtility, PiecewiseLinearUtility
+
+CAP = 10.0
+
+
+# -- hostile utility parameters ------------------------------------------------
+
+
+def test_nan_parameters_rejected():
+    with pytest.raises(ValueError):
+        LinearUtility(np.nan, CAP)
+    with pytest.raises(ValueError):
+        LogUtility(np.nan, 1.0, CAP)
+    with pytest.raises(ValueError):
+        QuadSplineBatch([np.nan], [0.0], CAP)
+
+
+def test_infinite_cap_rejected():
+    with pytest.raises(ValueError):
+        LinearUtility(1.0, np.inf)
+
+
+def test_pwl_nan_knots_rejected():
+    with pytest.raises(ValueError):
+        PiecewiseLinearUtility([0.0, np.nan], [0.0, 1.0])
+
+
+# -- hostile problem construction ------------------------------------------------
+
+
+def test_problem_with_nan_capacity():
+    with pytest.raises(ValueError):
+        AAProblem([LinearUtility(1.0, CAP)], 1, np.nan)
+
+
+def test_problem_with_huge_thread_count_smoke():
+    """Large n must work, not hang: 2000 threads solve in well under a second
+    of algorithmic work (vectorized batch path)."""
+    rng = np.random.default_rng(0)
+    v = rng.uniform(0.5, 2.0, 2000)
+    batch = QuadSplineBatch(v, v * rng.uniform(0, 1, 2000), CAP)
+    sol = solve(AAProblem(batch, 16, CAP))
+    assert sol.meets_guarantee
+
+
+def test_assignment_with_nan_allocation_rejected():
+    p = AAProblem([LinearUtility(1.0, CAP)], 1, CAP)
+    a = Assignment(servers=[0], allocations=[np.nan])
+    with pytest.raises(ValueError):
+        a.validate(p)
+
+
+# -- hostile waterfill inputs ------------------------------------------------------
+
+
+def test_waterfill_nan_budget():
+    with pytest.raises(ValueError):
+        water_fill([LinearUtility(1.0, CAP)], np.nan)
+
+
+def test_waterfill_misbehaving_custom_utility_fails_loudly():
+    """A utility whose inverse_derivative never shrinks with price breaks
+    the bisection's contract; the solver must raise, not emit an
+    infeasible allocation silently."""
+
+    class Liar(LinearUtility):
+        def inverse_derivative(self, lam):
+            return self.cap  # ignores the price entirely
+
+    with pytest.raises(RuntimeError, match="bracket"):
+        water_fill([Liar(1.0, CAP), LinearUtility(2.0, CAP)], 5.0)
+
+
+# -- degenerate but legal extremes ---------------------------------------------------
+
+
+def test_single_thread_single_server():
+    sol = solve(AAProblem([LogUtility(1.0, 1.0, CAP)], 1, CAP))
+    assert sol.assignment.allocations[0] == pytest.approx(CAP)
+    assert sol.certified_ratio == pytest.approx(1.0)
+
+
+def test_tiny_capacity():
+    sol = solve(AAProblem([LinearUtility(1.0, 1e-12)], 1, 1e-12))
+    sol.assignment.validate(AAProblem([LinearUtility(1.0, 1e-12)], 1, 1e-12))
+
+
+def test_extreme_utility_scale_spread():
+    """12 orders of magnitude between thread values must not break the
+    bisection or the guarantee."""
+    fns = [LinearUtility(1e-6, CAP), LinearUtility(1e6, CAP)]
+    sol = solve(AAProblem(fns, 1, CAP))
+    assert sol.meets_guarantee
+    # All resource to the huge-slope thread.
+    assert sol.assignment.allocations[1] == pytest.approx(CAP)
+
+
+def test_many_servers_few_threads():
+    sol = solve(AAProblem([LogUtility(1.0, 1.0, CAP)] * 2, 50, CAP))
+    assert sol.meets_guarantee
+    assert np.all(sol.assignment.allocations == pytest.approx(CAP))
+
+
+def test_generic_batch_mixed_with_zero_cap_threads():
+    fns = [LinearUtility(1.0, 0.0), LogUtility(1.0, 1.0, CAP)]
+    sol = solve(AAProblem(GenericBatch(fns), 2, CAP))
+    assert sol.assignment.allocations[0] == pytest.approx(0.0)
+    assert sol.meets_guarantee

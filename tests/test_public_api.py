@@ -1,0 +1,60 @@
+"""Public API surface: imports, __all__ hygiene, end-to-end smoke."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.utility",
+    "repro.allocation",
+    "repro.assign",
+    "repro.hardness",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.extensions",
+    "repro.simulate.cache",
+    "repro.simulate.cloud",
+    "repro.simulate.hosting",
+    "repro.serialization",
+    "repro.cli",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", [p for p in PACKAGES if p not in ("repro.serialization", "repro.cli")])
+def test_all_names_resolve(name):
+    mod = importlib.import_module(name)
+    exported = getattr(mod, "__all__", [])
+    for symbol in exported:
+        assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_top_level_quickstart_flow():
+    """The README quickstart, verbatim in spirit."""
+    from repro import AAProblem, solve
+    from repro.utility import LogUtility, PowerUtility, SaturatingUtility
+
+    threads = [
+        LogUtility(coeff=6.0, scale=10.0, cap=100.0),
+        SaturatingUtility(vmax=5.0, k=8.0, cap=100.0),
+        PowerUtility(coeff=1.2, beta=0.6, cap=100.0),
+    ]
+    problem = AAProblem(threads, n_servers=2, capacity=100.0)
+    sol = solve(problem)
+    assert sol.total_utility > 0
+    assert sol.meets_guarantee
+    assert sol.assignment.servers.shape == (3,)
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,103 @@
+"""JSON round-trips for problems, utilities and assignments."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.problem import AAProblem, Assignment
+from repro.serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_assignment,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_assignment,
+    save_problem,
+)
+from repro.utility.batch import QuadSplineBatch
+
+
+def test_problem_roundtrip_mixed(mixed_utilities, tmp_path):
+    problem = AAProblem(mixed_utilities, n_servers=3, capacity=10.0)
+    path = tmp_path / "p.json"
+    save_problem(problem, path)
+    loaded = load_problem(path)
+    assert loaded.n_servers == 3
+    assert loaded.capacity == 10.0
+    xs = np.linspace(0, 10, 21)
+    for orig, new in zip(problem.utilities.functions(), loaded.utilities.functions()):
+        assert np.allclose(orig.value(xs), new.value(xs))
+
+
+def test_problem_roundtrip_quadspline_batch(tmp_path):
+    batch = QuadSplineBatch([1.0, 2.0], [0.5, 1.5], 100.0)
+    problem = AAProblem(batch, n_servers=2, capacity=100.0)
+    path = tmp_path / "q.json"
+    save_problem(problem, path)
+    loaded = load_problem(path)
+    xs = np.linspace(0, 100, 11)
+    for orig, new in zip(batch.functions(), loaded.utilities.functions()):
+        assert np.allclose(orig.value(xs), new.value(xs))
+
+
+def test_problem_dict_is_json_serializable(small_problem):
+    text = json.dumps(problem_to_dict(small_problem))
+    assert "aart-problem/1" in text
+
+
+def test_problem_rejects_wrong_format():
+    with pytest.raises(ValueError, match="aart-problem"):
+        problem_from_dict({"format": "something-else"})
+
+
+def test_utility_unknown_type_rejected():
+    data = {
+        "format": "aart-problem/1",
+        "n_servers": 1,
+        "capacity": 1.0,
+        "utilities": [{"type": "mystery"}],
+    }
+    with pytest.raises(ValueError, match="unknown utility type"):
+        problem_from_dict(data)
+
+
+def test_utility_missing_type_rejected():
+    data = {
+        "format": "aart-problem/1",
+        "n_servers": 1,
+        "capacity": 1.0,
+        "utilities": [{"slope": 1.0}],
+    }
+    with pytest.raises(ValueError, match="missing 'type'"):
+        problem_from_dict(data)
+
+
+def test_assignment_roundtrip(tmp_path):
+    a = Assignment(servers=[0, 1, 0], allocations=[1.5, 2.0, 0.0])
+    path = tmp_path / "a.json"
+    save_assignment(a, path)
+    b = load_assignment(path)
+    assert np.array_equal(a.servers, b.servers)
+    assert np.allclose(a.allocations, b.allocations)
+
+
+def test_assignment_rejects_wrong_format():
+    with pytest.raises(ValueError, match="aart-assignment"):
+        assignment_from_dict({"format": "nope", "servers": [], "allocations": []})
+
+
+def test_roundtrip_preserves_solution_value(small_problem, tmp_path):
+    from repro.core.solve import solve
+
+    sol = solve(small_problem)
+    p_path, a_path = tmp_path / "p.json", tmp_path / "a.json"
+    save_problem(small_problem, p_path)
+    save_assignment(sol.assignment, a_path)
+    problem2 = load_problem(p_path)
+    assignment2 = load_assignment(a_path)
+    assignment2.validate(problem2)
+    assert assignment2.total_utility(problem2) == pytest.approx(
+        sol.total_utility, rel=1e-12
+    )

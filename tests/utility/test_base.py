@@ -1,0 +1,89 @@
+"""UtilityFunction base class: numeric fallbacks and validation."""
+
+import numpy as np
+import pytest
+
+from repro.utility.base import UtilityFunction
+
+
+class _SqrtNoOverrides(UtilityFunction):
+    """sqrt utility relying entirely on the base-class numerics."""
+
+    def value(self, x):
+        x = np.clip(np.asarray(x, dtype=float), 0.0, self.cap)
+        out = np.sqrt(x)
+        return out if out.ndim else float(out)
+
+
+class _Decreasing(UtilityFunction):
+    def value(self, x):
+        x = np.asarray(x, dtype=float)
+        out = self.cap - x  # nonnegative on the domain but decreasing
+        return out if out.ndim else float(out)
+
+
+class _Convex(UtilityFunction):
+    def value(self, x):
+        x = np.asarray(x, dtype=float)
+        out = x * x
+        return out if out.ndim else float(out)
+
+
+def test_numeric_derivative_close_to_analytic():
+    f = _SqrtNoOverrides(9.0)
+    for x in (0.5, 1.0, 4.0, 8.0):
+        assert f.derivative(x) == pytest.approx(0.5 / np.sqrt(x), rel=1e-3)
+
+
+def test_numeric_inverse_derivative_by_bisection():
+    f = _SqrtNoOverrides(9.0)
+    lam = 0.25  # derivative 0.5/sqrt(x) = 0.25 at x = 4
+    assert f.inverse_derivative(lam) == pytest.approx(4.0, rel=1e-4)
+
+
+def test_inverse_derivative_zero_price_returns_cap():
+    f = _SqrtNoOverrides(9.0)
+    assert f.inverse_derivative(0.0) == 9.0
+
+
+def test_inverse_derivative_huge_price_returns_zero():
+    f = _SqrtNoOverrides(9.0)
+    assert f.inverse_derivative(1e9) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_validate_accepts_concave():
+    _SqrtNoOverrides(9.0).validate()
+
+
+def test_validate_rejects_decreasing():
+    with pytest.raises(ValueError, match="nondecreasing"):
+        _Decreasing(5.0).validate()
+
+
+def test_validate_rejects_convex():
+    with pytest.raises(ValueError, match="concave"):
+        _Convex(5.0).validate()
+
+
+def test_validate_rejects_negative():
+    class Negative(UtilityFunction):
+        def value(self, x):
+            x = np.asarray(x, dtype=float)
+            out = x - 1.0
+            return out if out.ndim else float(out)
+
+    with pytest.raises(ValueError, match="nonnegative"):
+        Negative(5.0).validate()
+
+
+def test_zero_cap_domain():
+    f = _SqrtNoOverrides(0.0)
+    f.validate()
+    assert f.inverse_derivative(1.0) == 0.0
+
+
+def test_cap_must_be_finite():
+    with pytest.raises(ValueError):
+        _SqrtNoOverrides(np.inf)
+    with pytest.raises(ValueError):
+        _SqrtNoOverrides(-1.0)

@@ -1,0 +1,104 @@
+"""Concave regression (NNLS hinge fit) and the online estimator."""
+
+import numpy as np
+import pytest
+
+from repro.utility.calibration import OnlineUtilityEstimator, fit_concave_utility
+from repro.utility.functions import LogUtility, PiecewiseLinearUtility
+
+CAP = 10.0
+
+
+def test_fit_recovers_noiseless_concave():
+    truth = LogUtility(2.0, 1.0, CAP)
+    xs = np.linspace(0, CAP, 60)
+    fit = fit_concave_utility(xs, truth.value(xs), cap=CAP, n_knots=20)
+    grid = np.linspace(0, CAP, 33)
+    assert np.max(np.abs(fit.value(grid) - truth.value(grid))) < 0.03
+
+
+def test_fit_is_concave_under_noise():
+    rng = np.random.default_rng(0)
+    truth = LogUtility(2.0, 1.0, CAP)
+    xs = rng.uniform(0, CAP, 200)
+    ys = truth.value(xs) + rng.normal(0, 0.3, xs.size)
+    fit = fit_concave_utility(xs, ys, cap=CAP)
+    fit.validate()  # concave + monotone by construction, even with noise
+
+
+def test_fit_close_to_truth_under_noise():
+    rng = np.random.default_rng(1)
+    truth = LogUtility(3.0, 2.0, CAP)
+    xs = rng.uniform(0, CAP, 500)
+    ys = truth.value(xs) + rng.normal(0, 0.2, xs.size)
+    fit = fit_concave_utility(xs, ys, cap=CAP)
+    grid = np.linspace(0.5, CAP, 20)
+    assert np.max(np.abs(fit.value(grid) - truth.value(grid))) < 0.25
+
+
+def test_fit_intercept_mode():
+    xs = np.linspace(0, CAP, 30)
+    ys = 1.0 + 0.5 * xs
+    fit = fit_concave_utility(xs, ys, cap=CAP, fit_intercept=True)
+    assert fit.value(0.0) == pytest.approx(1.0, abs=0.05)
+
+
+def test_fit_anchors_zero_without_intercept():
+    xs = np.linspace(0, CAP, 30)
+    ys = 1.0 + 0.5 * xs
+    fit = fit_concave_utility(xs, ys, cap=CAP, fit_intercept=False)
+    assert fit.value(0.0) == 0.0
+
+
+def test_fit_explicit_grid():
+    truth = PiecewiseLinearUtility([0, 2, 10], [0, 4, 6])
+    xs = np.linspace(0, CAP, 100)
+    fit = fit_concave_utility(xs, truth.value(xs), cap=CAP, grid=[2.0, 6.0, 10.0])
+    assert fit.value(2.0) == pytest.approx(4.0, abs=0.05)
+
+
+def test_fit_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        fit_concave_utility([], [], cap=CAP)
+    with pytest.raises(ValueError):
+        fit_concave_utility([1, 2], [1], cap=CAP)
+    with pytest.raises(ValueError):
+        fit_concave_utility([-1.0], [0.0], cap=CAP)
+    with pytest.raises(ValueError):
+        fit_concave_utility([1.0], [1.0], cap=CAP, grid=[5.0, 2.0])
+    with pytest.raises(ValueError):
+        fit_concave_utility([1.0], [1.0], cap=CAP, grid=[0.0, 2.0])
+
+
+def test_online_estimator_lifecycle():
+    est = OnlineUtilityEstimator(cap=CAP, n_knots=8)
+    assert est.estimate() is None
+    truth = LogUtility(2.0, 1.0, CAP)
+    rng = np.random.default_rng(2)
+    for _ in range(80):
+        x = float(rng.uniform(0, CAP))
+        est.observe(x, float(truth.value(x)) + float(rng.normal(0, 0.05)))
+    fit = est.estimate()
+    assert fit is not None
+    fit.validate()
+    assert abs(float(fit.value(5.0)) - float(truth.value(5.0))) < 0.3
+
+
+def test_online_estimator_window_rolls():
+    est = OnlineUtilityEstimator(cap=CAP, window=10)
+    for k in range(25):
+        est.observe(1.0, float(k))
+    assert est.n_samples == 10
+
+
+def test_online_estimator_rejects_out_of_domain():
+    est = OnlineUtilityEstimator(cap=CAP)
+    with pytest.raises(ValueError):
+        est.observe(-1.0, 0.0)
+    with pytest.raises(ValueError):
+        est.observe(CAP + 1.0, 0.0)
+
+
+def test_online_estimator_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        OnlineUtilityEstimator(cap=0.0)

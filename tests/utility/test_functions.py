@@ -1,0 +1,192 @@
+"""Closed-form utility families: values, derivatives, inverse derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utility.functions import (
+    CappedLinearUtility,
+    ExponentialUtility,
+    LinearUtility,
+    LogUtility,
+    PiecewiseLinearUtility,
+    PowerUtility,
+    SaturatingUtility,
+    ZeroUtility,
+)
+
+CAP = 10.0
+
+ALL_EXAMPLES = [
+    ZeroUtility(CAP),
+    LinearUtility(0.7, CAP),
+    CappedLinearUtility(2.0, 4.0, CAP),
+    PowerUtility(1.3, 0.5, CAP),
+    PowerUtility(2.0, 1.0, CAP),
+    LogUtility(1.5, 2.0, CAP),
+    SaturatingUtility(4.0, 3.0, CAP),
+    ExponentialUtility(3.0, 2.0, CAP),
+    PiecewiseLinearUtility([0, 2, 5, 10], [0, 4, 7, 8]),
+]
+
+
+@pytest.mark.parametrize("f", ALL_EXAMPLES, ids=lambda f: type(f).__name__)
+def test_model_assumptions_hold(f):
+    f.validate()
+
+
+@pytest.mark.parametrize("f", ALL_EXAMPLES, ids=lambda f: type(f).__name__)
+def test_value_zero_is_zero(f):
+    assert f.value(0.0) == pytest.approx(0.0)
+
+
+@pytest.mark.parametrize("f", ALL_EXAMPLES, ids=lambda f: type(f).__name__)
+def test_value_clips_outside_domain(f):
+    assert f.value(-5.0) == pytest.approx(f.value(0.0))
+    assert f.value(CAP + 5.0) == pytest.approx(f.value(CAP))
+
+
+@pytest.mark.parametrize("f", ALL_EXAMPLES, ids=lambda f: type(f).__name__)
+def test_vectorized_matches_scalar(f):
+    xs = np.linspace(0, CAP, 17)
+    vec = f.value(xs)
+    assert np.allclose(vec, [f.value(x) for x in xs])
+
+
+@pytest.mark.parametrize("f", ALL_EXAMPLES, ids=lambda f: type(f).__name__)
+def test_derivative_matches_finite_difference(f):
+    xs = np.linspace(0.3, CAP - 0.3, 9)
+    h = 1e-6
+    for x in xs:
+        fd = (f.value(x + h) - f.value(x - h)) / (2 * h)
+        d = f.derivative(x)
+        # Step-derivative families are compared away from their knots.
+        if type(f) in (CappedLinearUtility, PiecewiseLinearUtility):
+            if any(abs(x - k) < 0.2 for k in (2, 4, 5)):
+                continue
+        assert d == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+
+@pytest.mark.parametrize("f", ALL_EXAMPLES, ids=lambda f: type(f).__name__)
+@pytest.mark.parametrize("lam", [0.0, 1e-3, 0.1, 0.5, 1.0, 5.0, 1e3])
+def test_inverse_derivative_is_demand(f, lam):
+    """inv(lam) is the largest x with derivative >= lam."""
+    x = f.inverse_derivative(lam)
+    assert 0.0 <= x <= f.cap
+    if lam <= 0:
+        assert x == f.cap
+        return
+    eps = 1e-6 * CAP
+    if x > eps:
+        assert f.derivative(x - eps) >= lam - 1e-6
+    if x < f.cap - eps:
+        assert f.derivative(x + eps) < lam + 1e-6
+
+
+def test_capped_linear_breakpoint():
+    f = CappedLinearUtility(3.0, 4.0, CAP)
+    assert f.value(2.0) == pytest.approx(6.0)
+    assert f.value(4.0) == pytest.approx(12.0)
+    assert f.value(9.0) == pytest.approx(12.0)
+
+
+def test_capped_linear_rejects_breakpoint_beyond_cap():
+    with pytest.raises(ValueError):
+        CappedLinearUtility(1.0, 11.0, CAP)
+
+
+def test_power_beta_bounds():
+    with pytest.raises(ValueError):
+        PowerUtility(1.0, 0.0, CAP)
+    with pytest.raises(ValueError):
+        PowerUtility(1.0, 1.5, CAP)
+
+
+def test_power_derivative_at_zero_is_infinite():
+    f = PowerUtility(1.0, 0.5, CAP)
+    assert f.derivative(0.0) == np.inf
+
+
+def test_power_inverse_derivative_closed_form():
+    f = PowerUtility(2.0, 0.5, CAP)
+    lam = 0.5  # interior demand: (coeff*beta/lam)^(1/(1-beta)) = 4 < cap
+    x = f.inverse_derivative(lam)
+    assert x == pytest.approx(4.0)
+    assert f.derivative(x) == pytest.approx(lam)
+
+
+def test_power_inverse_derivative_clamps_at_cap():
+    f = PowerUtility(2.0, 0.5, CAP)
+    # Demand at this price (16) exceeds the domain; must clamp to cap.
+    assert f.inverse_derivative(0.25) == CAP
+
+
+def test_log_value():
+    f = LogUtility(2.0, 1.0, CAP)
+    assert f.value(np.e - 1.0) == pytest.approx(2.0)
+
+
+def test_saturating_limits():
+    f = SaturatingUtility(5.0, 1.0, 1e6)
+    assert f.value(1e6) == pytest.approx(5.0, rel=1e-4)
+
+
+def test_exponential_known_values():
+    f = ExponentialUtility(vmax=2.0, k=3.0, cap=100.0)
+    assert f.value(0.0) == pytest.approx(0.0)
+    assert f.value(3.0) == pytest.approx(2.0 * (1 - np.exp(-1)))
+    assert f.value(100.0) == pytest.approx(2.0, rel=1e-4)
+
+
+def test_exponential_inverse_derivative_interior():
+    f = ExponentialUtility(vmax=2.0, k=3.0, cap=100.0)
+    lam = f.derivative(5.0)
+    assert f.inverse_derivative(lam) == pytest.approx(5.0, rel=1e-9)
+
+
+def test_piecewise_linear_rejects_nonconcave():
+    with pytest.raises(ValueError, match="concav"):
+        PiecewiseLinearUtility([0, 1, 2], [0, 1, 3])
+
+
+def test_piecewise_linear_rejects_decreasing():
+    with pytest.raises(ValueError, match="nondecreasing"):
+        PiecewiseLinearUtility([0, 1, 2], [0, 2, 1])
+
+
+def test_piecewise_linear_rejects_bad_knots():
+    with pytest.raises(ValueError):
+        PiecewiseLinearUtility([1, 2], [0, 1])  # must start at 0
+    with pytest.raises(ValueError):
+        PiecewiseLinearUtility([0, 0], [0, 1])  # strictly increasing x
+
+
+def test_piecewise_linear_flat_extension():
+    f = PiecewiseLinearUtility([0, 2], [0, 4], cap=10.0)
+    assert f.value(7.0) == pytest.approx(4.0)
+    assert f.derivative(5.0) == pytest.approx(0.0)
+
+
+def test_piecewise_linear_single_knot():
+    f = PiecewiseLinearUtility([0.0], [0.0], cap=5.0)
+    assert f.value(3.0) == pytest.approx(0.0)
+
+
+def test_zero_utility_everything_zero():
+    f = ZeroUtility(CAP)
+    assert f.value(5.0) == 0.0
+    assert f.derivative(5.0) == 0.0
+    assert f.inverse_derivative(0.5) == 0.0
+    assert f.inverse_derivative(0.0) == CAP
+
+
+@given(st.floats(min_value=0.01, max_value=5.0), st.floats(min_value=0.0, max_value=10.0))
+def test_linear_value_formula(slope, x):
+    f = LinearUtility(slope, CAP)
+    assert f.value(x) == pytest.approx(slope * min(x, CAP))
+
+
+def test_callable_shortcut():
+    f = LinearUtility(2.0, CAP)
+    assert f(3.0) == f.value(3.0)

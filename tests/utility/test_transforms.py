@@ -1,0 +1,142 @@
+"""Utility transforms: invariants and exact-derivative forwarding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utility.transforms import Scaled, Shifted, SumUtility, Truncated, XStretched
+from repro.utility.functions import LinearUtility, LogUtility, SaturatingUtility
+
+from tests.conftest import concave_utilities
+
+CAP = 10.0
+
+
+def _inner():
+    return LogUtility(2.0, 1.0, CAP)
+
+
+# -- Scaled -------------------------------------------------------------------
+
+
+def test_scaled_values_and_derivatives():
+    g = Scaled(_inner(), 3.0)
+    xs = np.linspace(0, CAP, 7)
+    f = _inner()
+    assert np.allclose(g.value(xs), 3.0 * np.asarray(f.value(xs)))
+    assert np.allclose(g.derivative(xs), 3.0 * np.asarray(f.derivative(xs)))
+
+
+def test_scaled_inverse_derivative_exact():
+    g = Scaled(_inner(), 4.0)
+    x = g.inverse_derivative(2.0)
+    assert g.derivative(x) == pytest.approx(2.0, rel=1e-9)
+
+
+def test_scaled_rejects_bad_weight():
+    for w in (0.0, -1.0, np.inf, np.nan):
+        with pytest.raises(ValueError):
+            Scaled(_inner(), w)
+
+
+# -- XStretched -----------------------------------------------------------------
+
+
+def test_xstretched_matches_composition():
+    f = _inner()
+    g = XStretched(f, 2.5)
+    assert g.cap == pytest.approx(2.5 * CAP)
+    for x in (0.0, 5.0, 20.0):
+        assert float(g.value(x)) == pytest.approx(float(f.value(x / 2.5)))
+
+
+def test_xstretched_derivative_chain_rule():
+    f = _inner()
+    g = XStretched(f, 2.0)
+    assert float(g.derivative(4.0)) == pytest.approx(float(f.derivative(2.0)) / 2.0)
+
+
+def test_xstretched_inverse_derivative_exact():
+    g = XStretched(_inner(), 2.0)
+    lam = float(g.derivative(6.0))
+    assert g.inverse_derivative(lam) == pytest.approx(6.0, rel=1e-9)
+
+
+def test_xstretched_rejects_bad_factor():
+    with pytest.raises(ValueError):
+        XStretched(_inner(), 0.0)
+
+
+# -- Truncated --------------------------------------------------------------------
+
+
+def test_truncated_domain_and_values():
+    g = Truncated(_inner(), 4.0)
+    assert g.cap == 4.0
+    assert float(g.value(9.0)) == pytest.approx(float(_inner().value(4.0)))
+
+
+def test_truncated_beyond_inner_cap_clamps():
+    g = Truncated(_inner(), 50.0)
+    assert g.cap == CAP
+
+
+def test_truncated_rejects_negative():
+    with pytest.raises(ValueError):
+        Truncated(_inner(), -1.0)
+
+
+# -- Shifted ------------------------------------------------------------------------
+
+
+def test_shifted_adds_baseline():
+    g = Shifted(_inner(), 2.5)
+    assert float(g.value(0.0)) == pytest.approx(2.5)
+    assert float(g.derivative(3.0)) == pytest.approx(float(_inner().derivative(3.0)))
+
+
+def test_shifted_rejects_negative():
+    with pytest.raises(ValueError):
+        Shifted(_inner(), -0.1)
+
+
+# -- SumUtility ----------------------------------------------------------------------
+
+
+def test_sum_utility_adds_components():
+    parts = [LinearUtility(1.0, CAP), SaturatingUtility(2.0, 1.0, CAP)]
+    g = SumUtility(parts)
+    for x in (0.0, 2.0, CAP):
+        expected = sum(float(p.value(x)) for p in parts)
+        assert float(g.value(x)) == pytest.approx(expected)
+
+
+def test_sum_utility_validation():
+    with pytest.raises(ValueError):
+        SumUtility([])
+    with pytest.raises(ValueError):
+        SumUtility([LinearUtility(1.0, CAP), LinearUtility(1.0, CAP / 2)])
+
+
+# -- composed invariants (hypothesis) ----------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(concave_utilities(), st.floats(min_value=0.2, max_value=5.0))
+def test_transforms_preserve_model_assumptions(f, factor):
+    Scaled(f, factor).validate()
+    XStretched(f, factor).validate()
+    Shifted(f, factor).validate()
+    Truncated(f, factor).validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(concave_utilities(), st.floats(min_value=0.2, max_value=5.0))
+def test_transforms_work_in_waterfill(f, factor):
+    """Transformed utilities must flow through the allocator unchanged."""
+    from repro.allocation.waterfill import water_fill
+
+    fns = [Scaled(f, factor), XStretched(f, factor), Truncated(f, factor)]
+    res = water_fill(fns, 7.0)
+    assert float(np.sum(res.allocations)) <= 7.0 + 1e-6

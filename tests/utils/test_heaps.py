@@ -1,0 +1,114 @@
+"""IndexedMaxHeap: ordering, updates, determinism, randomized cross-check."""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.heaps import IndexedMaxHeap
+
+
+def test_peek_returns_max():
+    h = IndexedMaxHeap([3.0, 7.0, 1.0])
+    assert h.peek() == (1, 7.0)
+
+
+def test_peek_does_not_remove():
+    h = IndexedMaxHeap([3.0, 7.0])
+    h.peek()
+    assert len(h) == 2
+
+
+def test_pop_order_is_descending():
+    h = IndexedMaxHeap([5.0, 9.0, 2.0, 7.0])
+    popped = [h.pop() for _ in range(4)]
+    assert [p[1] for p in popped] == [9.0, 7.0, 5.0, 2.0]
+
+
+def test_ties_break_to_smallest_item():
+    h = IndexedMaxHeap([4.0, 4.0, 4.0])
+    assert h.pop()[0] == 0
+    assert h.pop()[0] == 1
+    assert h.pop()[0] == 2
+
+
+def test_update_decrease_key():
+    h = IndexedMaxHeap([10.0, 5.0])
+    h.update(0, 1.0)
+    assert h.peek() == (1, 5.0)
+
+
+def test_update_increase_key():
+    h = IndexedMaxHeap([1.0, 2.0, 3.0])
+    h.update(0, 99.0)
+    assert h.peek() == (0, 99.0)
+
+
+def test_priority_lookup():
+    h = IndexedMaxHeap([1.5, 2.5])
+    assert h.priority(1) == 2.5
+    h.update(1, 0.5)
+    assert h.priority(1) == 0.5
+
+
+def test_contains_after_pop():
+    h = IndexedMaxHeap([1.0, 2.0])
+    h.pop()
+    assert 1 not in h
+    assert 0 in h
+
+
+def test_empty_heap_raises():
+    h = IndexedMaxHeap([])
+    with pytest.raises(IndexError):
+        h.peek()
+    with pytest.raises(IndexError):
+        h.pop()
+
+
+def test_len_tracks_pops():
+    h = IndexedMaxHeap([1.0, 2.0, 3.0])
+    assert len(h) == 3
+    h.pop()
+    assert len(h) == 2
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+def test_pop_sequence_matches_sorted(priorities):
+    h = IndexedMaxHeap(priorities)
+    popped = [h.pop()[1] for _ in range(len(priorities))]
+    assert popped == sorted((float(p) for p in priorities), reverse=True)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=20),
+    st.data(),
+)
+def test_random_updates_keep_max_invariant(priorities, data):
+    """After arbitrary updates, peek always matches a reference scan."""
+    h = IndexedMaxHeap(priorities)
+    current = [float(p) for p in priorities]
+    for _ in range(10):
+        i = data.draw(st.integers(min_value=0, max_value=len(current) - 1))
+        p = data.draw(st.floats(min_value=0, max_value=100))
+        h.update(i, p)
+        current[i] = float(p)
+        best = max(range(len(current)), key=lambda k: (current[k], -k))
+        item, prio = h.peek()
+        assert item == best
+        assert prio == current[best]
+
+
+def test_algorithm2_usage_pattern(rng):
+    """Simulate the assign loop: repeated peek + decrease on the same heap."""
+    caps = rng.uniform(1, 10, size=6)
+    h = IndexedMaxHeap(caps)
+    reference = caps.copy()
+    for _ in range(40):
+        j, res = h.peek()
+        assert res == pytest.approx(reference.max())
+        take = min(rng.uniform(0, 3), res)
+        h.update(j, res - take)
+        reference[np.argmax(reference)] -= take

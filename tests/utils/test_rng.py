@@ -1,0 +1,57 @@
+"""Seed coercion and child-generator spawning."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+def test_none_gives_generator():
+    assert isinstance(as_generator(None), np.random.Generator)
+
+
+def test_int_seed_is_reproducible():
+    a = as_generator(7).uniform(size=5)
+    b = as_generator(7).uniform(size=5)
+    assert np.array_equal(a, b)
+
+
+def test_generator_passes_through():
+    g = np.random.default_rng(0)
+    assert as_generator(g) is g
+
+
+def test_seedsequence_accepted():
+    seq = np.random.SeedSequence(5)
+    g = as_generator(seq)
+    assert isinstance(g, np.random.Generator)
+
+
+def test_spawn_count():
+    assert len(spawn_generators(0, 7)) == 7
+
+
+def test_spawn_reproducible():
+    a = [g.uniform() for g in spawn_generators(3, 4)]
+    b = [g.uniform() for g in spawn_generators(3, 4)]
+    assert a == b
+
+
+def test_spawn_children_differ():
+    vals = [g.uniform() for g in spawn_generators(3, 10)]
+    assert len(set(vals)) == 10
+
+
+def test_spawn_from_generator():
+    g = np.random.default_rng(1)
+    children = spawn_generators(g, 3)
+    assert len(children) == 3
+
+
+def test_spawn_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_generators(0, -1)
+
+
+def test_spawn_zero_is_empty():
+    assert spawn_generators(0, 0) == []

@@ -1,0 +1,64 @@
+"""Validation helpers: accepted and rejected inputs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_capacity,
+    check_nonnegative_array,
+    check_positive,
+    check_probability,
+)
+
+
+@pytest.mark.parametrize("value", [1e-9, 1.0, 1e9])
+def test_positive_accepts(value):
+    assert check_positive("x", value) == value
+
+
+@pytest.mark.parametrize("value", [0.0, -1.0, math.nan, math.inf])
+def test_positive_rejects(value):
+    with pytest.raises(ValueError, match="x"):
+        check_positive("x", value)
+
+
+def test_capacity_accepts_zero():
+    assert check_capacity("c", 0) == 0.0
+
+
+@pytest.mark.parametrize("value", [-0.1, math.nan, math.inf])
+def test_capacity_rejects(value):
+    with pytest.raises(ValueError):
+        check_capacity("c", value)
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_probability_accepts(value):
+    assert check_probability("p", value) == value
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01, math.nan])
+def test_probability_rejects(value):
+    with pytest.raises(ValueError):
+        check_probability("p", value)
+
+
+def test_nonnegative_array_passes():
+    out = check_nonnegative_array("a", [0, 1, 2])
+    assert out.dtype == float
+
+
+def test_nonnegative_array_rejects_negative():
+    with pytest.raises(ValueError):
+        check_nonnegative_array("a", [1.0, -0.5])
+
+
+def test_nonnegative_array_rejects_nan():
+    with pytest.raises(ValueError):
+        check_nonnegative_array("a", [np.nan])
+
+
+def test_nonnegative_array_empty_ok():
+    assert check_nonnegative_array("a", []).size == 0

@@ -1,0 +1,150 @@
+"""Section VII workload generators: distributions, anchors, problems."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import AAProblem
+from repro.utility.batch import GenericBatch, QuadSplineBatch
+from repro.workloads.generators import (
+    DISTRIBUTIONS,
+    FoldedNormalDistribution,
+    PowerLawDistribution,
+    TwoPointDistribution,
+    UniformDistribution,
+    draw_anchors,
+    make_distribution,
+    make_problem,
+    paper_utilities,
+)
+
+
+def test_registry_has_paper_families():
+    assert set(DISTRIBUTIONS) == {"uniform", "normal", "powerlaw", "discrete"}
+
+
+def test_make_distribution_by_name():
+    d = make_distribution("powerlaw", alpha=3.0)
+    assert isinstance(d, PowerLawDistribution)
+    assert d.alpha == 3.0
+
+
+def test_make_distribution_unknown():
+    with pytest.raises(ValueError, match="unknown distribution"):
+        make_distribution("cauchy")
+
+
+def test_uniform_bounds():
+    d = UniformDistribution(0.0, 1.0)
+    rng = np.random.default_rng(0)
+    x = d.sample(rng, 1000)
+    assert np.all((x >= 0) & (x <= 1))
+
+
+def test_uniform_rejects_bad_range():
+    with pytest.raises(ValueError):
+        UniformDistribution(2.0, 1.0)
+
+
+def test_folded_normal_nonnegative():
+    d = FoldedNormalDistribution(1.0, 1.0)
+    rng = np.random.default_rng(0)
+    assert np.all(d.sample(rng, 1000) >= 0)
+
+
+def test_powerlaw_support_and_tail():
+    d = PowerLawDistribution(alpha=2.0, x_min=1.0)
+    rng = np.random.default_rng(0)
+    x = d.sample(rng, 20000)
+    assert np.all(x >= 1.0)
+    # alpha=2 Pareto has heavy tail: some draws far above the median.
+    assert np.max(x) > 20 * np.median(x)
+
+
+def test_powerlaw_needs_alpha_above_one():
+    with pytest.raises(ValueError):
+        PowerLawDistribution(alpha=1.0)
+
+
+def test_powerlaw_tail_lightens_with_alpha():
+    rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+    heavy = PowerLawDistribution(alpha=1.5).sample(rng1, 5000)
+    light = PowerLawDistribution(alpha=4.0).sample(rng2, 5000)
+    assert np.mean(heavy) > np.mean(light)
+
+
+def test_two_point_values():
+    d = TwoPointDistribution(gamma=0.3, theta=5.0)
+    rng = np.random.default_rng(0)
+    x = d.sample(rng, 2000)
+    assert set(np.unique(x)) == {1.0, 5.0}
+    # P(low) = 0.3.
+    assert np.mean(x == 1.0) == pytest.approx(0.3, abs=0.05)
+
+
+def test_two_point_validation():
+    with pytest.raises(ValueError):
+        TwoPointDistribution(gamma=1.5)
+    with pytest.raises(ValueError):
+        TwoPointDistribution(theta=0.5)
+
+
+def test_anchors_ordered():
+    v, w = draw_anchors(UniformDistribution(), 500, seed=1)
+    assert np.all(w <= v)
+    assert v.shape == w.shape == (500,)
+
+
+def test_anchors_reproducible():
+    v1, w1 = draw_anchors(UniformDistribution(), 10, seed=5)
+    v2, w2 = draw_anchors(UniformDistribution(), 10, seed=5)
+    assert np.array_equal(v1, v2) and np.array_equal(w1, w2)
+
+
+def test_anchors_negative_n():
+    with pytest.raises(ValueError):
+        draw_anchors(UniformDistribution(), -1)
+
+
+def test_paper_utilities_quadspline_default():
+    batch = paper_utilities(UniformDistribution(), 6, 100.0, seed=0)
+    assert isinstance(batch, QuadSplineBatch)
+    assert len(batch) == 6
+    for f in batch.functions():
+        f.validate()
+
+
+def test_paper_utilities_pchip_mode():
+    batch = paper_utilities(UniformDistribution(), 4, 100.0, seed=0, interpolator="pchip")
+    assert isinstance(batch, GenericBatch)
+    assert len(batch) == 4
+
+
+def test_paper_utilities_unknown_interpolator():
+    with pytest.raises(ValueError, match="interpolator"):
+        paper_utilities(UniformDistribution(), 4, 100.0, interpolator="spline9000")
+
+
+def test_same_seed_same_utilities_across_interpolators():
+    """Both interpolators must see identical anchors for a given seed."""
+    q = paper_utilities(UniformDistribution(), 5, 100.0, seed=9)
+    p = paper_utilities(UniformDistribution(), 5, 100.0, seed=9, interpolator="pchip")
+    for fq, fp in zip(q.functions(), p.functions()):
+        assert float(fq.value(50.0)) == pytest.approx(float(fp.value(50.0)))
+        assert float(fq.value(100.0)) == pytest.approx(float(fp.value(100.0)))
+
+
+def test_make_problem_beta_scaling():
+    p = make_problem(UniformDistribution(), n_servers=8, beta=5, seed=0)
+    assert isinstance(p, AAProblem)
+    assert p.n_threads == 40
+    assert p.beta == 5.0
+
+
+def test_make_problem_rejects_bad_beta():
+    with pytest.raises(ValueError):
+        make_problem(UniformDistribution(), 4, 0.0)
+
+
+def test_distribution_name_attribute():
+    assert UniformDistribution().name == "uniform"
+    assert PowerLawDistribution().name == "powerlaw"

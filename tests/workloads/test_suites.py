@@ -1,0 +1,42 @@
+"""Canonical scenario suites."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.suites import chip_phase_flip_suite, chip_trace_suite
+
+
+def test_chip_suite_composition():
+    traces = chip_trace_suite(n_friendly=4, trace_len=500, seed=1)
+    assert len(traces) == 7  # 4 friendly + scan + working-set + markov
+    for t in traces:
+        assert t.size > 0
+
+
+def test_chip_suite_disjoint_address_ranges():
+    traces = chip_trace_suite(n_friendly=3, trace_len=400, seed=2)
+    ranges = [(int(t.min()), int(t.max())) for t in traces]
+    for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+        assert hi1 < lo2
+
+
+def test_chip_suite_reproducible():
+    a = chip_trace_suite(seed=5, trace_len=300)
+    b = chip_trace_suite(seed=5, trace_len=300)
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_phase_flip_suite_structure():
+    traces = chip_phase_flip_suite(half_len=200, seed=0)
+    assert len(traces) == 4
+    # The flip threads change address range at the midpoint.
+    t0 = traces[0]
+    assert t0[:200].max() < 1000 <= t0[200:].min()
+
+
+def test_suites_feed_the_planner():
+    from repro.simulate.cache import plan_partitioning
+
+    plan = plan_partitioning(chip_trace_suite(n_friendly=3, trace_len=600), 2, 8)
+    assert plan.realized_hits > 0
