@@ -4,13 +4,29 @@
   Alg2/SO over the uniform/normal beta sweeps;
 * "up to 5.7 times better total utility" — the heuristic multipliers at
   the power-law (alpha = 2) beta = 15 point.
+
+Plus the engine's headline: running all contenders on a trial instance
+through one SolveContext + LinearizationCache performs exactly one
+linearization per instance, and the bench reports the per-trial speedup
+over the uncached path together with the engine counters (linearize
+calls saved, bisection iterations, heap ops).
 """
+
+import time
 
 from _common import SEED, TRIALS
 
+from repro.engine import LinearizationCache, SolveContext
 from repro.experiments.figures import run_figure
-from repro.experiments.harness import SO
+from repro.experiments.harness import SO, run_trial
 from repro.experiments.report import summarize_headlines
+from repro.observability import (
+    ALG2_HEAP_OPS,
+    BISECTION_ITERATIONS,
+    LINEARIZE_CALLS,
+)
+from repro.utils.rng import spawn_generators
+from repro.workloads.generators import UniformDistribution, make_problem
 
 
 def test_headline_claims(benchmark):
@@ -29,3 +45,68 @@ def test_headline_claims(benchmark):
     last = panels["fig2a"][-1]
     assert last.ratios["UU"] > 2.0, "power-law beta=15 UU multiplier too small"
     assert last.ratios["RR"] > 2.0, "power-law beta=15 RR multiplier too small"
+
+
+def test_shared_linearization_speedup(benchmark):
+    """Per-trial speedup of the engine's shared-linearization path.
+
+    Uncached baseline: every contender linearizes the instance for
+    itself (the pre-engine behavior, reconstructed by giving each
+    ``run_trial`` contender its own context).  Cached path: one
+    ``SolveContext`` per sweep, shared by alg1 + alg2 + all heuristics.
+    """
+    n_trials = max(TRIALS // 2, 10)
+    instances = [
+        make_problem(UniformDistribution(), n_servers=8, beta=10.0, seed=rng)
+        for rng in spawn_generators(SEED, n_trials)
+    ]
+
+    def uncached():
+        # One fresh context per solve → one linearization per *solve*, as
+        # before the engine landed.  Returns the total linearize count.
+        from repro.core.solve import solve
+
+        calls = 0
+        for p, rng in zip(instances, spawn_generators(SEED, n_trials)):
+            for algorithm in ("alg1", "alg2", "UU", "UR", "RU", "RR"):
+                c = SolveContext(seed=rng)
+                solve(p, algorithm=algorithm, ctx=c)
+                calls += c.counters[LINEARIZE_CALLS]
+        return calls
+
+    def cached():
+        ctx = SolveContext(seed=SEED, cache=LinearizationCache())
+        total = 0.0
+        for p, rng in zip(instances, spawn_generators(SEED, n_trials)):
+            record = run_trial(p, rng, include_alg1=True, ctx=ctx)
+            total += sum(record.utilities.values())
+        return ctx
+
+    t0 = time.perf_counter()
+    uncached_calls = uncached()
+    uncached_s = time.perf_counter() - t0
+
+    ctx = benchmark.pedantic(cached, rounds=1, iterations=1)
+
+    cached_s = benchmark.stats.stats.mean
+    speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
+    linearize_calls = ctx.counters[LINEARIZE_CALLS]
+    saved = uncached_calls - linearize_calls
+    print("\n=== shared linearization (engine) ===")
+    print(f"trials                 : {n_trials}")
+    print(f"uncached (per-solve)   : {uncached_s * 1e3:.1f} ms, {uncached_calls} linearize calls")
+    print(f"cached  (shared ctx)   : {cached_s * 1e3:.1f} ms")
+    print(f"per-trial speedup      : {speedup:.2f}x")
+    print(f"linearize calls        : {linearize_calls} (saved {saved})")
+    print(f"bisection iterations   : {ctx.counters[BISECTION_ITERATIONS]}")
+    print(f"alg2 heap ops          : {ctx.counters[ALG2_HEAP_OPS]}")
+    benchmark.extra_info["uncached_s"] = uncached_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["linearize_calls"] = linearize_calls
+    benchmark.extra_info["linearize_calls_saved"] = saved
+    benchmark.extra_info["bisection_iterations"] = int(
+        ctx.counters[BISECTION_ITERATIONS]
+    )
+
+    # The whole point of the shared cache: one linearization per instance.
+    assert linearize_calls == n_trials

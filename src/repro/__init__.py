@@ -16,10 +16,19 @@ Quickstart::
     sol = solve(problem)          # Algorithm 2, certified >= 0.828 * OPT
     print(sol.total_utility, sol.certified_ratio)
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every figure.
+Every solver — the paper algorithms, the Section VII heuristics, the
+extensions — is addressable through the unified engine::
+
+    from repro import engine
+    spec = engine.get_solver("alg2")       # metadata: ratio, complexity, ...
+    run = engine.run_solver("alg2", problem)
+
+See DESIGN.md for the full system inventory, docs/engine.md for the
+solver engine, and EXPERIMENTS.md for the paper-vs-measured record of
+every figure.
 """
 
+from repro import engine
 from repro.core import (
     ALPHA,
     AAProblem,
@@ -43,6 +52,7 @@ __all__ = [
     "Solution",
     "algorithm1",
     "algorithm2",
+    "engine",
     "exact_continuous",
     "linearize",
     "solve",

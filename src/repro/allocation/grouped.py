@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability import BATCH_EVALUATIONS, GROUPED_BISECTION_ITERATIONS
 from repro.utility.batch import UtilityBatch, as_batch
 
 
@@ -37,6 +38,7 @@ def water_fill_grouped(
     *,
     rel_tol: float = 1e-12,
     max_iter: int = 200,
+    ctx=None,
 ) -> GroupedAllocationResult:
     """Optimally divide ``budgets[g]`` among the threads with ``groups[i] == g``.
 
@@ -77,6 +79,8 @@ def water_fill_grouped(
     active = ~slack & ~zero
 
     def group_demand(lam_groups: np.ndarray) -> np.ndarray:
+        if ctx is not None:
+            ctx.count(BATCH_EVALUATIONS)
         demand = np.minimum(batch.inverse_derivative_each(lam_groups[groups]), caps)
         return np.bincount(groups, weights=demand, minlength=k)
 
@@ -96,6 +100,8 @@ def water_fill_grouped(
             raise RuntimeError("water_fill_grouped could not bracket a price")
 
     for _ in range(max_iter):
+        if ctx is not None:
+            ctx.check_deadline()
         width = lam_hi - lam_lo
         todo = active & (width > rel_tol * np.maximum(lam_hi, 1.0))
         if not np.any(todo):
@@ -119,6 +125,8 @@ def water_fill_grouped(
     alloc = np.where(slack[groups], caps, alloc)
     alloc = np.where(zero[groups], 0.0, alloc)
 
+    if ctx is not None:
+        ctx.count(GROUPED_BISECTION_ITERATIONS, iterations)
     values = np.asarray(batch.value(alloc), dtype=float)
     group_utilities = np.bincount(groups, weights=values, minlength=k)
     return GroupedAllocationResult(

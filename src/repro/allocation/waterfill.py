@@ -26,6 +26,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability import (
+    BATCH_EVALUATIONS,
+    BISECTION_ITERATIONS,
+    WATERFILL_CALLS,
+)
 from repro.utility.batch import UtilityBatch, as_batch
 
 
@@ -57,6 +62,7 @@ def water_fill(
     *,
     rel_tol: float = 1e-12,
     max_iter: int = 200,
+    ctx=None,
 ) -> AllocationResult:
     """Optimally divide ``budget`` among concave utilities (single pool).
 
@@ -71,6 +77,10 @@ def water_fill(
         Relative width of the final ``lam`` bracket.
     max_iter:
         Bisection iteration cap (the bracket halves each step).
+    ctx:
+        Optional :class:`~repro.engine.context.SolveContext`; records the
+        call, its bisection iterations and batch evaluations, and enforces
+        the context's wall-clock deadline inside the bisection loop.
 
     Notes
     -----
@@ -84,6 +94,8 @@ def water_fill(
     budget = float(budget)
     if not np.isfinite(budget) or budget < 0:
         raise ValueError(f"budget must be finite and nonnegative, got {budget!r}")
+    if ctx is not None:
+        ctx.count(WATERFILL_CALLS)
     if n == 0:
         return AllocationResult(np.zeros(0), 0.0, 0.0, 0)
 
@@ -98,6 +110,8 @@ def water_fill(
         return AllocationResult(c, batch.total(c), float(np.max(batch.derivative(c), initial=0.0)), 0)
 
     def demand(lam: float) -> np.ndarray:
+        if ctx is not None:
+            ctx.count(BATCH_EVALUATIONS)
         return np.minimum(batch.inverse_derivative(lam), caps)
 
     # Exponential search for an upper price with demand <= budget.  Demand at
@@ -113,6 +127,8 @@ def water_fill(
             raise RuntimeError("water_fill could not bracket the marginal price")
 
     for _ in range(max_iter):
+        if ctx is not None:
+            ctx.check_deadline()
         if lam_hi - lam_lo <= rel_tol * max(lam_hi, 1.0):
             break
         mid = 0.5 * (lam_lo + lam_hi)
@@ -121,6 +137,8 @@ def water_fill(
             lam_lo = mid
         else:
             lam_hi = mid
+    if ctx is not None:
+        ctx.count(BISECTION_ITERATIONS, iterations)
 
     c_hi = demand(lam_lo)  # total >= budget
     c_lo = demand(lam_hi)  # total <= budget

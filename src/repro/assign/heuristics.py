@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.problem import AAProblem, Assignment
+from repro.engine.registry import RegistryView, register_solver
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -87,11 +88,31 @@ def rr(problem: AAProblem, seed: SeedLike = None) -> Assignment:
     return Assignment(servers=servers, allocations=random_split(problem, servers, rng))
 
 
-#: Heuristic registry used by the experiment harness; insertion order is the
-#: legend order of the paper's figures.
-HEURISTICS = {
-    "UU": uu,
-    "UR": ur,
-    "RU": ru,
-    "RR": rr,
-}
+def _register_heuristic(
+    name: str, fn, randomized: bool, complexity: str, description: str
+) -> None:
+    # Heuristics run raw in the paper's figures, so reclamation is declared
+    # not applicable; the harness reports them exactly as produced.
+    register_solver(
+        name,
+        lambda problem, lin, ctx, seed, _fn=fn: _fn(problem, seed=seed),
+        kind="heuristic",
+        ratio=None,
+        complexity=complexity,
+        reclaim=False,
+        uses_linearization=False,
+        randomized=randomized,
+        description=description,
+    )
+
+
+_register_heuristic("UU", uu, False, "O(n)", "round-robin assignment, equal shares")
+_register_heuristic("UR", ur, True, "O(n log n)", "round-robin assignment, random shares")
+_register_heuristic("RU", ru, True, "O(n)", "random assignment, equal shares")
+_register_heuristic("RR", rr, True, "O(n log n)", "random assignment, random shares")
+
+#: Live view of the engine registry's heuristics; iteration order is the
+#: registration (= paper legend) order.  Values are
+#: :class:`~repro.engine.registry.SolverSpec` objects, callable exactly like
+#: the bare functions: ``HEURISTICS["RR"](problem, seed=7)``.
+HEURISTICS = RegistryView("heuristic")

@@ -9,6 +9,7 @@ Subcommands:
 * ``aart figure fig2a`` — regenerate one of the paper's figure panels.
 * ``aart evaluate problem.json assignment.json`` — score an existing
   assignment against the super-optimal bound.
+* ``aart solvers`` — list every registered solver with its guarantee.
 """
 
 from __future__ import annotations
@@ -16,11 +17,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
-from repro.core.linearize import linearize
 from repro.core.problem import ALPHA
 from repro.core.solve import solve
+from repro.engine import SolveContext, get_linearization, list_solvers, solver_table
 from repro.experiments.figures import FIGURES, expected_shape_violations, run_figure
 from repro.experiments.report import series_table
 from repro.serialization import (
@@ -49,7 +48,12 @@ def _print_solution(problem, assignment, bound, label: str) -> None:
 
 def cmd_solve(args) -> int:
     problem = load_problem(args.problem)
-    sol = solve(problem, algorithm=args.algorithm, reclaim=not args.no_reclaim)
+    ctx = None
+    if args.trace:
+        from repro.observability import JsonlSink
+
+        ctx = SolveContext(seed=0, sink=JsonlSink(args.trace))
+    sol = solve(problem, algorithm=args.algorithm, reclaim=not args.no_reclaim, ctx=ctx)
     assignment = sol.assignment
     if args.refine:
         from repro.extensions.localsearch import local_search
@@ -61,6 +65,10 @@ def cmd_solve(args) -> int:
             f"({refined.moves} moves, {refined.swaps} swaps)"
         )
     _print_solution(problem, assignment, sol.super_optimal_utility, args.algorithm)
+    if ctx is not None:
+        ctx.emit_counters(solver=args.algorithm)
+        ctx.sink.close()
+        print(f"trace written to {args.trace}")
     if args.output:
         save_assignment(assignment, args.output)
         print(f"assignment saved to {args.output}")
@@ -119,8 +127,13 @@ def cmd_evaluate(args) -> int:
     problem = load_problem(args.problem)
     assignment = load_assignment(args.assignment)
     assignment.validate(problem)
-    bound = linearize(problem).super_optimal_utility
+    bound = get_linearization(problem).super_optimal_utility
     _print_solution(problem, assignment, bound, "evaluated assignment")
+    return 0
+
+
+def cmd_solvers(args) -> int:
+    print(solver_table())
     return 0
 
 
@@ -148,11 +161,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("solve", help="solve a problem JSON")
     p.add_argument("problem")
-    p.add_argument("--algorithm", choices=("alg1", "alg2"), default="alg2")
+    p.add_argument(
+        "--algorithm",
+        choices=[s.name for s in list_solvers()],
+        default="alg2",
+        help="any registered solver (see `aart solvers`)",
+    )
     p.add_argument("--no-reclaim", action="store_true",
                    help="run the verbatim paper algorithm (no post-pass)")
     p.add_argument("--refine", action="store_true",
                    help="polish with move/swap local search")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write instrumentation events (JSONL) here")
     p.add_argument("-o", "--output", help="save the assignment JSON here")
     p.set_defaults(func=cmd_solve)
 
@@ -186,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="diagnose an instance's difficulty")
     p.add_argument("problem")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("solvers", help="list registered solvers and guarantees")
+    p.set_defaults(func=cmd_solvers)
 
     return parser
 

@@ -19,13 +19,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.linearize import Linearization, linearize
-from repro.core.problem import AAProblem, Assignment
+from repro.core.problem import ALPHA, AAProblem, Assignment
+from repro.engine.registry import register_solver
+from repro.observability import ALG1_ROUNDS
 
 #: Absolute slack (relative to C) when testing whether ``ĉ_i`` fits.
 _FIT_RTOL = 1e-9
 
 
-def algorithm1(problem: AAProblem, lin: Linearization | None = None) -> Assignment:
+def algorithm1(
+    problem: AAProblem, lin: Linearization | None = None, ctx=None
+) -> Assignment:
     """Run Algorithm 1 on ``problem``.
 
     Parameters
@@ -36,9 +40,19 @@ def algorithm1(problem: AAProblem, lin: Linearization | None = None) -> Assignme
         Optional precomputed :func:`~repro.core.linearize.linearize` result
         (recomputed when omitted; pass it in when comparing algorithms on
         the same instance so they share one super-optimal allocation).
+    ctx:
+        Optional :class:`~repro.engine.context.SolveContext` recording
+        commit rounds and enforcing the wall-clock deadline.
     """
     if lin is None:
-        lin = linearize(problem)
+        lin = linearize(problem, ctx=ctx) if ctx is None else ctx.linearization(problem)
+    if ctx is None:
+        return _algorithm1(problem, lin, None)
+    with ctx.span("alg1"):
+        return _algorithm1(problem, lin, ctx)
+
+
+def _algorithm1(problem: AAProblem, lin: Linearization, ctx) -> Assignment:
     n, m = problem.n_threads, problem.n_servers
     residual = np.full(m, problem.capacity, dtype=float)
     servers = np.full(n, -1, dtype=np.int64)
@@ -47,6 +61,9 @@ def algorithm1(problem: AAProblem, lin: Linearization | None = None) -> Assignme
     tol = _FIT_RTOL * max(problem.capacity, 1.0)
 
     for _ in range(n):
+        if ctx is not None:
+            ctx.count(ALG1_ROUNDS)
+            ctx.check_deadline()
         idxs = np.nonzero(unassigned)[0]
         # fits[a, j]: thread idxs[a] can still receive its full ĉ on server j.
         fits = residual[None, :] + tol >= lin.c_hat[idxs][:, None]
@@ -69,3 +86,15 @@ def algorithm1(problem: AAProblem, lin: Linearization | None = None) -> Assignme
         unassigned[i] = False
 
     return Assignment(servers=servers, allocations=alloc)
+
+
+register_solver(
+    "alg1",
+    lambda problem, lin, ctx, seed: algorithm1(problem, lin, ctx=ctx),
+    kind="paper",
+    ratio=ALPHA,
+    complexity="O(mn² + n(log mC)²)",
+    reclaim=True,
+    uses_linearization=True,
+    description="Paper Algorithm 1: round-based greedy over (thread, server) pairs",
+)

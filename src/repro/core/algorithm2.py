@@ -17,7 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.linearize import Linearization, linearize
-from repro.core.problem import AAProblem, Assignment
+from repro.core.problem import ALPHA, AAProblem, Assignment
+from repro.engine.registry import register_solver
+from repro.observability import ALG2_HEAP_OPS
 from repro.utils.heaps import IndexedMaxHeap
 
 
@@ -36,10 +38,24 @@ def thread_order(lin: Linearization, n_servers: int) -> np.ndarray:
     return np.concatenate([head, tail])
 
 
-def algorithm2(problem: AAProblem, lin: Linearization | None = None) -> Assignment:
-    """Run Algorithm 2 on ``problem`` (same contract as :func:`algorithm1`)."""
+def algorithm2(
+    problem: AAProblem, lin: Linearization | None = None, ctx=None
+) -> Assignment:
+    """Run Algorithm 2 on ``problem`` (same contract as :func:`algorithm1`).
+
+    ``ctx`` is an optional :class:`~repro.engine.context.SolveContext`
+    recording heap operations (one peek + one update per thread) and
+    enforcing the wall-clock deadline.
+    """
     if lin is None:
-        lin = linearize(problem)
+        lin = linearize(problem, ctx=ctx) if ctx is None else ctx.linearization(problem)
+    if ctx is None:
+        return _algorithm2(problem, lin, None)
+    with ctx.span("alg2"):
+        return _algorithm2(problem, lin, ctx)
+
+
+def _algorithm2(problem: AAProblem, lin: Linearization, ctx) -> Assignment:
     n, m = problem.n_threads, problem.n_servers
     order = thread_order(lin, m)
     servers = np.full(n, -1, dtype=np.int64)
@@ -47,6 +63,9 @@ def algorithm2(problem: AAProblem, lin: Linearization | None = None) -> Assignme
     heap = IndexedMaxHeap(np.full(m, problem.capacity))
 
     for i in order:
+        if ctx is not None:
+            ctx.count(ALG2_HEAP_OPS, 2)  # one peek + one decrease-key
+            ctx.check_deadline()
         j, res = heap.peek()
         c = min(float(lin.c_hat[i]), res)
         servers[i] = j
@@ -54,3 +73,15 @@ def algorithm2(problem: AAProblem, lin: Linearization | None = None) -> Assignme
         heap.update(j, res - c)
 
     return Assignment(servers=servers, allocations=alloc)
+
+
+register_solver(
+    "alg2",
+    lambda problem, lin, ctx, seed: algorithm2(problem, lin, ctx=ctx),
+    kind="paper",
+    ratio=ALPHA,
+    complexity="O(n(log mC)²)",
+    reclaim=True,
+    uses_linearization=True,
+    description="Paper Algorithm 2: two-key sort + max-residual heap greedy",
+)

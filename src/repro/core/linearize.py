@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.allocation.waterfill import water_fill
 from repro.core.problem import AAProblem
+from repro.observability import LINEARIZE_CALLS
 
 
 @dataclass(frozen=True)
@@ -62,15 +63,30 @@ class Linearization:
         return float(np.sum(self.g_value(idx, x)))
 
 
-def linearize(problem: AAProblem) -> Linearization:
+def linearize(problem: AAProblem, ctx=None) -> Linearization:
     """Compute ĉ by water-filling the ``mC`` pool, then build ``g``.
 
     The water-filling respects each thread's domain cap, so ``ĉ_i <= C``
     always holds — required for Lemma V.5's accounting (a thread must be
     servable by a single empty server).
+
+    ``ctx`` is an optional :class:`~repro.engine.context.SolveContext`;
+    when given, the call is counted and timed and the inner water-fill's
+    bisection iterations are recorded.  Prefer resolving linearizations
+    through :meth:`SolveContext.linearization` (or a shared
+    :class:`~repro.engine.cache.LinearizationCache`) when several solvers
+    run on the same instance.
     """
+    if ctx is None:
+        return _linearize(problem, None)
+    ctx.count(LINEARIZE_CALLS)
+    with ctx.span("linearize"):
+        return _linearize(problem, ctx)
+
+
+def _linearize(problem: AAProblem, ctx) -> Linearization:
     batch = problem.utilities
-    result = water_fill(batch, problem.pool)
+    result = water_fill(batch, problem.pool, ctx=ctx)
     c_hat = np.asarray(result.allocations, dtype=float)
     top = np.asarray(batch.value(c_hat), dtype=float)
     with np.errstate(divide="ignore", invalid="ignore"):

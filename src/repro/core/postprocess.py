@@ -17,9 +17,10 @@ import numpy as np
 
 from repro.allocation.grouped import water_fill_grouped
 from repro.core.problem import AAProblem, Assignment
+from repro.observability import RECLAIM_CALLS
 
 
-def waterfill_within_servers(problem: AAProblem, servers) -> Assignment:
+def waterfill_within_servers(problem: AAProblem, servers, ctx=None) -> Assignment:
     """Optimal allocation of each server's capacity given a fixed assignment.
 
     ``servers[i]`` names thread ``i``'s server; each server's full capacity
@@ -36,10 +37,19 @@ def waterfill_within_servers(problem: AAProblem, servers) -> Assignment:
         problem.utilities,
         servers,
         np.full(problem.n_servers, problem.capacity),
+        ctx=ctx,
     )
     return Assignment(servers=servers, allocations=result.allocations)
 
 
-def reclaim(problem: AAProblem, assignment: Assignment) -> Assignment:
-    """Reallocate idle per-server resource; never decreases total utility."""
-    return waterfill_within_servers(problem, assignment.servers)
+def reclaim(problem: AAProblem, assignment: Assignment, ctx=None) -> Assignment:
+    """Reallocate idle per-server resource; never decreases total utility.
+
+    ``ctx`` is an optional :class:`~repro.engine.context.SolveContext`
+    recording the pass (and its grouped bisection iterations).
+    """
+    if ctx is None:
+        return waterfill_within_servers(problem, assignment.servers)
+    ctx.count(RECLAIM_CALLS)
+    with ctx.span("reclaim"):
+        return waterfill_within_servers(problem, assignment.servers, ctx=ctx)

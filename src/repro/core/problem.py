@@ -9,12 +9,12 @@ nonnegative allocation; per-server grants must sum to at most ``C``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.utility.batch import UtilityBatch, as_batch
-from repro.utils.validation import check_capacity
+from repro.utils.validation import check_capacity, check_integral
 
 #: The approximation ratio guaranteed by Algorithms 1 and 2 (Lemma V.15).
 ALPHA = 2.0 * (math.sqrt(2.0) - 1.0)
@@ -41,9 +41,7 @@ class AAProblem:
 
     def __init__(self, utilities, n_servers: int, capacity: float):
         self.utilities: UtilityBatch = as_batch(utilities)
-        self.n_servers = int(n_servers)
-        if self.n_servers < 1:
-            raise ValueError(f"need at least one server, got {n_servers}")
+        self.n_servers = check_integral("n_servers", n_servers, minimum=1)
         self.capacity = check_capacity("capacity", capacity)
         if self.capacity <= 0:
             raise ValueError(f"server capacity must be positive, got {capacity!r}")

@@ -1,19 +1,20 @@
-"""High-level solver facade with a posteriori approximation certificates."""
+"""High-level solver facade with a posteriori approximation certificates.
+
+Since the unified solver engine landed, this module holds no dispatch
+table of its own: ``solve()`` resolves its ``algorithm`` argument through
+the :mod:`repro.engine` registry, so any registered solver — the paper
+algorithms, the Section VII heuristics, extension solvers — can produce a
+certified :class:`Solution`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.algorithm1 import algorithm1
-from repro.core.algorithm2 import algorithm2
 from repro.core.linearize import Linearization, linearize
 from repro.core.postprocess import reclaim as _reclaim
 from repro.core.problem import ALPHA, AAProblem, Assignment
-
-_ALGORITHMS = {
-    "alg1": algorithm1,
-    "alg2": algorithm2,
-}
+from repro.engine.registry import get_solver, list_solvers
 
 
 @dataclass(frozen=True)
@@ -31,7 +32,8 @@ class Solution:
     linearization:
         The shared precomputation (ĉ, tops, slopes) behind both.
     algorithm:
-        Which algorithm produced the assignment (``"alg1"`` / ``"alg2"``).
+        The registry name of the solver that produced the assignment
+        (``"alg1"`` / ``"alg2"`` / any registered name).
     """
 
     assignment: Assignment
@@ -44,8 +46,9 @@ class Solution:
     def certified_ratio(self) -> float:
         """``F / F̂`` — a *proven* lower bound on ``F / F*`` for this instance.
 
-        Theorems V.16/VI.1 guarantee this is at least ``ALPHA ≈ 0.828``;
-        in the paper's experiments it averages above 0.99.
+        Theorems V.16/VI.1 guarantee this is at least ``ALPHA ≈ 0.828``
+        for the paper algorithms; in the paper's experiments it averages
+        above 0.99.
         """
         if self.super_optimal_utility == 0.0:
             return 1.0
@@ -62,22 +65,30 @@ def solve(
     algorithm: str = "alg2",
     lin: Linearization | None = None,
     reclaim: bool = True,
+    ctx=None,
 ) -> Solution:
-    """Solve an AA instance with one of the paper's approximation algorithms.
+    """Solve an AA instance with a registered solver.
 
     Parameters
     ----------
     problem:
         The instance to solve.
     algorithm:
-        ``"alg2"`` (default, fast) or ``"alg1"`` (the O(mn²) variant).
+        A solver name from the :mod:`repro.engine` registry —
+        ``"alg2"`` (default, fast) or ``"alg1"`` (the O(mn²) variant) for
+        the paper's guaranteed algorithms; heuristic and extension names
+        work too and still come back with a per-instance certificate.
     lin:
         Optional shared linearization (see :func:`~repro.core.linearize.linearize`).
     reclaim:
         Apply the :mod:`~repro.core.postprocess` reclamation pass (default):
         re-water-fill each server's capacity among its assigned threads.
         Never decreases utility, preserves the α guarantee; disable for the
-        verbatim paper algorithm.
+        verbatim paper algorithm.  Only applied to solvers whose registry
+        spec declares reclamation applicable (the raw heuristics opt out).
+    ctx:
+        Optional :class:`~repro.engine.SolveContext` carrying the RNG,
+        deadline, counters/spans and the shared linearization cache.
 
     Returns
     -------
@@ -86,16 +97,17 @@ def solve(
         assignment is validated before returning.
     """
     try:
-        runner = _ALGORITHMS[algorithm]
-    except KeyError:
+        spec = get_solver(algorithm)
+    except ValueError:
+        names = sorted(s.name for s in list_solvers())
         raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
+            f"unknown algorithm {algorithm!r}; choose from {names}"
         ) from None
     if lin is None:
-        lin = linearize(problem)
-    assignment = runner(problem, lin)
-    if reclaim:
-        assignment = _reclaim(problem, assignment)
+        lin = ctx.linearization(problem) if ctx is not None else linearize(problem)
+    assignment = spec.run(problem, lin=lin, ctx=ctx, seed=ctx.rng if ctx is not None else None)
+    if reclaim and spec.reclaim:
+        assignment = _reclaim(problem, assignment, ctx=ctx)
     assignment.validate(problem)
     return Solution(
         assignment=assignment,

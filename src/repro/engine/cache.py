@@ -1,0 +1,74 @@
+"""Instance-keyed cache for the shared super-optimal linearization.
+
+Lemmas V.2–V.4 make the linearization a pure function of the instance, and
+it dominates the running time of every solver built on it — so when the
+harness, the facade and the simulators all run on the *same*
+:class:`~repro.core.problem.AAProblem`, computing it once and sharing is
+free speedup.  The cache is keyed by problem identity via weak references:
+entries die with their instance, so a long-lived service can keep one
+cache for its whole lifetime without leaking solved instances.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING
+
+from repro.observability import LINEARIZE_CACHE_HITS, LINEARIZE_CACHE_MISSES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.linearize import Linearization
+    from repro.core.problem import AAProblem
+    from repro.engine.context import SolveContext
+
+
+class LinearizationCache:
+    """Weakly instance-keyed ``AAProblem → Linearization`` memo.
+
+    The stored object is exactly what :func:`repro.core.linearize.linearize`
+    returned for that instance — bit-identical ``c_hat``/``top``/``slope``
+    arrays (a property test asserts this), so cached and uncached runs are
+    indistinguishable except in speed.
+    """
+
+    def __init__(self) -> None:
+        self._store: "weakref.WeakKeyDictionary[AAProblem, Linearization]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, problem) -> bool:
+        return problem in self._store
+
+    def get(self, problem: "AAProblem", ctx: "SolveContext | None" = None) -> "Linearization":
+        """Return the instance's linearization, computing it on first use."""
+        lin = self._store.get(problem)
+        if lin is not None:
+            self.hits += 1
+            if ctx is not None:
+                ctx.count(LINEARIZE_CACHE_HITS)
+            return lin
+        self.misses += 1
+        if ctx is not None:
+            ctx.count(LINEARIZE_CACHE_MISSES)
+        from repro.core.linearize import linearize
+
+        lin = linearize(problem, ctx=ctx)
+        self._store[problem] = lin
+        return lin
+
+    def put(self, problem: "AAProblem", lin: "Linearization") -> None:
+        """Seed the cache with an externally computed linearization."""
+        self._store[problem] = lin
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    @property
+    def saved_calls(self) -> int:
+        """Linearizations avoided so far (== hits)."""
+        return self.hits

@@ -1,0 +1,145 @@
+"""The instrumented execution context threaded through every solver run.
+
+A :class:`SolveContext` bundles the cross-cutting concerns the paper's
+pseudocode leaves implicit but a production allocator cannot: a seeded RNG
+(randomized heuristics), a wall-clock deadline (admission control must
+answer in bounded time), an observability sink (counters + timing spans,
+optionally streamed as JSONL events), and a shared
+:class:`~repro.engine.cache.LinearizationCache` so the expensive
+``O(n(log mC)²)`` super-optimal precomputation is done once per instance
+no matter how many contenders run on it.
+
+All core entry points (``linearize``, ``water_fill``, ``algorithm1``,
+``algorithm2``, ``reclaim``) accept ``ctx=None`` and stay zero-overhead
+when no context is supplied.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.observability import Counters, EventSink, SpanRecorder
+from repro.utils.rng import SeedLike, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.linearize import Linearization
+    from repro.core.problem import AAProblem
+    from repro.engine.cache import LinearizationCache
+
+
+class SolveTimeout(TimeoutError):
+    """Raised by :meth:`SolveContext.check_deadline` when the budget is spent."""
+
+
+class SolveContext:
+    """Mutable per-run (or per-sweep) execution context.
+
+    Parameters
+    ----------
+    seed:
+        Seeds :attr:`rng`, consumed by randomized solvers resolved through
+        the registry.
+    budget_s:
+        Optional wall-clock budget in seconds; instrumented loops call
+        :meth:`check_deadline` and raise :class:`SolveTimeout` once it is
+        exhausted.
+    sink:
+        Optional :class:`~repro.observability.EventSink`; spans and
+        counter snapshots are streamed to it as dict events.
+    cache:
+        Optional shared :class:`~repro.engine.cache.LinearizationCache`;
+        :meth:`linearization` consults it before recomputing.
+    """
+
+    def __init__(
+        self,
+        seed: SeedLike = None,
+        budget_s: float | None = None,
+        sink: EventSink | None = None,
+        cache: "LinearizationCache | None" = None,
+    ):
+        self.rng: np.random.Generator = as_generator(seed)
+        self.counters = Counters()
+        self.spans = SpanRecorder()
+        self.sink = sink
+        self.cache = cache
+        self.deadline: float | None = None
+        if budget_s is not None:
+            if budget_s <= 0:
+                raise ValueError(f"budget_s must be positive, got {budget_s!r}")
+            self.deadline = time.monotonic() + float(budget_s)
+
+    # -- counters / spans ----------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters.add(name, n)
+
+    def span(self, name: str):
+        """Context manager timing a block under ``name`` (accumulating).
+
+        On exit the interval is also emitted to the sink (if any) as a
+        ``{"type": "span", "name": ..., "seconds": ...}`` event.
+        """
+        return _EmittingSpan(self, name)
+
+    def emit(self, event: dict) -> None:
+        """Forward an event dict to the sink, if one is attached."""
+        if self.sink is not None:
+            self.sink.emit(event)
+
+    def emit_counters(self, **extra) -> None:
+        """Emit a ``{"type": "counters", ...}`` snapshot event."""
+        self.emit({"type": "counters", "counters": self.counters.snapshot(), **extra})
+
+    def snapshot(self) -> dict:
+        """Counters plus span totals as one JSON-ready dict."""
+        return {"counters": self.counters.snapshot(), "spans": self.spans.snapshot()}
+
+    # -- deadline ------------------------------------------------------------
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget (``None`` when unbudgeted)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def check_deadline(self) -> None:
+        """Raise :class:`SolveTimeout` if the wall-clock budget is spent."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise SolveTimeout(
+                f"solve budget exhausted ({time.monotonic() - self.deadline:.3f}s over)"
+            )
+
+    # -- shared precomputation ----------------------------------------------
+
+    def linearization(self, problem: "AAProblem") -> "Linearization":
+        """The instance's linearization, via the shared cache when present."""
+        if self.cache is not None:
+            return self.cache.get(problem, ctx=self)
+        from repro.core.linearize import linearize
+
+        return linearize(problem, ctx=self)
+
+
+class _EmittingSpan:
+    """Span context manager that records to the recorder and the sink."""
+
+    def __init__(self, ctx: SolveContext, name: str):
+        self._ctx = ctx
+        self._name = name
+        self._inner = None
+
+    def __enter__(self):
+        self._inner = self._ctx.spans.span(self._name)
+        self._timer = self._inner.__enter__()
+        return self._timer
+
+    def __exit__(self, *exc) -> None:
+        self._inner.__exit__(*exc)
+        self._ctx.emit(
+            {"type": "span", "name": self._name, "seconds": self._timer.elapsed}
+        )

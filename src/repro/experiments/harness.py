@@ -7,6 +7,12 @@ super-optimal bound.  A *sweep point* averages per-trial ratios over many
 independently seeded trials — the same estimator the paper plots (mean of
 1000 random trials).
 
+All contenders resolve through the :mod:`repro.engine` registry and share
+one linearization per instance (the expensive Lemma V.2 precomputation),
+obtained through the sweep's :class:`~repro.engine.SolveContext` — pass a
+context with a cache and counters to verify exactly one linearization per
+trial and to collect bisection/heap statistics for the whole sweep.
+
 Ratios follow the paper's figures: ``alg2 / SO`` (at most 1; "how close to
 optimal") and ``alg2 / heuristic`` (at least ~1; "how much better than the
 simple scheme").
@@ -14,16 +20,13 @@ simple scheme").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.assign.heuristics import HEURISTICS
-from repro.core.algorithm1 import algorithm1
-from repro.core.algorithm2 import algorithm2
-from repro.core.linearize import linearize
 from repro.core.postprocess import reclaim
 from repro.core.problem import AAProblem
+from repro.engine import SolveContext, get_solver, list_solvers
 from repro.workloads.generators import Distribution, make_problem
 from repro.utils.rng import SeedLike, spawn_generators
 
@@ -59,19 +62,34 @@ def run_trial(
     include_alg1: bool = False,
     include_raw: bool = False,
     heuristics=None,
+    ctx: SolveContext | None = None,
 ) -> TrialRecord:
-    """Evaluate all contenders on one instance (shared linearization)."""
-    heuristics = HEURISTICS if heuristics is None else heuristics
-    lin = linearize(problem)
+    """Evaluate all contenders on one instance (shared linearization).
+
+    ``heuristics`` may be a mapping ``name -> callable(problem, seed=...)``
+    to override the registry's heuristic set (tests use this); by default
+    every registry solver of kind ``"heuristic"`` runs, in registration
+    (= paper legend) order.
+    """
+    if ctx is None:
+        ctx = SolveContext()
+    lin = ctx.linearization(problem)
     utilities: dict[str, float] = {SO: lin.super_optimal_utility}
-    raw2 = algorithm2(problem, lin)
-    utilities[ALG2] = reclaim(problem, raw2).total_utility(problem)
+    raw2 = get_solver("alg2").run(problem, lin=lin, ctx=ctx)
+    utilities[ALG2] = reclaim(problem, raw2, ctx=ctx).total_utility(problem)
     if include_raw:
         utilities[ALG2RAW] = raw2.total_utility(problem)
     if include_alg1:
-        utilities[ALG1] = reclaim(problem, algorithm1(problem, lin)).total_utility(problem)
-    for name, heuristic in heuristics.items():
-        utilities[name] = heuristic(problem, seed=rng).total_utility(problem)
+        raw1 = get_solver("alg1").run(problem, lin=lin, ctx=ctx)
+        utilities[ALG1] = reclaim(problem, raw1, ctx=ctx).total_utility(problem)
+    if heuristics is None:
+        for spec in list_solvers(kind="heuristic"):
+            utilities[spec.name] = spec.run(problem, ctx=ctx, seed=rng).total_utility(
+                problem
+            )
+    else:
+        for name, heuristic in heuristics.items():
+            utilities[name] = heuristic(problem, seed=rng).total_utility(problem)
     return TrialRecord(utilities=utilities, n_threads=problem.n_threads)
 
 
@@ -94,8 +112,15 @@ def run_point(
     include_alg1: bool = False,
     include_raw: bool = False,
     interpolator: str = "quadspline",
+    ctx: SolveContext | None = None,
 ) -> dict[str, float]:
-    """Mean ratios (``alg2/SO``, ``alg2/UU``, …) at one parameter setting."""
+    """Mean ratios (``alg2/SO``, ``alg2/UU``, …) at one parameter setting.
+
+    When ``ctx`` is supplied its counters accumulate over the whole point —
+    with a fresh context, ``ctx.counters["linearize_calls"] == trials``
+    afterwards (one linearization per trial instance, shared by every
+    contender; a test asserts this).
+    """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
     rngs = spawn_generators(seed, trials)
@@ -104,7 +129,9 @@ def run_point(
         problem = make_problem(
             dist, n_servers, beta, capacity, seed=rng, interpolator=interpolator
         )
-        record = run_trial(problem, rng, include_alg1=include_alg1, include_raw=include_raw)
+        record = run_trial(
+            problem, rng, include_alg1=include_alg1, include_raw=include_raw, ctx=ctx
+        )
         for name in record.utilities:
             if name == ALG2:
                 continue
@@ -123,6 +150,7 @@ def run_sweep(
     include_alg1: bool = False,
     include_raw: bool = False,
     interpolator: str = "quadspline",
+    ctx: SolveContext | None = None,
 ) -> list[SweepPoint]:
     """Run a figure-style sweep.
 
@@ -136,6 +164,9 @@ def run_sweep(
         X-axis values of the figure.
     trials:
         Trials per point (the paper uses 1000; benches default lower).
+    ctx:
+        Optional shared :class:`~repro.engine.SolveContext`; counters and
+        spans accumulate across every point of the sweep.
     """
     points: list[SweepPoint] = []
     for k, value in enumerate(sweep_values):
@@ -152,6 +183,7 @@ def run_sweep(
             include_alg1=include_alg1,
             include_raw=include_raw,
             interpolator=interpolator,
+            ctx=ctx,
         )
         points.append(SweepPoint(value=float(value), ratios=ratios, trials=trials))
     return points

@@ -10,7 +10,6 @@ through this path.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
 
 from repro.experiments.figures import FIGURES, expected_shape_violations, run_figure

@@ -68,16 +68,16 @@ class HeteroSolution:
         return self.total_utility / self.upper_bound
 
 
-def super_optimal_hetero(problem: HeterogeneousProblem):
+def super_optimal_hetero(problem: HeterogeneousProblem, ctx=None):
     """Pool relaxation: optimally split ``sum C_j`` ignoring server walls."""
     cmax = float(np.max(problem.capacities))
     caps = np.minimum(problem.utilities.caps, cmax)
     # Water-fill respects the batch's own caps; they are already <= cmax.
-    return water_fill(problem.utilities, min(problem.pool, float(np.sum(caps))))
+    return water_fill(problem.utilities, min(problem.pool, float(np.sum(caps))), ctx=ctx)
 
 
 def algorithm2_hetero(
-    problem: HeterogeneousProblem, reclaim: bool = True
+    problem: HeterogeneousProblem, reclaim: bool = True, ctx=None
 ) -> HeteroSolution:
     """Algorithm 2's greedy, generalized to heterogeneous residuals.
 
@@ -86,7 +86,7 @@ def algorithm2_hetero(
     homogeneous proof's Lemma V.8 ("the first m threads are full") fails.
     Empirically the certified ratio stays high; see the extensions tests.
     """
-    so = super_optimal_hetero(problem)
+    so = super_optimal_hetero(problem, ctx=ctx)
     c_hat = so.allocations
     top = np.asarray(problem.utilities.value(c_hat), dtype=float)
     with np.errstate(divide="ignore", invalid="ignore"):
@@ -115,7 +115,7 @@ def algorithm2_hetero(
             if members.size == 0:
                 continue
             res = water_fill(
-                problem.utilities.subset(members), float(problem.capacities[j])
+                problem.utilities.subset(members), float(problem.capacities[j]), ctx=ctx
             )
             alloc[members] = res.allocations
 
@@ -126,3 +126,36 @@ def algorithm2_hetero(
         total_utility=total,
         upper_bound=so.total_utility,
     )
+
+
+def _run_registered(problem, lin, ctx, seed):
+    """Engine adapter: expects a :class:`HeterogeneousProblem` instance."""
+    from repro.core.problem import Assignment
+
+    if not isinstance(problem, HeterogeneousProblem):
+        raise TypeError(
+            "solver 'alg2_hetero' requires a HeterogeneousProblem, "
+            f"got {type(problem).__name__}"
+        )
+    sol = algorithm2_hetero(problem, ctx=ctx)
+    return Assignment(servers=sol.servers, allocations=sol.allocations)
+
+
+def _register() -> None:
+    from repro.engine.registry import register_solver
+
+    # No ratio: the homogeneous proof does not transfer (see the module
+    # docstring); the per-instance certified ratio is still reported.
+    register_solver(
+        "alg2_hetero",
+        _run_registered,
+        kind="extension",
+        ratio=None,
+        complexity="O(n(log mC)²)",
+        reclaim=False,
+        uses_linearization=False,
+        description="Algorithm 2 greedy over heterogeneous server residuals",
+    )
+
+
+_register()

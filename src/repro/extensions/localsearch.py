@@ -163,3 +163,33 @@ def solve_with_refinement(problem: AAProblem, **kwargs) -> LocalSearchResult:
 
     base = solve(problem)
     return local_search(problem, base.assignment, **kwargs)
+
+
+def _run_registered(problem, lin, ctx, seed):
+    """Engine adapter: Algorithm 2 + reclamation + local-search polish."""
+    from repro.core.algorithm2 import algorithm2
+    from repro.core.postprocess import reclaim
+
+    start = reclaim(problem, algorithm2(problem, lin, ctx=ctx), ctx=ctx)
+    return local_search(problem, start).assignment
+
+
+def _register() -> None:
+    from repro.core.problem import ALPHA
+    from repro.engine.registry import register_solver
+
+    # Output is already per-server water-filled, so the generic reclamation
+    # post-pass would be a no-op; declare it not applicable.
+    register_solver(
+        "localsearch",
+        _run_registered,
+        kind="extension",
+        ratio=ALPHA,
+        complexity="O(passes · n · m) grouped water-fills after O(n(log mC)²)",
+        reclaim=False,
+        uses_linearization=True,
+        description="Algorithm 2 polished by move/swap local search",
+    )
+
+
+_register()

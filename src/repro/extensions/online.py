@@ -24,7 +24,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.allocation.waterfill import water_fill
-from repro.core.postprocess import waterfill_within_servers
 from repro.core.problem import AAProblem, Assignment
 from repro.core.solve import solve
 from repro.utility.base import UtilityFunction
@@ -133,13 +132,17 @@ class OnlineScheduler:
         del self._threads[thread_id], self._alloc_of[thread_id]
         self._refill_server(server)
 
-    def rebalance(self) -> RebalanceReport:
-        """Full Algorithm 2 re-solve; applies only if the net gain is positive."""
+    def rebalance(self, ctx=None) -> RebalanceReport:
+        """Full Algorithm 2 re-solve; applies only if the net gain is positive.
+
+        ``ctx`` is an optional :class:`~repro.engine.SolveContext` so churn
+        loops can accumulate counters/spans and enforce a re-plan deadline.
+        """
         before = self.total_utility()
         if not self._threads:
             return RebalanceReport(before, before, 0, 0.0)
         ids = self.thread_ids
-        sol = solve(self._problem(), algorithm="alg2")
+        sol = solve(self._problem(), algorithm="alg2", ctx=ctx)
         moved = sum(
             1 for t, j in zip(ids, sol.assignment.servers) if self._server_of[t] != j
         )
@@ -194,7 +197,7 @@ class AdaptiveScheduler(OnlineScheduler):
         except KeyError:
             raise KeyError(f"unknown thread {thread_id!r}") from None
 
-    def replan_from_measurements(self) -> RebalanceReport:
+    def replan_from_measurements(self, ctx=None) -> RebalanceReport:
         """Swap in the current concave fits, then rebalance."""
         for t, est in self._estimators.items():
             fitted = est.estimate()
@@ -203,4 +206,4 @@ class AdaptiveScheduler(OnlineScheduler):
         # Allocations may now be valued differently; refill before comparing.
         for j in range(self.n_servers):
             self._refill_server(j)
-        return self.rebalance()
+        return self.rebalance(ctx=ctx)

@@ -63,12 +63,44 @@ class WeightedSolution:
         return float(np.sum(self.raw_utilities))
 
 
+def _run_registered(problem, lin, ctx, seed):
+    """Engine adapter: weights are already baked into ``problem``'s batch.
+
+    :func:`solve_weighted` wraps each utility in :class:`WeightedUtility`
+    before building the instance, so the registered solver is Algorithm 2
+    run on the weighted objective — addressable as ``"weighted"`` with the
+    inherited guarantee.
+    """
+    from repro.core.algorithm2 import algorithm2
+
+    return algorithm2(problem, lin, ctx=ctx)
+
+
+def _register() -> None:
+    from repro.core.problem import ALPHA
+    from repro.engine.registry import register_solver
+
+    register_solver(
+        "weighted",
+        _run_registered,
+        kind="extension",
+        ratio=ALPHA,
+        complexity="O(n(log mC)²)",
+        reclaim=True,
+        uses_linearization=True,
+        description="priority-weighted objective (weights baked into the batch)",
+    )
+
+
+_register()
+
+
 def solve_weighted(
     utilities,
     weights,
     n_servers: int,
     capacity: float,
-    algorithm: str = "alg2",
+    algorithm: str = "weighted",
 ) -> WeightedSolution:
     """Solve AA under priority weights.
 

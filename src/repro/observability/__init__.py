@@ -1,0 +1,44 @@
+"""Observability primitives: counters, timing spans, and event sinks.
+
+Grown out of ``repro.utils.timing``: the solver engine's
+:class:`~repro.engine.SolveContext` carries a :class:`Counters` and a
+:class:`SpanRecorder` and optionally streams structured events to an
+:class:`EventSink` (e.g. :class:`JsonlSink`).  Benchmarks and the
+experiment harness consume the same counters, so "how many bisection
+iterations did this sweep cost" is one snapshot away.
+"""
+
+from repro.observability.counters import (
+    ALG1_ROUNDS,
+    ALG2_HEAP_OPS,
+    BATCH_EVALUATIONS,
+    BISECTION_ITERATIONS,
+    GROUPED_BISECTION_ITERATIONS,
+    LINEARIZE_CACHE_HITS,
+    LINEARIZE_CACHE_MISSES,
+    LINEARIZE_CALLS,
+    RECLAIM_CALLS,
+    WATERFILL_CALLS,
+    Counters,
+)
+from repro.observability.sinks import EventSink, JsonlSink, MemorySink, NullSink
+from repro.observability.spans import SpanRecorder
+
+__all__ = [
+    "ALG1_ROUNDS",
+    "ALG2_HEAP_OPS",
+    "BATCH_EVALUATIONS",
+    "BISECTION_ITERATIONS",
+    "GROUPED_BISECTION_ITERATIONS",
+    "LINEARIZE_CACHE_HITS",
+    "LINEARIZE_CACHE_MISSES",
+    "LINEARIZE_CALLS",
+    "RECLAIM_CALLS",
+    "WATERFILL_CALLS",
+    "Counters",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "SpanRecorder",
+]

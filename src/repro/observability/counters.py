@@ -1,0 +1,75 @@
+"""Monotonic named counters recorded by instrumented solver code.
+
+Counter names are plain strings; the canonical ones emitted by the core
+pipeline are collected here as constants so tests and dashboards don't
+drift from the instrumentation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+# -- canonical counter names (the core pipeline emits exactly these) --------
+
+#: One per :func:`repro.core.linearize.linearize` execution (cache misses
+#: included, cache hits not — a hit performs no linearization).
+LINEARIZE_CALLS = "linearize_calls"
+#: Cache hits / misses observed by :class:`repro.engine.LinearizationCache`.
+LINEARIZE_CACHE_HITS = "linearize_cache_hits"
+LINEARIZE_CACHE_MISSES = "linearize_cache_misses"
+#: Single-pool water-fill invocations and their bisection iterations.
+WATERFILL_CALLS = "waterfill_calls"
+BISECTION_ITERATIONS = "waterfill_bisection_iterations"
+#: Vectorized utility-batch evaluations inside water-filling (one per
+#: demand query over the whole batch).
+BATCH_EVALUATIONS = "utility_batch_evaluations"
+#: Grouped (per-server) water-fill bisection iterations.
+GROUPED_BISECTION_ITERATIONS = "grouped_bisection_iterations"
+#: Algorithm 1 commit rounds (one thread committed per round).
+ALG1_ROUNDS = "alg1_rounds"
+#: Algorithm 2 heap operations (one peek + one update per thread).
+ALG2_HEAP_OPS = "alg2_heap_ops"
+#: Reclamation post-passes applied.
+RECLAIM_CALLS = "reclaim_calls"
+
+
+class Counters(Mapping[str, int]):
+    """A mapping of monotonic named counters.
+
+    Reads behave like a ``dict`` that defaults to 0 for unknown names;
+    writes go through :meth:`add` only, keeping counters append-only.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = {}
+
+    def add(self, name: str, n: int = 1) -> None:
+        """Increment ``name`` by ``n`` (``n`` must be nonnegative)."""
+        if n < 0:
+            raise ValueError(f"counters are monotonic; cannot add {n} to {name!r}")
+        self._values[name] = self._values.get(name, 0) + int(n)
+
+    def __getitem__(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy (safe to serialize or diff)."""
+        return dict(self._values)
+
+    def merge(self, other: Mapping[str, int]) -> None:
+        """Add every counter of ``other`` into this one."""
+        for name, value in other.items():
+            self.add(name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"

@@ -1,0 +1,76 @@
+"""Event sinks: where instrumented runs write their structured events.
+
+An *event* is a small JSON-serializable dict with at least a ``"type"``
+key (``"span"``, ``"counters"``, ``"trial"``, …).  Sinks are deliberately
+dumb — ordering and schema are owned by the emitters — so the same stream
+serves the benches, the experiment harness and ad-hoc debugging.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything that can receive instrumentation events."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class NullSink:
+    """Discards every event (the default when observability is off)."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class MemorySink:
+    """Buffers events in a list; used by tests and interactive sessions."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: str) -> list[dict]:
+        """All buffered events with ``event["type"] == event_type``."""
+        return [e for e in self.events if e.get("type") == event_type]
+
+
+class JsonlSink:
+    """Appends one JSON object per line to a file (or file-like object).
+
+    The file handle is opened lazily on first emit and flushed per event,
+    so partially complete runs still leave a readable trace.
+    """
+
+    def __init__(self, path_or_file) -> None:
+        self._file: IO[str] | None = None
+        self._path: Path | None = None
+        if hasattr(path_or_file, "write"):
+            self._file = path_or_file
+        else:
+            self._path = Path(path_or_file)
+
+    def emit(self, event: dict) -> None:
+        if self._file is None:
+            assert self._path is not None
+            self._file = self._path.open("a", encoding="utf-8")
+        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None and self._path is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,47 @@
+"""Named timing spans built on the accumulating :class:`~repro.utils.timing.Timer`.
+
+A :class:`SpanRecorder` keeps one timer per span name; entering the same
+name again accumulates into that timer's ``total``.  Spans may nest as
+long as the *names* differ (``linearize`` inside ``alg2`` is fine; the
+timer itself refuses same-name reentrancy, which would double-count).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.utils.timing import Timer
+
+
+class SpanRecorder:
+    """Accumulating per-name wall-clock spans."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a block under ``name``; repeated spans accumulate."""
+        timer = self._timers.setdefault(name, Timer())
+        with timer:
+            yield timer
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds spent in ``name`` (0.0 if never entered)."""
+        timer = self._timers.get(name)
+        return timer.total if timer is not None else 0.0
+
+    def count(self, name: str) -> int:
+        """Completed intervals recorded under ``name``."""
+        timer = self._timers.get(name)
+        return timer.count if timer is not None else 0
+
+    def names(self) -> list[str]:
+        return list(self._timers)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{name: {"total": seconds, "count": intervals}}`` for all spans."""
+        return {
+            name: {"total": t.total, "count": float(t.count)}
+            for name, t in self._timers.items()
+        }

@@ -20,11 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.allocation.mckp import MCKPItem, mckp_dp
-from repro.assign.heuristics import HEURISTICS
-from repro.core.algorithm1 import algorithm1
-from repro.core.algorithm2 import algorithm2
-from repro.core.postprocess import reclaim
 from repro.core.problem import AAProblem
+from repro.engine import SolveContext, list_solvers, run_solver
 from repro.simulate.cache.curves import envelope_gap, hit_curve_batch
 from repro.simulate.cache.lru import hits_by_capacity, stack_distances
 from repro.utils.rng import SeedLike
@@ -87,6 +84,7 @@ def plan_partitioning(
     seed: SeedLike = None,
     objective: str = "hits",
     ipc_model=None,
+    ctx: SolveContext | None = None,
 ) -> PartitionPlan:
     """Profile, plan, round and measure a shared-cache partitioning.
 
@@ -99,10 +97,14 @@ def plan_partitioning(
     ways:
         Ways per core (the AA capacity ``C``).
     method:
-        ``"alg2"`` / ``"alg1"`` (paper algorithms, reclaimed) or one of the
-        heuristic names ``"UU"``, ``"UR"``, ``"RU"``, ``"RR"``.
+        Any solver name from the :mod:`repro.engine` registry —
+        ``"alg2"`` / ``"alg1"`` (paper algorithms, reclaimed) or one of
+        the heuristic names ``"UU"``, ``"UR"``, ``"RU"``, ``"RR"``.
     seed:
         Randomness for the stochastic heuristics.
+    ctx:
+        Optional :class:`~repro.engine.SolveContext` (counters, spans,
+        deadline, shared linearization cache).
     objective:
         ``"hits"`` (total hits; default) or ``"ipc"`` (total IPC under an
         analytic model — the architecture-paper objective).  ``realized_hits``
@@ -122,15 +124,14 @@ def plan_partitioning(
     batch = hit_curve_batch(hit_curves, envelope=True)
     problem = AAProblem(batch, n_servers=n_cores, capacity=float(ways))
 
-    if method in ("alg2", "alg1"):
-        runner = algorithm2 if method == "alg2" else algorithm1
-        assignment = reclaim(problem, runner(problem))
-    elif method in HEURISTICS:
-        assignment = HEURISTICS[method](problem, seed=seed)
-    else:
+    try:
+        run = run_solver(method, problem, ctx=ctx, seed=seed)
+    except ValueError:
+        names = sorted(s.name for s in list_solvers())
         raise ValueError(
-            f"unknown method {method!r}; choose alg1/alg2 or one of {sorted(HEURISTICS)}"
-        )
+            f"unknown method {method!r}; choose one of {names}"
+        ) from None
+    assignment = run.assignment
 
     cores = assignment.servers
     units = _integer_ways(hit_curves, cores, ways)

@@ -11,12 +11,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.assign.heuristics import HEURISTICS
-from repro.core.algorithm1 import algorithm1
-from repro.core.algorithm2 import algorithm2
-from repro.core.linearize import linearize
-from repro.core.postprocess import reclaim
 from repro.core.problem import AAProblem
+from repro.engine import SolveContext, get_linearization, list_solvers, run_solver
 from repro.simulate.cloud.vm import VMRequest
 from repro.utility.batch import GenericBatch
 from repro.utils.rng import SeedLike
@@ -74,11 +70,13 @@ class CloudProvider:
         requests: list[VMRequest],
         method: str = "alg2",
         seed: SeedLike = None,
+        ctx: SolveContext | None = None,
     ) -> ProvisioningPlan:
         """Produce a provisioning plan with the chosen planner.
 
-        ``method`` is ``"alg2"``/``"alg1"`` (paper algorithms + reclamation)
-        or a heuristic name from :data:`repro.assign.heuristics.HEURISTICS`.
+        ``method`` is any solver name from the :mod:`repro.engine`
+        registry — ``"alg2"``/``"alg1"`` (paper algorithms + reclamation)
+        or a heuristic name (``"UU"``, ``"UR"``, ``"RU"``, ``"RR"``).
         """
         if not requests:
             return ProvisioningPlan(
@@ -89,17 +87,15 @@ class CloudProvider:
                 upper_bound=0.0,
             )
         problem = self.problem_for(requests)
-        lin = linearize(problem)
-        if method in ("alg2", "alg1"):
-            runner = algorithm2 if method == "alg2" else algorithm1
-            assignment = reclaim(problem, runner(problem, lin))
-        elif method in HEURISTICS:
-            assignment = HEURISTICS[method](problem, seed=seed)
-        else:
+        lin = get_linearization(problem, ctx)
+        try:
+            run = run_solver(method, problem, lin=lin, ctx=ctx, seed=seed)
+        except ValueError:
+            names = sorted(s.name for s in list_solvers())
             raise ValueError(
-                f"unknown method {method!r}; choose alg1/alg2 or one of "
-                f"{sorted(HEURISTICS)}"
-            )
+                f"unknown method {method!r}; choose one of {names}"
+            ) from None
+        assignment = run.assignment
         assignment.validate(problem)
         return ProvisioningPlan(
             requests=list(requests),
@@ -114,6 +110,12 @@ class CloudProvider:
         requests: list[VMRequest],
         methods=("alg2", "UU", "UR", "RU", "RR"),
         seed: SeedLike = None,
+        ctx: SolveContext | None = None,
     ) -> dict[str, ProvisioningPlan]:
-        """Plan the same portfolio under several planners (shared seed)."""
-        return {m: self.plan(requests, method=m, seed=seed) for m in methods}
+        """Plan the same portfolio under several planners (shared seed).
+
+        With a ``ctx`` carrying a :class:`~repro.engine.LinearizationCache`
+        the super-optimal precomputation is done once and shared by every
+        contender instead of once per method.
+        """
+        return {m: self.plan(requests, method=m, seed=seed, ctx=ctx) for m in methods}

@@ -14,12 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.assign.heuristics import HEURISTICS
-from repro.core.algorithm1 import algorithm1
-from repro.core.algorithm2 import algorithm2
-from repro.core.linearize import linearize
-from repro.core.postprocess import reclaim
 from repro.core.problem import AAProblem
+from repro.engine import SolveContext, get_linearization, list_solvers, run_solver
 from repro.simulate.cache.curves import concave_envelope
 from repro.simulate.hosting.queueing import mm1k_goodput, simulate_mm1k
 from repro.utility.batch import GenericBatch
@@ -128,20 +124,24 @@ class HostingCenter:
         services: list[WebService],
         method: str = "alg2",
         seed: SeedLike = None,
+        ctx: SolveContext | None = None,
     ) -> HostingPlan:
-        """Place and size all services with the chosen planner."""
+        """Place and size all services with the chosen planner.
+
+        ``method`` is any solver name from the :mod:`repro.engine`
+        registry; ``ctx`` optionally carries counters, a deadline and the
+        shared linearization cache.
+        """
         problem = self.problem_for(services)
-        lin = linearize(problem)
-        if method in ("alg2", "alg1"):
-            runner = algorithm2 if method == "alg2" else algorithm1
-            assignment = reclaim(problem, runner(problem, lin))
-        elif method in HEURISTICS:
-            assignment = HEURISTICS[method](problem, seed=seed)
-        else:
+        lin = get_linearization(problem, ctx)
+        try:
+            run = run_solver(method, problem, lin=lin, ctx=ctx, seed=seed)
+        except ValueError:
+            names = sorted(s.name for s in list_solvers())
             raise ValueError(
-                f"unknown method {method!r}; choose alg1/alg2 or one of "
-                f"{sorted(HEURISTICS)}"
-            )
+                f"unknown method {method!r}; choose one of {names}"
+            ) from None
+        assignment = run.assignment
         assignment.validate(problem)
         return HostingPlan(
             services=list(services),

@@ -1,4 +1,11 @@
-"""Minimal wall-clock timer used by the experiment harness and benches."""
+"""Wall-clock timing primitives for the harness, benches and observability.
+
+:class:`Timer` is the low-level building block: a re-entrant-*safe* (it
+refuses nesting rather than silently overwriting its start time) context
+manager that records the last interval in ``elapsed`` and accumulates
+across uses in ``total`` — the span recorder in
+:mod:`repro.observability` is built on that accumulation.
+"""
 
 from __future__ import annotations
 
@@ -8,21 +15,49 @@ import time
 class Timer:
     """Context manager recording elapsed wall-clock seconds.
 
+    Attributes
+    ----------
+    elapsed:
+        Duration of the most recent completed interval.
+    total:
+        Sum of all completed intervals (a ``Timer`` may be reused
+        sequentially; the span recorder relies on this).
+    count:
+        Number of completed intervals.
+
     >>> with Timer() as t:
     ...     sum(range(10))
     >>> t.elapsed >= 0
     True
+
+    The timer is *not* nestable: entering an already-running timer raises
+    ``RuntimeError`` instead of silently restarting the clock.
     """
 
     def __init__(self) -> None:
         self.elapsed: float = 0.0
+        self.total: float = 0.0
+        self.count: int = 0
         self._start: float | None = None
 
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently inside a ``with`` block."""
+        return self._start is not None
+
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer is already running; Timer objects are reusable "
+                "sequentially but must not be nested"
+            )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
+        if self._start is None:
+            raise RuntimeError("Timer.__exit__ called on a timer that was never started")
         self.elapsed = time.perf_counter() - self._start
+        self.total += self.elapsed
+        self.count += 1
         self._start = None

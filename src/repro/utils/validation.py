@@ -33,6 +33,30 @@ def check_probability(name: str, value: float) -> float:
     return value
 
 
+def check_integral(name: str, value, minimum: int | None = None) -> int:
+    """Require an integral value (no silent truncation) and return ``int``.
+
+    Accepts Python ints, numpy integer scalars, and floats that are exact
+    integers (``8.0`` is fine, ``8.5`` is not — ``int()`` would silently
+    truncate it).  Booleans are rejected: ``True`` servers is a bug.
+    """
+    if isinstance(value, (bool, str, bytes)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if isinstance(value, (int, np.integer)):
+        out = int(value)
+    else:
+        as_float = float(value)
+        if not np.isfinite(as_float) or as_float != int(as_float):
+            raise ValueError(
+                f"{name} must be an integer, got {value!r} "
+                "(refusing to truncate a fractional value)"
+            )
+        out = int(as_float)
+    if minimum is not None and out < minimum:
+        raise ValueError(f"{name} must be at least {minimum}, got {out}")
+    return out
+
+
 def check_nonnegative_array(name: str, arr: np.ndarray) -> np.ndarray:
     """Require a finite, elementwise-nonnegative float array."""
     arr = np.asarray(arr, dtype=float)

@@ -29,7 +29,7 @@ from repro.core.problem import AAProblem
 from repro.utility.batch import GenericBatch, QuadSplineBatch, UtilityBatch
 from repro.utility.quadspline import PchipUtility
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import check_positive, check_probability
+from repro.utils.validation import check_integral, check_positive, check_probability
 
 
 class Distribution(abc.ABC):
@@ -138,8 +138,7 @@ def draw_anchors(
     dist: Distribution, n: int, seed: SeedLike = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Draw ``n`` anchor pairs ``(v, w)`` with ``w <= v`` elementwise."""
-    if n < 0:
-        raise ValueError(f"n must be nonnegative, got {n}")
+    n = check_integral("n", n, minimum=0)
     rng = as_generator(seed)
     a = dist.sample(rng, n)
     b = dist.sample(rng, n)
@@ -178,6 +177,7 @@ def make_problem(
 
     ``beta`` is the paper's sweep parameter (average threads per server).
     """
+    n_servers = check_integral("n_servers", n_servers, minimum=1)
     if beta <= 0:
         raise ValueError(f"beta must be positive, got {beta}")
     n = int(round(beta * n_servers))

@@ -31,6 +31,16 @@ def test_problem_rejects_zero_servers():
         _problem(4, 0)
 
 
+def test_problem_rejects_fractional_server_count():
+    with pytest.raises(ValueError, match="n_servers must be an integer"):
+        _problem(4, 2.7)
+
+
+def test_problem_accepts_integral_float_server_count():
+    p = _problem(4, 2.0)
+    assert p.n_servers == 2 and isinstance(p.n_servers, int)
+
+
 def test_problem_rejects_nonpositive_capacity():
     with pytest.raises(ValueError):
         AAProblem([LinearUtility(1.0, 0.0)], 1, 0.0)

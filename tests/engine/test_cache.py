@@ -1,0 +1,82 @@
+"""LinearizationCache: bit-identical results, weak keying, hit accounting."""
+
+import gc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linearize import linearize
+from repro.core.problem import AAProblem
+from repro.engine import LinearizationCache, SolveContext
+from repro.observability import LINEARIZE_CACHE_HITS, LINEARIZE_CACHE_MISSES
+from repro.workloads.generators import UniformDistribution, make_problem
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    m=st.integers(min_value=1, max_value=6),
+    beta=st.floats(min_value=0.5, max_value=8.0),
+)
+def test_cached_linearization_bit_identical_to_fresh(seed, m, beta):
+    p = make_problem(UniformDistribution(), n_servers=m, beta=beta, seed=seed)
+    cache = LinearizationCache()
+    cached = cache.get(p)
+    fresh = linearize(p)
+    assert np.array_equal(cached.c_hat, fresh.c_hat)
+    assert np.array_equal(cached.top, fresh.top)
+    assert np.array_equal(cached.slope, fresh.slope)
+    # Second lookup returns the very same object.
+    assert cache.get(p) is cached
+
+
+def test_cache_counts_hits_and_misses_into_ctx():
+    p = make_problem(UniformDistribution(), n_servers=2, beta=3.0, seed=1)
+    cache = LinearizationCache()
+    ctx = SolveContext(cache=cache)
+    first = ctx.linearization(p)
+    second = ctx.linearization(p)
+    assert first is second
+    assert cache.misses == 1 and cache.hits == 1
+    assert cache.saved_calls == 1
+    assert ctx.counters[LINEARIZE_CACHE_MISSES] == 1
+    assert ctx.counters[LINEARIZE_CACHE_HITS] == 1
+    # Only the miss actually linearized.
+    assert ctx.counters["linearize_calls"] == 1
+
+
+def test_cache_is_weakly_keyed():
+    cache = LinearizationCache()
+    p = make_problem(UniformDistribution(), n_servers=2, beta=2.0, seed=2)
+    cache.get(p)
+    assert len(cache) == 1
+    del p
+    gc.collect()
+    assert len(cache) == 0
+
+
+def test_put_seeds_the_cache():
+    p = make_problem(UniformDistribution(), n_servers=2, beta=2.0, seed=3)
+    lin = linearize(p)
+    cache = LinearizationCache()
+    cache.put(p, lin)
+    assert cache.get(p) is lin
+    assert cache.hits == 1 and cache.misses == 0
+    cache.clear()
+    assert p not in cache
+
+
+def test_distinct_instances_do_not_collide():
+    # Equal-content but distinct AAProblem objects each get their own entry
+    # (identity keying — AAProblem is mutable-ish and unhashable by value).
+    from repro.utility.functions import LinearUtility
+
+    p1 = AAProblem([LinearUtility(1.0, 5.0)], n_servers=1, capacity=10.0)
+    p2 = AAProblem([LinearUtility(1.0, 5.0)], n_servers=1, capacity=10.0)
+    cache = LinearizationCache()
+    l1, l2 = cache.get(p1), cache.get(p2)
+    assert l1 is not l2
+    assert cache.misses == 2
+    assert l1.super_optimal_utility == pytest.approx(l2.super_optimal_utility)

@@ -1,0 +1,119 @@
+"""Counters, spans and sinks — the observability building blocks."""
+
+import json
+import time
+
+import pytest
+
+from repro.observability import (
+    Counters,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    SpanRecorder,
+)
+
+
+# -- counters -----------------------------------------------------------------
+
+
+def test_counters_mapping_semantics():
+    c = Counters()
+    assert c["anything"] == 0
+    c.add("a")
+    c.add("a", 2)
+    c.add("b", 5)
+    assert c["a"] == 3 and c["b"] == 5
+    assert set(c) == {"a", "b"}
+    assert len(c) == 2
+    assert c.snapshot() == {"a": 3, "b": 5}
+    # snapshot is a copy, not a view
+    snap = c.snapshot()
+    c.add("a")
+    assert snap["a"] == 3
+
+
+def test_counters_reject_negative_increment():
+    with pytest.raises(ValueError):
+        Counters().add("x", -2)
+
+
+def test_counters_merge():
+    a, b = Counters(), Counters()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    a.merge(b)
+    assert a.snapshot() == {"x": 3, "y": 3}
+
+
+# -- spans --------------------------------------------------------------------
+
+
+def test_span_recorder_accumulates_per_name():
+    rec = SpanRecorder()
+    with rec.span("work"):
+        time.sleep(0.002)
+    with rec.span("work"):
+        time.sleep(0.002)
+    with rec.span("other"):
+        pass
+    assert rec.count("work") == 2
+    assert rec.count("other") == 1
+    assert rec.total("work") >= 0.003
+    snap = rec.snapshot()
+    assert set(snap) == {"work", "other"}
+    assert snap["work"]["count"] == 2
+    assert snap["work"]["total"] == pytest.approx(rec.total("work"))
+
+
+def test_span_recorder_unknown_name_is_zero():
+    rec = SpanRecorder()
+    assert rec.total("never") == 0.0
+    assert rec.count("never") == 0
+
+
+# -- sinks --------------------------------------------------------------------
+
+
+def test_null_and_memory_sinks_satisfy_protocol():
+    assert isinstance(NullSink(), EventSink)
+    assert isinstance(MemorySink(), EventSink)
+    NullSink().emit({"type": "x"})  # no-op, no error
+
+
+def test_memory_sink_filters_by_type():
+    sink = MemorySink()
+    sink.emit({"type": "span", "name": "a"})
+    sink.emit({"type": "counters", "counters": {}})
+    sink.emit({"type": "span", "name": "b"})
+    assert [e["name"] for e in sink.of_type("span")] == ["a", "b"]
+    assert len(sink.of_type("counters")) == 1
+
+
+def test_jsonl_sink_writes_one_json_object_per_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(path) as sink:
+        sink.emit({"type": "span", "name": "linearize", "seconds": 0.5})
+        sink.emit({"type": "counters", "counters": {"alg2_heap_ops": 6}})
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    events = [json.loads(line) for line in lines]
+    assert events[0]["name"] == "linearize"
+    assert events[1]["counters"]["alg2_heap_ops"] == 6
+
+
+def test_jsonl_sink_appends_and_accepts_file_objects(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(path) as sink:
+        sink.emit({"k": 1})
+    with JsonlSink(path) as sink:
+        sink.emit({"k": 2})
+    assert len(path.read_text().splitlines()) == 2
+
+    import io
+
+    buf = io.StringIO()
+    JsonlSink(buf).emit({"k": 3})
+    assert json.loads(buf.getvalue()) == {"k": 3}

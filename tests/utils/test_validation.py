@@ -7,6 +7,7 @@ import pytest
 
 from repro.utils.validation import (
     check_capacity,
+    check_integral,
     check_nonnegative_array,
     check_positive,
     check_probability,
@@ -62,3 +63,21 @@ def test_nonnegative_array_rejects_nan():
 
 def test_nonnegative_array_empty_ok():
     assert check_nonnegative_array("a", []).size == 0
+
+
+@pytest.mark.parametrize("value", [3, np.int64(3), 3.0, np.float64(3.0)])
+def test_integral_accepts_exact_integers(value):
+    out = check_integral("n", value)
+    assert out == 3 and isinstance(out, int)
+
+
+@pytest.mark.parametrize("value", [2.7, -1.5, math.nan, math.inf, "3", True])
+def test_integral_rejects(value):
+    with pytest.raises((ValueError, TypeError)):
+        check_integral("n", value)
+
+
+def test_integral_enforces_minimum():
+    assert check_integral("n", 1, minimum=1) == 1
+    with pytest.raises(ValueError, match="at least 1"):
+        check_integral("n", 0, minimum=1)

@@ -145,6 +145,20 @@ def test_make_problem_rejects_bad_beta():
         make_problem(UniformDistribution(), 4, 0.0)
 
 
+def test_make_problem_rejects_fractional_server_count():
+    with pytest.raises(ValueError, match="n_servers must be an integer"):
+        make_problem(UniformDistribution(), 4.5, beta=2.0)
+
+
+def test_draw_anchors_rejects_fractional_count():
+    from repro.workloads.generators import draw_anchors
+
+    with pytest.raises(ValueError, match="n must be an integer"):
+        draw_anchors(UniformDistribution(), 3.5)
+    with pytest.raises(ValueError, match="at least 0"):
+        draw_anchors(UniformDistribution(), -1)
+
+
 def test_distribution_name_attribute():
     assert UniformDistribution().name == "uniform"
     assert PowerLawDistribution().name == "powerlaw"
