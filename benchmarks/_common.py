@@ -21,13 +21,17 @@ TRIALS = int(os.environ.get("AART_BENCH_TRIALS", "25"))
 #: Root seed for all benches (reproducible series).
 SEED = int(os.environ.get("AART_BENCH_SEED", "0"))
 
+#: Worker processes per sweep point (-1 = all cores).  The series are
+#: bit-identical for any value; raise it to regenerate panels faster.
+JOBS = int(os.environ.get("AART_BENCH_JOBS", "1"))
+
 
 def run_panel(benchmark, figure_id: str, x_label: str):
     """Benchmark one figure panel, print its series, check its shape."""
     points = benchmark.pedantic(
         run_figure,
         args=(figure_id,),
-        kwargs={"trials": TRIALS, "seed": SEED},
+        kwargs={"trials": TRIALS, "seed": SEED, "n_jobs": JOBS},
         rounds=1,
         iterations=1,
     )

@@ -116,10 +116,14 @@ def water_fill(
 
     # Exponential search for an upper price with demand <= budget.  Demand at
     # any lam > 0 is finite even when f'(0) = inf (e.g. power utilities).
+    # The bracket loop honors the deadline too: a pathological derivative
+    # scale can take hundreds of doublings before bisection ever starts.
     lam_lo = 0.0  # demand(lam_lo) = sum(caps) > budget
     lam_hi = 1.0
     iterations = 0
     while float(np.sum(demand(lam_hi))) > budget:
+        if ctx is not None:
+            ctx.check_deadline()
         lam_lo = lam_hi
         lam_hi *= 2.0
         iterations += 1
@@ -169,20 +173,29 @@ def budget_profile(utilities, budgets) -> np.ndarray:
 def kkt_violation(utilities, allocations, budget: float) -> float:
     """Diagnostic: how far an allocation is from the water-filling KKT point.
 
-    Returns the largest rate at which a feasible move gains utility: the
-    max over pairs of ``right_deriv_j(c_j) - left_deriv_i(c_i)`` where
-    ``c_i > 0`` and ``c_j < cap_j`` (a receiver gains at its right
-    derivative, a donor loses at its *left* derivative — the distinction
-    matters exactly at kinks of piecewise-linear utilities), or any
-    receiver's marginal when budget is left unspent.  Zero (to tolerance)
-    at an optimum; used by tests as an optimality certificate.
+    Returns the largest rate at which a feasible move of size ``eps``
+    gains utility: the max over pairs of ``recv_rate_j - give_rate_i``
+    where ``c_i > 0`` and ``c_j < cap_j``, or any receiver's rate when
+    budget is left unspent.  Rates are *secant* rates over the probe step
+    (``(f(c+eps) - f(c)) / eps`` for a receiver, ``(f(c) - f(c-eps)) / eps``
+    for a donor) rather than pointwise derivatives: for concave ``f`` they
+    bracket the one-sided derivatives at kinks, and they stay finite for
+    utilities with ``f'(0) = inf`` (e.g. power utilities near ``beta = 1``,
+    whose optimal share underflows to exactly 0 — an allocation whose every
+    feasible improvement is below float precision certifies as ~0, not
+    ``inf``).  Zero (to tolerance) at an optimum; used by tests as an
+    optimality certificate.
     """
     batch = as_batch(utilities)
     c = np.asarray(allocations, dtype=float)
     caps = batch.caps
     eps = 1e-7 * max(float(np.max(caps, initial=0.0)), 1.0)
-    d_right = batch.derivative(c)
-    d_left = batch.derivative(np.maximum(c - eps, 0.0))
+    vals = batch.value(c)
+    c_up = np.minimum(c + eps, caps)
+    c_dn = np.maximum(c - eps, 0.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        d_right = np.where(c_up > c, (batch.value(c_up) - vals) / (c_up - c), -np.inf)
+        d_left = np.where(c > c_dn, (vals - batch.value(c_dn)) / (c - c_dn), np.inf)
     slack_budget = budget - float(np.sum(c))
     gain = 0.0
     receivers = d_right[c < caps - 1e-9]

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.harness import ALG2, run_trial
-from repro.utils.rng import SeedLike, spawn_generators
-from repro.workloads.generators import Distribution, make_problem
+from repro.experiments.harness import ALG2, run_point_arrays, trial_ratio
+from repro.utils.rng import SeedLike
+from repro.workloads.generators import Distribution
 
 #: z-score of the two-sided 95% confidence interval.
 _Z95 = 1.959963984540054
@@ -63,25 +63,37 @@ def run_point_stats(
     trials: int,
     seed: SeedLike = None,
     interpolator: str = "quadspline",
+    n_jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> dict[str, SeriesStats]:
     """Like :func:`repro.experiments.harness.run_point`, with dispersion.
 
     Returns ``{contender: SeriesStats}`` of the per-trial ratios
-    ``alg2 / contender`` (``alg2 / SO`` for the bound).
+    ``alg2 / contender`` (``alg2 / SO`` for the bound).  ``n_jobs`` fans
+    trials over a process pool with bit-identical samples (see
+    :func:`~repro.experiments.harness.run_point_arrays`).
     """
     if trials < 2:
         raise ValueError("need at least two trials for dispersion estimates")
-    rngs = spawn_generators(seed, trials)
+    names, utilities = run_point_arrays(
+        dist,
+        n_servers,
+        beta,
+        capacity,
+        trials=trials,
+        seed=seed,
+        interpolator=interpolator,
+        n_jobs=n_jobs,
+        chunksize=chunksize,
+    )
+    alg2_col = names.index(ALG2)
     samples: dict[str, list[float]] = {}
-    for rng in rngs:
-        problem = make_problem(
-            dist, n_servers, beta, capacity, seed=rng, interpolator=interpolator
-        )
-        record = run_trial(problem, rng)
-        for name in record.utilities:
+    for row in utilities:
+        num = float(row[alg2_col])
+        for col, name in enumerate(names):
             if name == ALG2:
                 continue
-            samples.setdefault(name, []).append(record.ratio(name))
+            samples.setdefault(name, []).append(trial_ratio(num, float(row[col])))
     return {name: SeriesStats.from_sample(np.array(s)) for name, s in samples.items()}
 
 

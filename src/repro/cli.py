@@ -100,7 +100,13 @@ def cmd_generate(args) -> int:
 
 def cmd_figure(args) -> int:
     spec = FIGURES[args.figure_id]
-    points = run_figure(args.figure_id, trials=args.trials, seed=args.seed)
+    points = run_figure(
+        args.figure_id,
+        trials=args.trials,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        chunksize=args.chunksize,
+    )
     print(spec.title)
     print(series_table(points, x_label=spec.x_label))
     if args.spark:
@@ -193,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("figure_id", choices=sorted(FIGURES))
     p.add_argument("--trials", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes per sweep point (-1 = all cores); "
+                   "results are bit-identical for any N")
+    p.add_argument("--chunksize", type=int, default=None, metavar="K",
+                   help="trials per worker chunk (default: ~4 chunks per worker)")
     p.add_argument("--spark", action="store_true",
                    help="also render unicode sparklines per series")
     p.add_argument("--save", help="write results JSON here (with provenance)")

@@ -60,18 +60,23 @@ def _algorithm1(problem: AAProblem, lin: Linearization, ctx) -> Assignment:
     unassigned = np.ones(n, dtype=bool)
     tol = _FIT_RTOL * max(problem.capacity, 1.0)
 
+    # fits[i, j]: thread i can still receive its full ĉ_i on server j.  Each
+    # round commits one thread to one server, so only that server's column
+    # can change — keep the matrix (and a per-thread fit count) incremental
+    # instead of rebuilding the full n×m candidate matrix every round.
+    fits = residual[None, :] + tol >= lin.c_hat[:, None]
+    fit_count = fits.sum(axis=1)
+
     for _ in range(n):
         if ctx is not None:
             ctx.count(ALG1_ROUNDS)
             ctx.check_deadline()
         idxs = np.nonzero(unassigned)[0]
-        # fits[a, j]: thread idxs[a] can still receive its full ĉ on server j.
-        fits = residual[None, :] + tol >= lin.c_hat[idxs][:, None]
-        has_fit = fits.any(axis=1)
+        has_fit = fit_count[idxs] > 0
         if has_fit.any():
             cand = idxs[has_fit]
             i = int(cand[np.argmax(lin.top[cand])])
-            fit_j = np.nonzero(residual + tol >= lin.c_hat[i])[0]
+            fit_j = np.nonzero(fits[i])[0]
             j = int(fit_j[np.argmax(residual[fit_j])])
         else:
             # No pair fits fully: maximize g_i over each server's leftovers.
@@ -84,6 +89,10 @@ def _algorithm1(problem: AAProblem, lin: Linearization, ctx) -> Assignment:
         alloc[i] = c
         residual[j] = max(residual[j] - c, 0.0)
         unassigned[i] = False
+        # Update just the committed server's fit column.
+        new_col = residual[j] + tol >= lin.c_hat
+        fit_count += new_col.astype(np.int64) - fits[:, j].astype(np.int64)
+        fits[:, j] = new_col
 
     return Assignment(servers=servers, allocations=alloc)
 

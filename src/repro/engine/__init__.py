@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 
 from repro.engine.cache import LinearizationCache
 from repro.engine.context import SolveContext, SolveTimeout
+from repro.engine.parallel import default_chunksize, map_trials, resolve_jobs
 from repro.engine.registry import (
     RegistryView,
     Solver,
@@ -140,10 +141,13 @@ __all__ = [
     "SolveTimeout",
     "Solver",
     "SolverSpec",
+    "default_chunksize",
     "get_linearization",
     "get_solver",
     "list_solvers",
+    "map_trials",
     "register_solver",
+    "resolve_jobs",
     "run_solver",
     "solver_table",
     "unregister_solver",

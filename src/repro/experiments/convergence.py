@@ -32,11 +32,14 @@ def convergence_study(
     capacity: float,
     trial_schedule=(10, 30, 100),
     seed: SeedLike = 0,
+    n_jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> list[ConvergencePoint]:
     """Re-estimate one sweep point at increasing trial budgets.
 
     Budgets share a seed root but draw independent instances, so CI widths
-    are honest (no sample reuse between budgets).
+    are honest (no sample reuse between budgets).  ``n_jobs`` parallelizes
+    each budget's trials (see :func:`~repro.analysis.stats.run_point_stats`).
     """
     schedule = [int(t) for t in trial_schedule]
     if any(t < 2 for t in schedule) or sorted(schedule) != schedule:
@@ -44,7 +47,14 @@ def convergence_study(
     points = []
     for k, trials in enumerate(schedule):
         stats = run_point_stats(
-            dist, n_servers, beta, capacity, trials=trials, seed=(seed, k)
+            dist,
+            n_servers,
+            beta,
+            capacity,
+            trials=trials,
+            seed=(seed, k),
+            n_jobs=n_jobs,
+            chunksize=chunksize,
         )
         points.append(ConvergencePoint(trials=trials, stats=stats))
     return points
@@ -59,6 +69,7 @@ def required_trials(
     half_width: float,
     pilot_trials: int = 50,
     seed: SeedLike = 0,
+    n_jobs: int | None = 1,
 ) -> int:
     """Trials needed for a ±``half_width`` 95% CI on one reported ratio.
 
@@ -66,7 +77,7 @@ def required_trials(
     the full run with normal theory.
     """
     pilot = run_point_stats(
-        dist, n_servers, beta, capacity, trials=pilot_trials, seed=seed
+        dist, n_servers, beta, capacity, trials=pilot_trials, seed=seed, n_jobs=n_jobs
     )
     if series not in pilot:
         raise ValueError(f"unknown series {series!r}; have {sorted(pilot)}")

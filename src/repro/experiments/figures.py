@@ -155,8 +155,16 @@ def run_figure(
     include_alg1: bool = False,
     include_raw: bool = False,
     interpolator: str = "quadspline",
+    ctx=None,
+    n_jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> list[SweepPoint]:
-    """Execute a registered panel and return its sweep points."""
+    """Execute a registered panel and return its sweep points.
+
+    ``n_jobs``/``chunksize`` fan each point's trials out over a process
+    pool (``aart figure --jobs``); the series are bit-identical for any
+    worker count.
+    """
     spec = FIGURES[figure_id]
     return run_sweep(
         spec.factory,
@@ -168,6 +176,9 @@ def run_figure(
         include_alg1=include_alg1,
         include_raw=include_raw,
         interpolator=interpolator,
+        ctx=ctx,
+        n_jobs=n_jobs,
+        chunksize=chunksize,
     )
 
 

@@ -26,9 +26,17 @@ import numpy as np
 
 from repro.core.postprocess import reclaim
 from repro.core.problem import AAProblem
-from repro.engine import SolveContext, get_solver, list_solvers
+from repro.engine import (
+    LinearizationCache,
+    SolveContext,
+    default_chunksize,
+    get_solver,
+    list_solvers,
+    map_trials,
+    resolve_jobs,
+)
 from repro.workloads.generators import Distribution, make_problem
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 #: Series name of the super-optimal bound in trial records.
 SO = "SO"
@@ -102,6 +110,177 @@ class SweepPoint:
     trials: int
 
 
+@dataclass(frozen=True)
+class _TrialChunkTask:
+    """A picklable batch of whole trials (instance + every contender each).
+
+    ``seeds`` are the trials' :class:`numpy.random.SeedSequence` children,
+    spawned by the caller from the point's root seed — the worker rebuilds
+    exactly the generator a serial run would have used, so results are
+    independent of how trials are split across processes.
+    """
+
+    dist: Distribution
+    n_servers: int
+    beta: float
+    capacity: float
+    seeds: tuple
+    include_alg1: bool
+    include_raw: bool
+    interpolator: str
+    with_cache: bool
+    budget_s: float | None
+
+
+@dataclass(frozen=True)
+class _TrialChunkResult:
+    """Compact outcome of one chunk: a utility matrix plus observability.
+
+    ``utilities[t, s]`` is contender ``names[s]``'s total utility on the
+    chunk's ``t``-th trial — arrays, not per-trial dicts, to keep the
+    inter-process payload small.  ``counters``/``spans`` are the worker
+    context's snapshots, merged into the caller's context on receipt.
+    """
+
+    names: tuple
+    utilities: np.ndarray
+    counters: dict
+    spans: dict
+
+
+def _run_trial_chunk(
+    task: _TrialChunkTask, ctx: SolveContext | None = None
+) -> _TrialChunkResult:
+    """Run a chunk of trials (worker side, or in-process when ``ctx`` given).
+
+    When ``ctx`` is omitted (the process-pool path) a fresh worker context
+    is built, with its own :class:`~repro.engine.LinearizationCache` when
+    the caller's context had one, so merged counter totals match a serial
+    run of the same trials.
+    """
+    if ctx is None:
+        ctx = SolveContext(
+            budget_s=task.budget_s,
+            cache=LinearizationCache() if task.with_cache else None,
+        )
+    names: tuple | None = None
+    rows = []
+    for child in task.seeds:
+        rng = np.random.default_rng(child)
+        problem = make_problem(
+            task.dist,
+            task.n_servers,
+            task.beta,
+            task.capacity,
+            seed=rng,
+            interpolator=task.interpolator,
+        )
+        record = run_trial(
+            problem,
+            rng,
+            include_alg1=task.include_alg1,
+            include_raw=task.include_raw,
+            ctx=ctx,
+        )
+        if names is None:
+            names = tuple(record.utilities)
+        rows.append([record.utilities[name] for name in names])
+    return _TrialChunkResult(
+        names=names or (),
+        utilities=np.asarray(rows, dtype=float),
+        counters=ctx.counters.snapshot(),
+        spans=ctx.spans.snapshot(),
+    )
+
+
+def run_point_arrays(
+    dist: Distribution,
+    n_servers: int,
+    beta: float,
+    capacity: float,
+    trials: int,
+    seed: SeedLike = None,
+    include_alg1: bool = False,
+    include_raw: bool = False,
+    interpolator: str = "quadspline",
+    ctx: SolveContext | None = None,
+    n_jobs: int | None = 1,
+    chunksize: int | None = None,
+) -> tuple[tuple, np.ndarray]:
+    """Per-trial utility matrix at one parameter setting.
+
+    Returns ``(names, utilities)`` with ``utilities`` of shape
+    ``(trials, len(names))`` in trial order — the compact form both
+    :func:`run_point` (mean ratios) and the statistics module (dispersion)
+    reduce from.
+
+    ``n_jobs`` fans the trials out over a process pool in chunks of
+    ``chunksize`` whole trials (default: ~4 chunks per worker).  Per-trial
+    seeds are spawned from ``seed`` before dispatch, so any worker count —
+    including 1 — produces bit-identical utilities.  With ``n_jobs > 1``
+    each worker runs its own :class:`~repro.engine.SolveContext` and its
+    counter/span snapshots are merged into ``ctx`` (sinks, which are not
+    picklable, stay serial-only); with ``n_jobs=1`` the caller's ``ctx``
+    is used directly, exactly as before.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    jobs = resolve_jobs(n_jobs)
+    seeds = spawn_seed_sequences(seed, trials)
+
+    def make_task(chunk_seeds, with_cache, budget_s):
+        return _TrialChunkTask(
+            dist=dist,
+            n_servers=n_servers,
+            beta=beta,
+            capacity=capacity,
+            seeds=tuple(chunk_seeds),
+            include_alg1=include_alg1,
+            include_raw=include_raw,
+            interpolator=interpolator,
+            with_cache=with_cache,
+            budget_s=budget_s,
+        )
+
+    if jobs == 1:
+        results = [_run_trial_chunk(make_task(seeds, False, None), ctx=ctx)]
+    else:
+        size = (
+            default_chunksize(trials, jobs)
+            if chunksize is None
+            else max(1, int(chunksize))
+        )
+        with_cache = ctx is not None and ctx.cache is not None
+        budget = ctx.remaining() if ctx is not None else None
+        if budget is not None:
+            budget = max(budget, 1e-9)  # expired: workers raise SolveTimeout
+        tasks = [
+            make_task(seeds[k : k + size], with_cache, budget)
+            for k in range(0, trials, size)
+        ]
+        results = map_trials(_run_trial_chunk, tasks, n_jobs=jobs)
+        if ctx is not None:
+            for res in results:
+                ctx.counters.merge(res.counters)
+                ctx.spans.merge(res.spans)
+    names = results[0].names
+    if any(res.names != names for res in results):
+        raise RuntimeError("contender sets diverged across trial chunks")
+    utilities = (
+        results[0].utilities
+        if len(results) == 1
+        else np.concatenate([res.utilities for res in results], axis=0)
+    )
+    return names, utilities
+
+
+def trial_ratio(num: float, den: float) -> float:
+    """The harness's ratio convention: ``num / den`` with 0/0 → 1."""
+    if den == 0.0:
+        return 1.0 if num == 0.0 else np.inf
+    return num / den
+
+
 def run_point(
     dist: Distribution,
     n_servers: int,
@@ -113,30 +292,58 @@ def run_point(
     include_raw: bool = False,
     interpolator: str = "quadspline",
     ctx: SolveContext | None = None,
+    n_jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> dict[str, float]:
     """Mean ratios (``alg2/SO``, ``alg2/UU``, …) at one parameter setting.
 
     When ``ctx`` is supplied its counters accumulate over the whole point —
     with a fresh context, ``ctx.counters["linearize_calls"] == trials``
     afterwards (one linearization per trial instance, shared by every
-    contender; a test asserts this).
+    contender; a test asserts this) whether the trials ran serially or
+    across a pool (``n_jobs``; see :func:`run_point_arrays`).
     """
-    if trials < 1:
-        raise ValueError(f"need at least one trial, got {trials}")
-    rngs = spawn_generators(seed, trials)
+    names, utilities = run_point_arrays(
+        dist,
+        n_servers,
+        beta,
+        capacity,
+        trials=trials,
+        seed=seed,
+        include_alg1=include_alg1,
+        include_raw=include_raw,
+        interpolator=interpolator,
+        ctx=ctx,
+        n_jobs=n_jobs,
+        chunksize=chunksize,
+    )
+    alg2_col = names.index(ALG2)
     sums: dict[str, float] = {}
-    for rng in rngs:
-        problem = make_problem(
-            dist, n_servers, beta, capacity, seed=rng, interpolator=interpolator
-        )
-        record = run_trial(
-            problem, rng, include_alg1=include_alg1, include_raw=include_raw, ctx=ctx
-        )
-        for name in record.utilities:
+    # Scalar accumulation in trial order: bit-identical to the historical
+    # per-trial loop (np.sum's pairwise reduction would not be).
+    for row in utilities:
+        num = float(row[alg2_col])
+        for col, name in enumerate(names):
             if name == ALG2:
                 continue
-            sums[name] = sums.get(name, 0.0) + record.ratio(name)
+            sums[name] = sums.get(name, 0.0) + trial_ratio(num, float(row[col]))
     return {name: total / trials for name, total in sums.items()}
+
+
+def sweep_point_seeds(seed: SeedLike, n_points: int, *salt: int) -> list:
+    """Per-point root seeds for an ``n_points``-long sweep.
+
+    An integer ``seed`` keys each point as ``SeedSequence([seed, *salt, k])``
+    (the historical scheme, stable across releases).  ``seed=None`` draws
+    fresh OS entropy **once** and spawns the points from it — previously
+    ``None`` silently collapsed to 0, making "unseeded" sweeps identical
+    runs.
+    """
+    if seed is None:
+        return list(np.random.SeedSequence().spawn(n_points))
+    return [
+        np.random.SeedSequence([int(seed), *salt, k]) for k in range(n_points)
+    ]
 
 
 def run_sweep(
@@ -151,6 +358,8 @@ def run_sweep(
     include_raw: bool = False,
     interpolator: str = "quadspline",
     ctx: SolveContext | None = None,
+    n_jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> list[SweepPoint]:
     """Run a figure-style sweep.
 
@@ -164,12 +373,21 @@ def run_sweep(
         X-axis values of the figure.
     trials:
         Trials per point (the paper uses 1000; benches default lower).
+    seed:
+        Root seed; each point derives an independent child.  ``None``
+        draws fresh OS entropy (every unseeded sweep differs).
     ctx:
         Optional shared :class:`~repro.engine.SolveContext`; counters and
         spans accumulate across every point of the sweep.
+    n_jobs / chunksize:
+        Process-pool fan-out within each point (see
+        :func:`run_point_arrays`); results are independent of the worker
+        count.
     """
+    values = list(sweep_values)
+    point_seeds = sweep_point_seeds(seed, len(values))
     points: list[SweepPoint] = []
-    for k, value in enumerate(sweep_values):
+    for value, point_seed in zip(values, point_seeds):
         dist, point_beta = dist_factory(value)
         if beta is not None:
             point_beta = beta
@@ -179,11 +397,13 @@ def run_sweep(
             beta=point_beta,
             capacity=capacity,
             trials=trials,
-            seed=np.random.SeedSequence([0 if seed is None else int(seed), k]),
+            seed=point_seed,
             include_alg1=include_alg1,
             include_raw=include_raw,
             interpolator=interpolator,
             ctx=ctx,
+            n_jobs=n_jobs,
+            chunksize=chunksize,
         )
         points.append(SweepPoint(value=float(value), ratios=ratios, trials=trials))
     return points

@@ -16,11 +16,9 @@ the figure panels (bench: ``bench_sensitivity.py``).
 
 from __future__ import annotations
 
-from repro.experiments.harness import SweepPoint, run_point
+from repro.experiments.harness import SweepPoint, run_point, sweep_point_seeds
 from repro.utils.rng import SeedLike
 from repro.workloads.generators import Distribution
-
-import numpy as np
 
 
 def server_sweep(
@@ -30,17 +28,22 @@ def server_sweep(
     capacity: float = 1000.0,
     trials: int = 100,
     seed: SeedLike = 0,
+    n_jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> list[SweepPoint]:
     """Mean ratios as the fleet grows at constant threads-per-server."""
+    values = [int(m) for m in m_values]
     points = []
-    for k, m in enumerate(m_values):
+    for m, point_seed in zip(values, sweep_point_seeds(seed, len(values), 71)):
         ratios = run_point(
             dist,
-            n_servers=int(m),
+            n_servers=m,
             beta=beta,
             capacity=capacity,
             trials=trials,
-            seed=np.random.SeedSequence([0 if seed is None else int(seed), 71, k]),
+            seed=point_seed,
+            n_jobs=n_jobs,
+            chunksize=chunksize,
         )
         points.append(SweepPoint(value=float(m), ratios=ratios, trials=trials))
     return points
@@ -53,17 +56,22 @@ def capacity_sweep(
     beta: float = 5.0,
     trials: int = 100,
     seed: SeedLike = 0,
+    n_jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> list[SweepPoint]:
     """Mean ratios as the capacity scale changes (expected: flat)."""
+    values = [float(c) for c in c_values]
     points = []
-    for k, c in enumerate(c_values):
+    for c, point_seed in zip(values, sweep_point_seeds(seed, len(values), 72)):
         ratios = run_point(
             dist,
             n_servers=n_servers,
             beta=beta,
-            capacity=float(c),
+            capacity=c,
             trials=trials,
-            seed=np.random.SeedSequence([0 if seed is None else int(seed), 72, k]),
+            seed=point_seed,
+            n_jobs=n_jobs,
+            chunksize=chunksize,
         )
         points.append(SweepPoint(value=float(c), ratios=ratios, trials=trials))
     return points

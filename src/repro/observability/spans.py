@@ -45,3 +45,17 @@ class SpanRecorder:
             name: {"total": t.total, "count": float(t.count)}
             for name, t in self._timers.items()
         }
+
+    def merge(self, other: "SpanRecorder | dict[str, dict[str, float]]") -> None:
+        """Fold another recorder (or a :meth:`snapshot` dict) into this one.
+
+        Totals and interval counts add per name — the contract the parallel
+        harness relies on to combine spans measured in worker processes with
+        the caller's own recorder.  Merging a snapshot is lossless because a
+        snapshot carries exactly the accumulated state.
+        """
+        items = other.snapshot() if isinstance(other, SpanRecorder) else other
+        for name, rec in items.items():
+            self._timers.setdefault(name, Timer()).add(
+                float(rec["total"]), int(rec["count"])
+            )

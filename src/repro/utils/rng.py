@@ -27,11 +27,12 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
-    """Derive ``n`` statistically independent child generators from ``seed``.
+def spawn_seed_sequences(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive ``n`` statistically independent child seed sequences from ``seed``.
 
-    Used by multi-trial experiment harnesses so each trial is independently
-    seeded yet the whole sweep is reproducible from a single root seed.
+    The children are picklable, so a multi-process harness can ship each
+    worker its trials' seeds and reproduce exactly the generators a serial
+    run would have built — results become independent of worker count.
     """
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
@@ -42,4 +43,13 @@ def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
         root = np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4).tolist())
     else:
         root = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(n)]
+    return root.spawn(n)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``seed``.
+
+    Used by multi-trial experiment harnesses so each trial is independently
+    seeded yet the whole sweep is reproducible from a single root seed.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]

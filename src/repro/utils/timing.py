@@ -40,6 +40,21 @@ class Timer:
         self.count: int = 0
         self._start: float | None = None
 
+    def add(self, seconds: float, count: int = 1) -> None:
+        """Fold externally measured intervals into this timer.
+
+        Used when merging spans recorded in another process (the parallel
+        harness measures in workers, then folds totals into the caller's
+        recorder).  ``seconds`` becomes the most recent ``elapsed``.
+        """
+        if seconds < 0 or count < 0:
+            raise ValueError(
+                f"cannot add a negative interval ({seconds!r}s x {count!r})"
+            )
+        self.elapsed = float(seconds)
+        self.total += float(seconds)
+        self.count += int(count)
+
     @property
     def running(self) -> bool:
         """Whether the timer is currently inside a ``with`` block."""

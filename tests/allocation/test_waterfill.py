@@ -170,3 +170,19 @@ def test_kkt_violation_zero_at_optimum():
     fns = [LogUtility(1.0, 1.0, CAP), LogUtility(4.0, 1.0, CAP)]
     res = water_fill(fns, 5.0)
     assert kkt_violation(fns, res.allocations, 5.0) < 1e-6
+
+
+def test_bracket_loop_honors_deadline():
+    """A pathological derivative scale (~100 doublings to bracket) must hit
+    the deadline *inside* the exponential bracket loop, before bisection
+    ever starts — measured by the batch-evaluation counter staying tiny."""
+    from repro.engine import SolveContext, SolveTimeout
+    from repro.observability import BATCH_EVALUATIONS
+
+    fns = [LogUtility(1e30, 1.0, CAP), LogUtility(1e30, 1.0, CAP)]
+    ctx = SolveContext(budget_s=1e-9)
+    with pytest.raises(SolveTimeout):
+        water_fill(fns, 5.0, ctx=ctx)
+    # Without the bracket-loop check, ~100 demand evaluations would have
+    # run before the bisection loop's own deadline check fired.
+    assert ctx.counters[BATCH_EVALUATIONS] <= 2

@@ -117,3 +117,41 @@ def test_jsonl_sink_appends_and_accepts_file_objects(tmp_path):
     buf = io.StringIO()
     JsonlSink(buf).emit({"k": 3})
     assert json.loads(buf.getvalue()) == {"k": 3}
+
+
+def test_span_recorder_merge_recorder_and_snapshot():
+    a, b = SpanRecorder(), SpanRecorder()
+    with a.span("work"):
+        time.sleep(0.001)
+    with b.span("work"):
+        time.sleep(0.001)
+    with b.span("other"):
+        pass
+    total_before = a.total("work")
+    a.merge(b)  # merge a live recorder
+    assert a.count("work") == 2
+    assert a.total("work") == pytest.approx(total_before + b.total("work"))
+    assert a.count("other") == 1
+    c = SpanRecorder()
+    c.merge(a.snapshot())  # merging a snapshot dict is lossless
+    assert c.snapshot() == a.snapshot()
+
+
+def test_span_recorder_merge_accumulates_into_existing_timer():
+    rec = SpanRecorder()
+    with rec.span("work"):
+        pass
+    rec.merge({"work": {"total": 1.5, "count": 3.0}})
+    assert rec.count("work") == 4
+    assert rec.total("work") >= 1.5
+
+
+def test_timer_add_rejects_negative():
+    from repro.utils.timing import Timer
+
+    t = Timer()
+    with pytest.raises(ValueError):
+        t.add(-0.1)
+    t.add(0.25, count=2)
+    assert t.total == pytest.approx(0.25)
+    assert t.count == 2
