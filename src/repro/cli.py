@@ -132,7 +132,14 @@ def cmd_figure(args) -> int:
 def cmd_evaluate(args) -> int:
     problem = load_problem(args.problem)
     assignment = load_assignment(args.assignment)
-    assignment.validate(problem)
+    try:
+        assignment.validate(problem)
+    except ValueError as exc:
+        print(
+            f"error: assignment {args.assignment} is infeasible for {args.problem}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     bound = get_linearization(problem).super_optimal_utility
     _print_solution(problem, assignment, bound, "evaluated assignment")
     return 0
@@ -141,6 +148,111 @@ def cmd_evaluate(args) -> int:
 def cmd_solvers(args) -> int:
     print(solver_table())
     return 0
+
+
+def cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.service import (
+        AdmissionPolicy,
+        AllocationService,
+        ClusterState,
+        ReplanPolicy,
+        TcpServer,
+        load_snapshot,
+        save_snapshot,
+    )
+
+    if args.snapshot and Path(args.snapshot).exists():
+        state = load_snapshot(args.snapshot)
+        print(
+            f"warm restart from {args.snapshot}: version {state.version}, "
+            f"{state.n_threads} threads on {state.n_servers} servers"
+        )
+    else:
+        state = ClusterState(args.servers, args.capacity, args.migration_cost)
+    sink = None
+    if args.trace:
+        from repro.observability import JsonlSink
+
+        sink = JsonlSink(args.trace)
+    service = AllocationService(
+        state,
+        replan_policy=ReplanPolicy(
+            drift_threshold=args.drift,
+            max_staleness=args.staleness if args.staleness > 0 else None,
+            migration_budget=args.migration_budget,
+        ),
+        admission_policy=AdmissionPolicy(
+            min_marginal_utility=args.min_gain, max_queue=args.max_queue
+        ),
+        solve_budget_s=args.budget_s,
+        sink=sink,
+        seed=args.seed,
+    )
+    server = TcpServer(
+        service, host=args.host, port=args.port, coalesce_window_s=args.coalesce_window
+    )
+    print(
+        f"aart allocation service on {server.host}:{server.port} "
+        f"({state.n_servers} servers × C={state.capacity:g}); Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.snapshot:
+            save_snapshot(state, args.snapshot)
+            print(f"snapshot saved to {args.snapshot} (version {state.version})")
+        if sink is not None:
+            sink.close()
+    return 0
+
+
+def cmd_client(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.serialization import utility_from_dict
+    from repro.service import Client
+
+    with Client(host=args.host, port=args.port) as client:
+        if args.client_command == "submit":
+            if args.utility_file:
+                spec = _json.loads(Path(args.utility_file).read_text())
+            else:
+                spec = _json.loads(args.utility)
+            resp = client.submit(args.id, utility_from_dict(spec))
+        elif args.client_command == "remove":
+            resp = client.remove(args.id)
+        elif args.client_command == "rebalance":
+            resp = client.rebalance()
+        elif args.client_command == "snapshot":
+            resp = client.snapshot(args.output)
+        else:  # status
+            status = client.status()
+            print(
+                f"version {status['version']}: {status['n_threads']} threads on "
+                f"{status['n_servers']} servers (C={status['capacity']:g})"
+            )
+            print(f"total utility      = {status['total_utility']:.6g}")
+            if status["last_bound"]:
+                print(
+                    f"last certification = {status['last_ratio']:.4f} of bound "
+                    f"{status['last_bound']:.6g} (at version "
+                    f"{status['last_certified_version']})"
+                )
+            loads = ", ".join(f"{x:.4g}" for x in status["server_loads"])
+            print(f"server loads       = [{loads}]")
+            print(f"steps since replan = {status['steps_since_replan']}")
+            return 0
+    payload = {k: v for k, v in resp.data.items() if k != "state"}
+    if resp.ok:
+        print(f"{resp.op}: ok {_json.dumps(payload, sort_keys=True)}")
+        return 0
+    print(f"{resp.op}: REFUSED — {resp.error}", file=sys.stderr)
+    return 1
 
 
 def cmd_profile(args) -> int:
@@ -220,6 +332,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("solvers", help="list registered solvers and guarantees")
     p.set_defaults(func=cmd_solvers)
+
+    p = sub.add_parser("serve", help="run the allocation service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421, help="0 picks a free port")
+    p.add_argument("--servers", type=int, default=4)
+    p.add_argument("--capacity", type=float, default=100.0)
+    p.add_argument("--migration-cost", type=float, default=0.0)
+    p.add_argument("--drift", type=float, default=ALPHA,
+                   help="replan when utility < DRIFT × super-optimal bound "
+                   f"(default: the paper's α ≈ {ALPHA:.3f})")
+    p.add_argument("--staleness", type=int, default=16,
+                   help="replan after this many incremental steps (0 disables)")
+    p.add_argument("--migration-budget", type=int, default=None,
+                   help="decline policy replans moving more threads than this")
+    p.add_argument("--min-gain", type=float, default=0.0,
+                   help="admission floor on a thread's projected marginal utility")
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="admission bound on the pending-mutation queue")
+    p.add_argument("--budget-s", type=float, default=None,
+                   help="per-step wall-clock solve budget (seconds)")
+    p.add_argument("--coalesce-window", type=float, default=0.02,
+                   help="seconds to keep draining a request burst into one step")
+    p.add_argument("--snapshot", metavar="PATH",
+                   help="restore from PATH at start (if present) and save on exit")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write request/step/replan events (JSONL) here")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running allocation service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    csub = p.add_subparsers(dest="client_command", required=True)
+    c = csub.add_parser("submit", help="admit a thread")
+    c.add_argument("--id", required=True, help="thread id")
+    group = c.add_mutually_exclusive_group(required=True)
+    group.add_argument("--utility", help='inline utility JSON, e.g. '
+                       '\'{"type": "log", "coeff": 1, "scale": 1, "cap": 100}\'')
+    group.add_argument("--utility-file", help="file with one utility JSON object")
+    c = csub.add_parser("remove", help="withdraw a thread")
+    c.add_argument("--id", required=True, help="thread id")
+    csub.add_parser("rebalance", help="force a full re-solve")
+    csub.add_parser("status", help="print the cluster overview")
+    c = csub.add_parser("snapshot", help="snapshot the daemon's state")
+    c.add_argument("-o", "--output", help="server-side path to write (else inline)")
+    p.set_defaults(func=cmd_client)
 
     return parser
 

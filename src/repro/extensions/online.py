@@ -71,6 +71,17 @@ class OnlineScheduler:
         batch = GenericBatch([self._threads[t] for t in self._threads])
         return AAProblem(batch, n_servers=self.n_servers, capacity=self.capacity)
 
+    def problem(self) -> AAProblem:
+        """The current residents as an AA instance (thread-id insertion order)."""
+        return self._problem()
+
+    def placement_of(self, thread_id: str) -> tuple[int, float]:
+        """Current ``(server, allocation)`` of one resident thread."""
+        try:
+            return self._server_of[thread_id], self._alloc_of[thread_id]
+        except KeyError:
+            raise KeyError(f"unknown thread {thread_id!r}") from None
+
     def assignment(self) -> Assignment:
         """Current assignment in thread-id insertion order."""
         ids = self.thread_ids
@@ -96,14 +107,15 @@ class OnlineScheduler:
 
     # -- churn ----------------------------------------------------------------
 
-    def add_thread(self, thread_id: str, utility: UtilityFunction) -> int:
-        """Place a new thread greedily; returns the chosen server.
+    def placement_gain(self, utility: UtilityFunction) -> tuple[int, float]:
+        """Best greedy placement for a hypothetical new thread.
 
-        The thread joins the server where re-water-filling with it present
-        yields the largest total-utility gain (no existing thread moves).
+        Returns ``(server, gain)`` where ``gain`` is the total-utility
+        increase from re-water-filling that server with the thread present
+        (no existing thread moves, nothing is mutated).  This is the
+        *projected marginal utility* the allocation service's admission
+        control compares against its floor before accepting a thread.
         """
-        if thread_id in self._threads:
-            raise ValueError(f"thread {thread_id!r} already scheduled")
         if utility.cap > self.capacity * (1 + 1e-9):
             raise ValueError("utility cap exceeds server capacity")
         best_server, best_gain = 0, -np.inf
@@ -117,11 +129,64 @@ class OnlineScheduler:
             gain = after - before
             if gain > best_gain:
                 best_gain, best_server = gain, j
+        return best_server, float(best_gain)
+
+    def add_thread(self, thread_id: str, utility: UtilityFunction) -> int:
+        """Place a new thread greedily; returns the chosen server.
+
+        The thread joins the server where re-water-filling with it present
+        yields the largest total-utility gain (no existing thread moves).
+        """
+        if thread_id in self._threads:
+            raise ValueError(f"thread {thread_id!r} already scheduled")
+        best_server, _ = self.placement_gain(utility)
         self._threads[thread_id] = utility
         self._server_of[thread_id] = best_server
         self._alloc_of[thread_id] = 0.0
         self._refill_server(best_server)
         return best_server
+
+    def restore_thread(
+        self,
+        thread_id: str,
+        utility: UtilityFunction,
+        server: int,
+        allocation: float,
+    ) -> None:
+        """Reinstate a thread at an exact (server, allocation) position.
+
+        Used by snapshot restore: no greedy placement, no re-fill — the
+        thread lands exactly where the serialized state says it was, so a
+        restored scheduler is bit-identical to the one that was saved.
+        """
+        if thread_id in self._threads:
+            raise ValueError(f"thread {thread_id!r} already scheduled")
+        if not 0 <= int(server) < self.n_servers:
+            raise ValueError(f"server {server!r} out of range [0, {self.n_servers})")
+        if utility.cap > self.capacity * (1 + 1e-9):
+            raise ValueError("utility cap exceeds server capacity")
+        if not 0 <= allocation <= self.capacity * (1 + 1e-9):
+            raise ValueError(f"allocation {allocation!r} outside [0, {self.capacity}]")
+        self._threads[thread_id] = utility
+        self._server_of[thread_id] = int(server)
+        self._alloc_of[thread_id] = float(allocation)
+
+    def update_capacity(self, capacity: float) -> None:
+        """Resize every server to ``capacity`` and re-fill all allocations.
+
+        The new capacity must still dominate every resident utility's
+        domain cap (the paper's feasibility precondition ``cap_i <= C``).
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        for t, f in self._threads.items():
+            if f.cap > capacity * (1 + 1e-9):
+                raise ValueError(
+                    f"thread {t!r} has utility cap {f.cap!r} above new capacity {capacity!r}"
+                )
+        self.capacity = float(capacity)
+        for j in range(self.n_servers):
+            self._refill_server(j)
 
     def remove_thread(self, thread_id: str) -> None:
         """Drop a thread and hand its resource to its server's residents."""
@@ -132,11 +197,13 @@ class OnlineScheduler:
         del self._threads[thread_id], self._alloc_of[thread_id]
         self._refill_server(server)
 
-    def rebalance(self, ctx=None) -> RebalanceReport:
+    def rebalance(self, ctx=None, max_migrations: int | None = None) -> RebalanceReport:
         """Full Algorithm 2 re-solve; applies only if the net gain is positive.
 
         ``ctx`` is an optional :class:`~repro.engine.SolveContext` so churn
         loops can accumulate counters/spans and enforce a re-plan deadline.
+        ``max_migrations`` (the service's migration budget) declines the
+        re-solve outright when it would move more threads than allowed.
         """
         before = self.total_utility()
         if not self._threads:
@@ -147,6 +214,8 @@ class OnlineScheduler:
             1 for t, j in zip(ids, sol.assignment.servers) if self._server_of[t] != j
         )
         cost = moved * self.migration_cost
+        if max_migrations is not None and moved > max_migrations:
+            return RebalanceReport(before, before, 0, 0.0)
         if sol.total_utility - cost <= before:
             return RebalanceReport(before, before, 0, 0.0)
         for t, j, c in zip(ids, sol.assignment.servers, sol.assignment.allocations):

@@ -18,6 +18,13 @@ from repro.observability.counters import (
     LINEARIZE_CACHE_MISSES,
     LINEARIZE_CALLS,
     RECLAIM_CALLS,
+    SERVICE_ADMISSION_REJECTS,
+    SERVICE_ARRIVALS,
+    SERVICE_DEPARTURES,
+    SERVICE_MIGRATIONS,
+    SERVICE_REPLANS,
+    SERVICE_REQUESTS,
+    SERVICE_STEPS,
     WATERFILL_CALLS,
     Counters,
 )
@@ -34,6 +41,13 @@ __all__ = [
     "LINEARIZE_CACHE_MISSES",
     "LINEARIZE_CALLS",
     "RECLAIM_CALLS",
+    "SERVICE_ADMISSION_REJECTS",
+    "SERVICE_ARRIVALS",
+    "SERVICE_DEPARTURES",
+    "SERVICE_MIGRATIONS",
+    "SERVICE_REPLANS",
+    "SERVICE_REQUESTS",
+    "SERVICE_STEPS",
     "WATERFILL_CALLS",
     "Counters",
     "EventSink",

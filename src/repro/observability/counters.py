@@ -32,6 +32,22 @@ ALG2_HEAP_OPS = "alg2_heap_ops"
 #: Reclamation post-passes applied.
 RECLAIM_CALLS = "reclaim_calls"
 
+# -- allocation-service counters (emitted by repro.service.server) -----------
+
+#: Requests received by the allocation service (all ops, accepted or not).
+SERVICE_REQUESTS = "service_requests"
+#: Coalesced incremental steps (one per processed batch of mutations).
+SERVICE_STEPS = "service_steps"
+#: Threads admitted and greedily placed / departed threads.
+SERVICE_ARRIVALS = "service_arrivals"
+SERVICE_DEPARTURES = "service_departures"
+#: Submissions refused by admission control (queue bound or utility floor).
+SERVICE_ADMISSION_REJECTS = "service_admission_rejects"
+#: Full Algorithm-2 re-solves triggered (by policy or explicit request).
+SERVICE_REPLANS = "service_replans"
+#: Threads moved between servers by applied re-solves.
+SERVICE_MIGRATIONS = "service_migrations"
+
 
 class Counters(Mapping[str, int]):
     """A mapping of monotonic named counters.

@@ -42,6 +42,7 @@ from repro.utility.quadspline import ConcaveQuadSpline
 
 PROBLEM_FORMAT = "aart-problem/1"
 ASSIGNMENT_FORMAT = "aart-assignment/1"
+SCHEDULER_FORMAT = "aart-scheduler/1"
 
 
 def _encode_utility(f: UtilityFunction) -> dict[str, Any]:
@@ -112,6 +113,16 @@ def _decode_utility(d: dict[str, Any]) -> UtilityFunction:
     return decoder(d)
 
 
+def utility_to_dict(f: UtilityFunction) -> dict[str, Any]:
+    """Serialize one scalar utility (public name for the type-registry codec)."""
+    return _encode_utility(f)
+
+
+def utility_from_dict(d: dict[str, Any]) -> UtilityFunction:
+    """Deserialize one scalar utility; raises ``ValueError`` on unknown types."""
+    return _decode_utility(d)
+
+
 def problem_to_dict(problem: AAProblem) -> dict[str, Any]:
     """Serialize an AA instance (requires materializable scalar utilities)."""
     return {
@@ -149,6 +160,63 @@ def assignment_from_dict(data: dict[str, Any]) -> Assignment:
         servers=np.asarray(data["servers"], dtype=np.int64),
         allocations=np.asarray(data["allocations"], dtype=float),
     )
+
+
+def scheduler_state_to_dict(scheduler) -> dict[str, Any]:
+    """Serialize an :class:`~repro.extensions.online.OnlineScheduler`'s live state.
+
+    Captures everything needed to resume the scheduler exactly where it
+    was: configuration, resident threads with their utilities, and the
+    current (server, allocation) of every thread in insertion order.  For
+    an :class:`~repro.extensions.online.AdaptiveScheduler` the *current*
+    concave fits are saved (they are plain piecewise-linear utilities);
+    raw measurement buffers are not, so a restored scheduler re-learns
+    from fresh observations.
+    """
+    return {
+        "format": SCHEDULER_FORMAT,
+        "n_servers": scheduler.n_servers,
+        "capacity": scheduler.capacity,
+        "migration_cost": scheduler.migration_cost,
+        "total_migrations": scheduler.total_migrations,
+        "threads": [
+            {
+                "id": t,
+                "server": int(scheduler._server_of[t]),
+                "allocation": float(scheduler._alloc_of[t]),
+                "utility": _encode_utility(f),
+            }
+            for t, f in scheduler._threads.items()
+        ],
+    }
+
+
+def scheduler_state_from_dict(data: dict[str, Any]):
+    """Rebuild an :class:`~repro.extensions.online.OnlineScheduler` from its dict.
+
+    The restored scheduler is bit-identical to the saved one:
+    ``scheduler_state_to_dict(scheduler_state_from_dict(d)) == d``.
+    """
+    from repro.extensions.online import OnlineScheduler
+
+    if data.get("format") != SCHEDULER_FORMAT:
+        raise ValueError(
+            f"not an {SCHEDULER_FORMAT} document (format={data.get('format')!r})"
+        )
+    scheduler = OnlineScheduler(
+        n_servers=data["n_servers"],
+        capacity=data["capacity"],
+        migration_cost=data.get("migration_cost", 0.0),
+    )
+    for entry in data["threads"]:
+        scheduler.restore_thread(
+            entry["id"],
+            _decode_utility(entry["utility"]),
+            server=entry["server"],
+            allocation=entry["allocation"],
+        )
+    scheduler.total_migrations = int(data.get("total_migrations", 0))
+    return scheduler
 
 
 def save_problem(problem: AAProblem, path) -> None:

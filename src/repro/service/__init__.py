@@ -1,0 +1,80 @@
+"""The allocation service: a stateful, batching AA daemon.
+
+This package turns the batch library into a long-running system.  An
+:class:`AllocationService` owns a versioned :class:`ClusterState`, absorbs
+thread arrivals/departures in **coalesced incremental steps** (greedy
+placement — no solver run per request), triggers a full Algorithm-2
+re-solve only when its :class:`ReplanPolicy` fires, refuses work per its
+:class:`AdmissionPolicy`, and snapshots itself to disk for warm restarts.
+
+Typical embedded use::
+
+    from repro.service import (
+        AllocationService, ClusterState, InProcessTransport, SubmitThread,
+    )
+
+    svc = AllocationService(ClusterState(n_servers=4, capacity=100.0))
+    bus = InProcessTransport(svc)
+    responses = bus.request(*[SubmitThread(f"t{i}", some_utility) for i in range(20)])
+
+Over the network, the same requests flow as JSON lines through
+:class:`TcpServer` / :class:`Client` (CLI: ``aart serve`` / ``aart client``).
+"""
+
+from repro.service.api import (
+    MUTATING_OPS,
+    PROTOCOL,
+    QueryAssignment,
+    Rebalance,
+    RemoveThread,
+    Request,
+    Response,
+    Snapshot,
+    SubmitThread,
+    UpdateCapacity,
+    request_from_dict,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+)
+from repro.service.policy import AdmissionPolicy, ReplanPolicy
+from repro.service.server import AllocationService
+from repro.service.snapshot import (
+    SNAPSHOT_FORMAT,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.service.state import STATE_FORMAT, ClusterState
+from repro.service.transport import Client, InProcessTransport, TcpServer
+
+__all__ = [
+    "MUTATING_OPS",
+    "PROTOCOL",
+    "SNAPSHOT_FORMAT",
+    "STATE_FORMAT",
+    "AdmissionPolicy",
+    "AllocationService",
+    "Client",
+    "ClusterState",
+    "InProcessTransport",
+    "QueryAssignment",
+    "Rebalance",
+    "RemoveThread",
+    "ReplanPolicy",
+    "Request",
+    "Response",
+    "Snapshot",
+    "SubmitThread",
+    "TcpServer",
+    "UpdateCapacity",
+    "load_snapshot",
+    "request_from_dict",
+    "request_to_dict",
+    "response_from_dict",
+    "response_to_dict",
+    "save_snapshot",
+    "snapshot_from_dict",
+    "snapshot_to_dict",
+]

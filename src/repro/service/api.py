@@ -1,0 +1,190 @@
+"""Typed request/response messages of the allocation service protocol.
+
+Every message is a small frozen dataclass with a JSON codec, so the same
+objects flow through the in-process transport (tests, embedding) and the
+JSON-lines TCP transport (the ``aart`` CLI client).  Utilities ride along
+inside :class:`SubmitThread` using the :mod:`repro.serialization` type
+registry — any utility the problem format can express, the service can
+admit.
+
+Wire format: one JSON object per message.  Requests carry ``"op"`` (and an
+optional ``"request_id"`` echo-tag); responses carry ``"ok"``, the echoed
+``"op"``/``"request_id"``, a payload ``"data"`` dict and, when ``ok`` is
+false, an ``"error"`` string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serialization import utility_from_dict, utility_to_dict
+from repro.utility.base import UtilityFunction
+
+PROTOCOL = "aart-service/1"
+
+
+# -- requests ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubmitThread:
+    """Admit a new thread with the given utility (coalesced mutation)."""
+
+    thread_id: str
+    utility: UtilityFunction
+    request_id: str | None = None
+
+    op = "submit"
+
+
+@dataclass(frozen=True)
+class RemoveThread:
+    """Withdraw a resident thread (coalesced mutation)."""
+
+    thread_id: str
+    request_id: str | None = None
+
+    op = "remove"
+
+
+@dataclass(frozen=True)
+class UpdateCapacity:
+    """Uniformly resize every server (coalesced mutation)."""
+
+    capacity: float
+    request_id: str | None = None
+
+    op = "update_capacity"
+
+
+@dataclass(frozen=True)
+class Rebalance:
+    """Force a full Algorithm-2 re-solve regardless of the replan policy."""
+
+    request_id: str | None = None
+
+    op = "rebalance"
+
+
+@dataclass(frozen=True)
+class QueryAssignment:
+    """Read the current assignment (one thread, or the whole cluster)."""
+
+    thread_id: str | None = None
+    request_id: str | None = None
+
+    op = "query"
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Serialize the cluster state (optionally persisting it server-side)."""
+
+    path: str | None = None
+    request_id: str | None = None
+
+    op = "snapshot"
+
+
+Request = SubmitThread | RemoveThread | UpdateCapacity | Rebalance | QueryAssignment | Snapshot
+
+#: Requests that mutate state and therefore coalesce into one incremental step.
+MUTATING_OPS = frozenset({"submit", "remove", "update_capacity", "rebalance"})
+
+
+# -- response ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Response:
+    """Outcome of one request.
+
+    ``ok`` is False exactly when the request was refused (admission
+    control, unknown thread, infeasible capacity, …); ``error`` then holds
+    a human-readable reason.  ``data`` carries the op-specific payload
+    (chosen server, assignment view, snapshot dict, replan report, …).
+    """
+
+    ok: bool
+    op: str
+    data: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    request_id: str | None = None
+
+    @staticmethod
+    def success(op: str, request_id: str | None = None, **data: Any) -> "Response":
+        return Response(ok=True, op=op, data=data, request_id=request_id)
+
+    @staticmethod
+    def failure(op: str, error: str, request_id: str | None = None, **data) -> "Response":
+        return Response(ok=False, op=op, data=data, error=error, request_id=request_id)
+
+
+# -- codecs ------------------------------------------------------------------
+
+
+def request_to_dict(req: Request) -> dict[str, Any]:
+    d: dict[str, Any] = {"op": req.op}
+    if req.request_id is not None:
+        d["request_id"] = req.request_id
+    if isinstance(req, SubmitThread):
+        d["thread_id"] = req.thread_id
+        d["utility"] = utility_to_dict(req.utility)
+    elif isinstance(req, RemoveThread):
+        d["thread_id"] = req.thread_id
+    elif isinstance(req, UpdateCapacity):
+        d["capacity"] = req.capacity
+    elif isinstance(req, QueryAssignment):
+        if req.thread_id is not None:
+            d["thread_id"] = req.thread_id
+    elif isinstance(req, Snapshot):
+        if req.path is not None:
+            d["path"] = req.path
+    return d
+
+
+def request_from_dict(data: dict[str, Any]) -> Request:
+    try:
+        op = data["op"]
+    except (TypeError, KeyError):
+        raise ValueError(f"request missing 'op': {data!r}") from None
+    rid = data.get("request_id")
+    if op == "submit":
+        return SubmitThread(
+            thread_id=data["thread_id"],
+            utility=utility_from_dict(data["utility"]),
+            request_id=rid,
+        )
+    if op == "remove":
+        return RemoveThread(thread_id=data["thread_id"], request_id=rid)
+    if op == "update_capacity":
+        return UpdateCapacity(capacity=float(data["capacity"]), request_id=rid)
+    if op == "rebalance":
+        return Rebalance(request_id=rid)
+    if op == "query":
+        return QueryAssignment(thread_id=data.get("thread_id"), request_id=rid)
+    if op == "snapshot":
+        return Snapshot(path=data.get("path"), request_id=rid)
+    raise ValueError(f"unknown request op {op!r}")
+
+
+def response_to_dict(resp: Response) -> dict[str, Any]:
+    d: dict[str, Any] = {"ok": resp.ok, "op": resp.op, "data": resp.data}
+    if resp.error is not None:
+        d["error"] = resp.error
+    if resp.request_id is not None:
+        d["request_id"] = resp.request_id
+    return d
+
+
+def response_from_dict(data: dict[str, Any]) -> Response:
+    if "ok" not in data or "op" not in data:
+        raise ValueError(f"response missing 'ok'/'op': {data!r}")
+    return Response(
+        ok=bool(data["ok"]),
+        op=data["op"],
+        data=dict(data.get("data", {})),
+        error=data.get("error"),
+        request_id=data.get("request_id"),
+    )

@@ -1,0 +1,102 @@
+"""Replan and admission policies of the allocation service.
+
+The daemon is cheap by default — arrivals and departures are handled by
+greedy incremental placement — and only pays for a full Algorithm-2
+re-solve when the :class:`ReplanPolicy` says the incremental state has
+degraded enough to be worth it.  The :class:`AdmissionPolicy` protects the
+daemon itself: it bounds the mutation queue and refuses threads whose
+projected marginal utility is below a floor (a thread that would earn
+almost nothing should not dilute the cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import ALPHA
+
+
+@dataclass(frozen=True)
+class ReplanPolicy:
+    """When does the service trigger a full re-solve?
+
+    Parameters
+    ----------
+    drift_threshold:
+        Re-solve when ``utility < drift_threshold × super-optimal bound``.
+        The default is the paper's guarantee α ≈ 0.828: as long as greedy
+        incremental state still certifies at α, a re-solve cannot be
+        *needed* (Algorithm 2 promises no more than α·F̂ in the worst
+        case); once it drifts below, one full solve provably restores it.
+    max_staleness:
+        Re-solve after this many coalesced incremental steps regardless of
+        drift (``None`` disables the staleness trigger).
+    migration_budget:
+        Maximum threads a policy-triggered re-solve may move; a plan that
+        moves more is declined wholesale (``None`` = unbounded).
+    """
+
+    drift_threshold: float = ALPHA
+    max_staleness: int | None = 16
+    migration_budget: int | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.drift_threshold <= 1.0:
+            raise ValueError(
+                f"drift_threshold must be in [0, 1], got {self.drift_threshold!r}"
+            )
+        if self.max_staleness is not None and self.max_staleness < 1:
+            raise ValueError("max_staleness must be >= 1 (or None)")
+        if self.migration_budget is not None and self.migration_budget < 0:
+            raise ValueError("migration_budget must be nonnegative (or None)")
+
+    def should_replan(
+        self, utility: float, bound: float, steps_since_replan: int
+    ) -> str | None:
+        """The trigger that fired (``"drift"`` / ``"staleness"``), or ``None``."""
+        if bound > 0 and utility < self.drift_threshold * bound * (1 - 1e-12):
+            return "drift"
+        if self.max_staleness is not None and steps_since_replan >= self.max_staleness:
+            return "staleness"
+        return None
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Which submissions does the service accept at all?
+
+    Parameters
+    ----------
+    min_marginal_utility:
+        Floor on the projected marginal utility of a new thread (the gain
+        of its best greedy placement, see
+        :meth:`~repro.extensions.online.OnlineScheduler.placement_gain`).
+        Submissions below the floor are rejected.
+    max_queue:
+        Bound on the pending-mutation queue; requests arriving when the
+        queue is full are rejected immediately (back-pressure).
+    """
+
+    min_marginal_utility: float = 0.0
+    max_queue: int = 1024
+
+    def __post_init__(self):
+        if self.min_marginal_utility < 0:
+            raise ValueError("min_marginal_utility must be nonnegative")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+    def refuse_enqueue(self, queue_length: int) -> str | None:
+        """Reason to refuse a new mutation at queue length ``queue_length``."""
+        if queue_length >= self.max_queue:
+            return f"queue full ({queue_length} >= max_queue={self.max_queue})"
+        return None
+
+    def refuse_submit(self, projected_gain: float) -> str | None:
+        """Reason to refuse a submission whose best placement gains this much."""
+        if projected_gain < self.min_marginal_utility:
+            return (
+                f"projected marginal utility {projected_gain:.6g} below floor "
+                f"{self.min_marginal_utility:.6g}"
+            )
+        return None

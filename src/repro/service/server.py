@@ -1,0 +1,435 @@
+"""The allocation daemon: batched mutations, admission control, replans.
+
+:class:`AllocationService` hosts one live AA instance behind the request
+API of :mod:`repro.service.api`.  The execution model is deliberately
+simple and deterministic:
+
+* mutating requests (submit / remove / capacity / rebalance) are queued,
+  and :meth:`step` **coalesces the whole queue into one incremental
+  step**: departures free resource, arrivals are placed greedily
+  (:meth:`~repro.extensions.online.OnlineScheduler.add_thread`), nothing
+  else moves;
+* after applying the batch the :class:`~repro.service.policy.ReplanPolicy`
+  is consulted once — a full Algorithm-2 re-solve runs only when the
+  incremental state has drifted below the certification threshold, gone
+  stale, or a client explicitly asked for it;
+* every step runs under an instrumented
+  :class:`~repro.engine.SolveContext` with a per-request wall-clock
+  budget; its counters merge into the service's lifetime counters and its
+  spans stream to the service's event sink.
+
+Reads (query / snapshot) are answered against the post-step state, so
+within one batch "all writes happen before any read".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.engine import LinearizationCache, SolveContext, SolveTimeout
+from repro.observability import (
+    SERVICE_ADMISSION_REJECTS,
+    SERVICE_ARRIVALS,
+    SERVICE_DEPARTURES,
+    SERVICE_MIGRATIONS,
+    SERVICE_REPLANS,
+    SERVICE_REQUESTS,
+    SERVICE_STEPS,
+    Counters,
+    EventSink,
+)
+from repro.service.api import (
+    MUTATING_OPS,
+    QueryAssignment,
+    Rebalance,
+    RemoveThread,
+    Request,
+    Response,
+    Snapshot,
+    SubmitThread,
+    UpdateCapacity,
+)
+from repro.service.policy import AdmissionPolicy, ReplanPolicy
+from repro.service.state import ClusterState
+from repro.utils.rng import SeedLike, as_generator
+
+
+class AllocationService:
+    """A stateful, batching allocation daemon.
+
+    Parameters
+    ----------
+    state:
+        The :class:`~repro.service.state.ClusterState` to own (e.g. fresh,
+        or restored from a snapshot).
+    replan_policy, admission_policy:
+        See :mod:`repro.service.policy`; defaults certify at α and bound
+        the queue at 1024.
+    solve_budget_s:
+        Per-step wall-clock budget.  The step's ``SolveContext`` carries
+        it as a deadline; a re-solve that overruns is abandoned and the
+        (still feasible) incremental state stands.
+    sink:
+        Optional :class:`~repro.observability.EventSink` receiving
+        ``request`` / ``step`` / ``replan`` events and solver spans.
+    seed:
+        Seeds the RNG handed to solver contexts.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        replan_policy: ReplanPolicy | None = None,
+        admission_policy: AdmissionPolicy | None = None,
+        solve_budget_s: float | None = None,
+        sink: EventSink | None = None,
+        seed: SeedLike = 0,
+    ):
+        self.state = state
+        self.replan_policy = replan_policy or ReplanPolicy()
+        self.admission_policy = admission_policy or AdmissionPolicy()
+        self.solve_budget_s = solve_budget_s
+        self.sink = sink
+        self.counters = Counters()
+        self.cache = LinearizationCache()
+        self._rng = as_generator(seed)
+        self._pending: list[tuple[Request, float]] = []
+        #: Certification data from the most recent step (may lag mutations
+        #: made in later batches; stamped with the version it was computed at).
+        self.last_bound: float | None = None
+        self.last_ratio: float | None = None
+        self.last_certified_version: int | None = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if self.sink is not None:
+            self.sink.emit(event)
+
+    def _make_ctx(self) -> SolveContext:
+        return SolveContext(
+            seed=self._rng,
+            budget_s=self.solve_budget_s,
+            sink=self.sink,
+            cache=self.cache,
+        )
+
+    # -- queueing ------------------------------------------------------------
+
+    def enqueue(self, request: Request) -> Response | None:
+        """Queue one mutating request for the next coalesced step.
+
+        Returns ``None`` when queued (its response comes out of
+        :meth:`step`) or an immediate rejection :class:`Response` when the
+        admission queue bound is hit.
+        """
+        if request.op not in MUTATING_OPS:
+            raise ValueError(f"cannot enqueue non-mutating op {request.op!r}")
+        self.counters.add(SERVICE_REQUESTS)
+        reason = self.admission_policy.refuse_enqueue(len(self._pending))
+        if reason is not None:
+            self.counters.add(SERVICE_ADMISSION_REJECTS)
+            self._emit(
+                {"type": "request", "op": request.op, "ok": False, "reason": reason}
+            )
+            return Response.failure(request.op, reason, request_id=request.request_id)
+        self._pending.append((request, time.monotonic()))
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pending)
+
+    # -- the coalesced step ----------------------------------------------------
+
+    def step(self) -> list[Response]:
+        """Apply every queued mutation as ONE incremental step.
+
+        Departures and capacity updates are applied first (they free
+        resource), then arrivals are admitted and greedily placed; at most
+        one full re-solve follows (forced by a queued ``Rebalance`` or
+        fired by the replan policy).  Returns one response per queued
+        request, in queue order.  An empty queue is a no-op (no step is
+        counted).
+        """
+        if not self._pending:
+            return []
+        batch, self._pending = self._pending, []
+        ctx = self._make_ctx()
+        t_start = time.monotonic()
+        responses: dict[int, Response] = {}
+        forced_rebalance: list[int] = []
+
+        with ctx.span("service.step"):
+            # Phase 1: departures and capacity changes (free resource first).
+            for k, (req, _) in enumerate(batch):
+                if isinstance(req, RemoveThread):
+                    try:
+                        self.state.apply_departure(req.thread_id)
+                    except KeyError:
+                        responses[k] = Response.failure(
+                            req.op,
+                            f"unknown thread {req.thread_id!r}",
+                            request_id=req.request_id,
+                        )
+                    else:
+                        ctx.count(SERVICE_DEPARTURES)
+                        responses[k] = Response.success(
+                            req.op, request_id=req.request_id, thread_id=req.thread_id
+                        )
+                elif isinstance(req, UpdateCapacity):
+                    try:
+                        self.state.apply_capacity(req.capacity)
+                    except ValueError as exc:
+                        responses[k] = Response.failure(
+                            req.op, str(exc), request_id=req.request_id
+                        )
+                    else:
+                        responses[k] = Response.success(
+                            req.op, request_id=req.request_id, capacity=req.capacity
+                        )
+            # Phase 2: arrivals, gated by the marginal-utility floor.
+            for k, (req, _) in enumerate(batch):
+                if not isinstance(req, SubmitThread):
+                    continue
+                responses[k] = self._admit(req, ctx)
+            # Phase 3: at most one full re-solve for the whole batch.
+            for k, (req, _) in enumerate(batch):
+                if isinstance(req, Rebalance):
+                    forced_rebalance.append(k)
+            self.state.mark_step()
+            ctx.count(SERVICE_STEPS)
+            replan_info = self._maybe_replan(ctx, forced=bool(forced_rebalance))
+            for k in forced_rebalance:
+                req = batch[k][0]
+                if replan_info.get("error"):
+                    responses[k] = Response.failure(
+                        req.op, replan_info["error"], request_id=req.request_id
+                    )
+                else:
+                    responses[k] = Response.success(
+                        req.op, request_id=req.request_id, **replan_info
+                    )
+
+        # Merge the step context into the service-lifetime counters and
+        # emit per-request latency events.
+        self.counters.merge(ctx.counters)
+        now = time.monotonic()
+        for k, (req, t_enq) in enumerate(batch):
+            resp = responses[k]
+            self._emit(
+                {
+                    "type": "request",
+                    "op": req.op,
+                    "ok": resp.ok,
+                    "latency_s": now - t_enq,
+                }
+            )
+        self._emit(
+            {
+                "type": "step",
+                "batch_size": len(batch),
+                "seconds": now - t_start,
+                "version": self.state.version,
+                "n_threads": self.state.n_threads,
+                "utility": self.state.total_utility(),
+                "bound": self.last_bound,
+                "ratio": self.last_ratio,
+                "counters": ctx.counters.snapshot(),
+            }
+        )
+        return [responses[k] for k in range(len(batch))]
+
+    def _admit(self, req: SubmitThread, ctx: SolveContext) -> Response:
+        """Admission-check one submission and greedily place it if accepted."""
+        if req.thread_id in self.state.scheduler.thread_ids:
+            return Response.failure(
+                req.op,
+                f"thread {req.thread_id!r} already scheduled",
+                request_id=req.request_id,
+            )
+        try:
+            server, gain = self.state.scheduler.placement_gain(req.utility)
+        except ValueError as exc:
+            return Response.failure(req.op, str(exc), request_id=req.request_id)
+        reason = self.admission_policy.refuse_submit(gain)
+        if reason is not None:
+            ctx.count(SERVICE_ADMISSION_REJECTS)
+            return Response.failure(
+                req.op, reason, request_id=req.request_id, projected_gain=gain
+            )
+        self.state.apply_arrival(req.thread_id, req.utility)
+        ctx.count(SERVICE_ARRIVALS)
+        return Response.success(
+            req.op,
+            request_id=req.request_id,
+            thread_id=req.thread_id,
+            server=server,
+            projected_gain=gain,
+        )
+
+    def _maybe_replan(self, ctx: SolveContext, forced: bool) -> dict[str, Any]:
+        """Certify the post-batch state and re-solve if warranted.
+
+        Returns a payload dict describing what happened (used to answer
+        explicit ``Rebalance`` requests).
+        """
+        if self.state.n_threads == 0:
+            self.last_bound, self.last_ratio = 0.0, 1.0
+            self.last_certified_version = self.state.version
+            return {"replanned": False, "reason": None, "migrations": 0}
+        try:
+            lin = ctx.linearization(self.state.scheduler.problem())
+        except SolveTimeout as exc:
+            # Can't even certify inside the budget; the incremental state
+            # is still feasible, so keep serving it uncertified.
+            self._emit({"type": "replan", "reason": "uncertified", "ok": False})
+            return {
+                "replanned": False,
+                "reason": None,
+                "migrations": 0,
+                "error": f"certification abandoned: {exc}",
+            }
+        bound = lin.super_optimal_utility
+        utility = self.state.total_utility()
+        reason = (
+            "requested"
+            if forced
+            else self.replan_policy.should_replan(
+                utility, bound, self.state.steps_since_replan
+            )
+        )
+        info: dict[str, Any] = {"replanned": False, "reason": reason, "migrations": 0}
+        if reason is not None:
+            budget = None if forced else self.replan_policy.migration_budget
+            try:
+                report = self.state.apply_rebalance(
+                    ctx=ctx, max_migrations=budget, reason=reason
+                )
+            except SolveTimeout as exc:
+                # The incremental state is still feasible; keep serving it.
+                info["error"] = f"replan abandoned: {exc}"
+                self._emit({"type": "replan", "reason": reason, "ok": False})
+            else:
+                ctx.count(SERVICE_REPLANS)
+                ctx.count(SERVICE_MIGRATIONS, report.migrations)
+                utility = self.state.total_utility()
+                info.update(
+                    replanned=True,
+                    migrations=report.migrations,
+                    utility_before=report.utility_before,
+                    utility_after=report.utility_after,
+                )
+                self._emit(
+                    {
+                        "type": "replan",
+                        "reason": reason,
+                        "ok": True,
+                        "migrations": report.migrations,
+                        "utility_before": report.utility_before,
+                        "utility_after": report.utility_after,
+                        "bound": bound,
+                    }
+                )
+        self.last_bound = bound
+        self.last_ratio = utility / bound if bound > 0 else 1.0
+        self.last_certified_version = self.state.version
+        info.update(utility=utility, bound=bound, ratio=self.last_ratio)
+        return info
+
+    # -- reads ---------------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Cluster overview: sizes, utility, last certification, counters."""
+        assignment = self.state.assignment() if self.state.n_threads else None
+        loads = (
+            assignment.server_loads(self.state.n_servers).tolist()
+            if assignment is not None
+            else [0.0] * self.state.n_servers
+        )
+        return {
+            "version": self.state.version,
+            "n_servers": self.state.n_servers,
+            "capacity": self.state.capacity,
+            "n_threads": self.state.n_threads,
+            "total_utility": self.state.total_utility(),
+            "server_loads": loads,
+            "queue_length": self.queue_length,
+            "steps_since_replan": self.state.steps_since_replan,
+            "last_bound": self.last_bound,
+            "last_ratio": self.last_ratio,
+            "last_certified_version": self.last_certified_version,
+            "counters": self.counters.snapshot(),
+        }
+
+    def _handle_read(self, req: Request) -> Response:
+        self.counters.add(SERVICE_REQUESTS)
+        if isinstance(req, QueryAssignment):
+            if req.thread_id is None:
+                return Response.success(req.op, request_id=req.request_id, **self.status())
+            try:
+                server, allocation = self.state.scheduler.placement_of(req.thread_id)
+            except KeyError:
+                return Response.failure(
+                    req.op,
+                    f"unknown thread {req.thread_id!r}",
+                    request_id=req.request_id,
+                )
+            return Response.success(
+                req.op,
+                request_id=req.request_id,
+                thread_id=req.thread_id,
+                server=server,
+                allocation=allocation,
+                version=self.state.version,
+            )
+        if isinstance(req, Snapshot):
+            if req.path is not None:
+                from repro.service.snapshot import save_snapshot
+
+                save_snapshot(self.state, req.path)
+                return Response.success(
+                    req.op,
+                    request_id=req.request_id,
+                    path=req.path,
+                    version=self.state.version,
+                )
+            return Response.success(
+                req.op,
+                request_id=req.request_id,
+                state=self.state.to_dict(),
+                version=self.state.version,
+            )
+        raise ValueError(f"not a read request: {req.op!r}")
+
+    # -- batch entry point -----------------------------------------------------
+
+    def process(self, requests: list[Request]) -> list[Response]:
+        """Serve one batch: coalesce all mutations, then answer all reads.
+
+        This is the transport entry point.  Responses come back in request
+        order; every mutation in the batch is applied (as one incremental
+        step) before any read in the same batch is answered.
+        """
+        slots: list[Response | None] = [None] * len(requests)
+        queued: list[int] = []
+        for k, req in enumerate(requests):
+            if req.op in MUTATING_OPS:
+                rejection = self.enqueue(req)
+                if rejection is not None:
+                    slots[k] = rejection
+                else:
+                    queued.append(k)
+        step_responses = self.step()
+        # step() drains the whole queue; our requests are the tail of it.
+        for k, resp in zip(queued, step_responses[-len(queued):] if queued else []):
+            slots[k] = resp
+        for k, req in enumerate(requests):
+            if slots[k] is None:
+                slots[k] = self._handle_read(req)
+        return slots  # type: ignore[return-value]
+
+    def handle(self, request: Request) -> Response:
+        """Serve one request on its own (a batch of one)."""
+        return self.process([request])[0]

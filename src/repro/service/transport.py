@@ -1,0 +1,263 @@
+"""Transports: how requests reach the allocation daemon.
+
+Two implementations of the same protocol:
+
+* :class:`InProcessTransport` — direct coupling to an
+  :class:`~repro.service.server.AllocationService`, used by tests,
+  embeddings and the CI smoke job.  A ``request(...)`` call with N
+  messages is exactly one coalesced batch.
+* :class:`TcpServer` / :class:`Client` — JSON lines over TCP.  Each line
+  is one request dict; the server reads the first line **then drains every
+  further line already in flight within a short coalescing window**, so
+  bursts of arrivals from one or many pipelined clients collapse into a
+  single incremental step.  Responses come back one line per request, in
+  request order.
+
+The wire format is owned by :mod:`repro.service.api`; this module only
+moves bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+from repro.service.api import (
+    QueryAssignment,
+    Rebalance,
+    RemoveThread,
+    Request,
+    Response,
+    Snapshot,
+    SubmitThread,
+    UpdateCapacity,
+    request_from_dict,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+)
+from repro.service.server import AllocationService
+from repro.utility.base import UtilityFunction
+
+_RECV_CHUNK = 65536
+_POLL_S = 0.1
+
+
+class InProcessTransport:
+    """Zero-copy transport: requests go straight to ``service.process``."""
+
+    def __init__(self, service: AllocationService):
+        self.service = service
+
+    def request(self, *requests: Request) -> list[Response]:
+        """Serve ``requests`` as one coalesced batch; responses in order."""
+        return self.service.process(list(requests))
+
+
+def _encode_lines(dicts) -> bytes:
+    return b"".join(
+        json.dumps(d, sort_keys=True).encode("utf-8") + b"\n" for d in dicts
+    )
+
+
+class TcpServer:
+    """JSON-lines-over-TCP listener in front of an :class:`AllocationService`.
+
+    Parameters
+    ----------
+    service:
+        The daemon to serve.  Concurrent connections are accepted (one
+        thread each) but batches serialize through one lock — the service
+        itself stays single-writer.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port`).
+    coalesce_window_s:
+        After the first request line of a batch, keep draining complete
+        lines for this long before processing — the knob that turns
+        request bursts into single incremental steps.
+    """
+
+    def __init__(
+        self,
+        service: AllocationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        coalesce_window_s: float = 0.02,
+    ):
+        self.service = service
+        self.coalesce_window_s = float(coalesce_window_s)
+        self._sock = socket.create_server((host, port))
+        self._sock.settimeout(_POLL_S)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._shutdown = threading.Event()
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "TcpServer":
+        """Serve in a daemon thread; returns self (so ``server = ...start()``)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="aart-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Signal shutdown and wait for the accept loop to exit."""
+        self._shutdown.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TcpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Accept loop (blocking); call :meth:`stop` from another thread."""
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _addr = self._sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                ).start()
+        finally:
+            self._sock.close()
+
+    # -- per-connection protocol ----------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            buf = b""
+            eof = False
+            while not self._shutdown.is_set():
+                line, buf = _pop_line(buf)
+                if line is None:
+                    if eof:
+                        return
+                    buf, eof, _got = _fill(conn, buf, _POLL_S)
+                    continue
+                batch = [line]
+                deadline = time.monotonic() + self.coalesce_window_s
+                while True:
+                    line, buf = _pop_line(buf)
+                    if line is not None:
+                        batch.append(line)
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if eof or remaining <= 0:
+                        break
+                    buf, eof, got = _fill(conn, buf, remaining)
+                    if not got and not eof:
+                        break  # window expired quietly
+                try:
+                    conn.sendall(_encode_lines(self._process_batch(batch)))
+                except OSError:
+                    return
+
+    def _process_batch(self, lines: list[bytes]) -> list[dict]:
+        """Decode each line, serve the decodable ones as ONE batch."""
+        parsed: list[Request | Response] = []
+        for raw in lines:
+            try:
+                parsed.append(request_from_dict(json.loads(raw.decode("utf-8"))))
+            except (ValueError, KeyError, TypeError) as exc:
+                parsed.append(Response.failure("?", f"bad request line: {exc}"))
+        requests = [p for p in parsed if not isinstance(p, Response)]
+        with self._lock:
+            served = iter(self.service.process(requests))
+        out: list[Response] = [
+            p if isinstance(p, Response) else next(served) for p in parsed
+        ]
+        return [response_to_dict(r) for r in out]
+
+
+def _pop_line(buf: bytes) -> tuple[bytes | None, bytes]:
+    """Split one complete line off ``buf`` (skipping blank keep-alives)."""
+    while True:
+        idx = buf.find(b"\n")
+        if idx < 0:
+            return None, buf
+        line, buf = buf[:idx], buf[idx + 1:]
+        if line.strip():
+            return line, buf
+
+
+def _fill(conn: socket.socket, buf: bytes, timeout: float) -> tuple[bytes, bool, bool]:
+    """recv() once with ``timeout``; returns ``(buf, eof, got_data)``."""
+    conn.settimeout(timeout)
+    try:
+        chunk = conn.recv(_RECV_CHUNK)
+    except socket.timeout:
+        return buf, False, False
+    except OSError:
+        return buf, True, False
+    if not chunk:
+        return buf, True, False
+    return buf + chunk, False, True
+
+
+class Client:
+    """Small synchronous client speaking the JSON-lines protocol.
+
+    Send several requests in one :meth:`request` call and they land in
+    the same TCP segment, which the server coalesces into one step.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, *requests: Request) -> list[Response]:
+        """Send ``requests`` as one burst; block for the matching responses."""
+        if not requests:
+            return []
+        self._sock.sendall(_encode_lines(request_to_dict(r) for r in requests))
+        out: list[Response] = []
+        for _ in requests:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-response")
+            out.append(response_from_dict(json.loads(line.decode("utf-8"))))
+        return out
+
+    # -- convenience wrappers -------------------------------------------------
+
+    def submit(self, thread_id: str, utility: UtilityFunction) -> Response:
+        return self.request(SubmitThread(thread_id, utility))[0]
+
+    def remove(self, thread_id: str) -> Response:
+        return self.request(RemoveThread(thread_id))[0]
+
+    def update_capacity(self, capacity: float) -> Response:
+        return self.request(UpdateCapacity(capacity))[0]
+
+    def rebalance(self) -> Response:
+        return self.request(Rebalance())[0]
+
+    def status(self) -> dict:
+        return self.request(QueryAssignment())[0].data
+
+    def snapshot(self, path: str | None = None) -> Response:
+        return self.request(Snapshot(path=path))[0]

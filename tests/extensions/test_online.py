@@ -132,6 +132,144 @@ def test_churn_sequence_keeps_feasibility():
             assert np.all(loads <= CAP + 1e-6)
 
 
+# -- migration accounting (fixed seed suite) ---------------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42, 2024])
+def test_rebalance_migrations_match_hand_count(seed):
+    """``RebalanceReport.migrations`` equals the hand-counted server changes."""
+    rng = np.random.default_rng(seed)
+    s = OnlineScheduler(4, CAP)
+    for k in range(14):
+        s.add_thread(f"t{k}", _util(float(rng.uniform(0.3, 4.0))))
+    for k in range(0, 14, 3):
+        s.remove_thread(f"t{k}")
+    ids = s.thread_ids
+    before = {t: s.placement_of(t)[0] for t in ids}
+    rep = s.rebalance()
+    after = {t: s.placement_of(t)[0] for t in ids}
+    hand_count = sum(1 for t in ids if before[t] != after[t])
+    assert rep.migrations == hand_count
+    assert s.total_migrations == hand_count
+
+
+@pytest.mark.parametrize("seed", [0, 1, 5, 9, 123])
+def test_rebalance_utility_never_decreases(seed):
+    rng = np.random.default_rng(seed)
+    s = OnlineScheduler(3, CAP, migration_cost=0.02)
+    for k in range(10):
+        s.add_thread(f"t{k}", _util(float(rng.uniform(0.5, 3.0))))
+    rep = s.rebalance()
+    assert rep.utility_after >= rep.utility_before - 1e-9
+    assert s.total_utility() == pytest.approx(max(rep.utility_after, rep.utility_before))
+
+
+def test_declined_rebalance_reports_zero_migrations():
+    s = OnlineScheduler(2, CAP, migration_cost=1e9)
+    for k in range(6):
+        s.add_thread(f"t{k}", _util(1.0 + k))
+    before = {t: s.placement_of(t)[0] for t in s.thread_ids}
+    rep = s.rebalance()
+    assert rep.migrations == 0
+    assert s.total_migrations == 0
+    assert {t: s.placement_of(t)[0] for t in s.thread_ids} == before
+
+
+def test_max_migrations_budget_declines_wholesale():
+    s = OnlineScheduler(2, CAP)
+    for k in range(4):
+        s.add_thread(f"t{k}", _util())
+    # Strand both survivors on one server, then ask for a budget-0 replan.
+    victims = [t for t in s.thread_ids if s.placement_of(t)[0] == 1]
+    for t in victims:
+        s.remove_thread(t)
+    before = {t: s.placement_of(t)[0] for t in s.thread_ids}
+    rep = s.rebalance(max_migrations=0)
+    assert rep.migrations == 0
+    assert {t: s.placement_of(t)[0] for t in s.thread_ids} == before
+    # With the budget lifted the same replan applies and improves utility.
+    rep = s.rebalance(max_migrations=1)
+    assert rep.migrations == 1
+    assert rep.utility_after > rep.utility_before
+
+
+# -- service primitives -------------------------------------------------------
+
+
+def test_placement_gain_matches_add_thread_choice():
+    rng = np.random.default_rng(6)
+    s = OnlineScheduler(3, CAP)
+    for k in range(7):
+        f = _util(float(rng.uniform(0.5, 3.0)))
+        server_predicted, gain = s.placement_gain(f)
+        assert gain >= -1e-9
+        server_actual = s.add_thread(f"t{k}", f)
+        assert server_actual == server_predicted
+
+
+def test_placement_gain_does_not_mutate():
+    s = OnlineScheduler(2, CAP)
+    s.add_thread("a", _util())
+    before = s.assignment()
+    s.placement_gain(_util(2.0))
+    after = s.assignment()
+    assert np.array_equal(before.servers, after.servers)
+    assert np.array_equal(before.allocations, after.allocations)
+    assert s.thread_ids == ["a"]
+
+
+def test_placement_gain_rejects_oversized_cap():
+    s = OnlineScheduler(2, CAP)
+    with pytest.raises(ValueError):
+        s.placement_gain(LogUtility(1.0, 1.0, CAP * 2))
+
+
+def test_restore_thread_exact_position():
+    s = OnlineScheduler(3, CAP)
+    s.restore_thread("a", _util(), server=2, allocation=3.25)
+    assert s.placement_of("a") == (2, 3.25)
+    a = s.assignment()
+    assert a.servers.tolist() == [2]
+    assert a.allocations.tolist() == [3.25]
+
+
+def test_restore_thread_validation():
+    s = OnlineScheduler(2, CAP)
+    s.restore_thread("a", _util(), server=0, allocation=1.0)
+    with pytest.raises(ValueError):
+        s.restore_thread("a", _util(), server=0, allocation=1.0)  # duplicate
+    with pytest.raises(ValueError):
+        s.restore_thread("b", _util(), server=5, allocation=1.0)  # bad server
+    with pytest.raises(ValueError):
+        s.restore_thread("c", _util(), server=0, allocation=CAP * 2)  # too much
+
+
+def test_update_capacity_refills():
+    s = OnlineScheduler(1, CAP)
+    s.add_thread("a", _util())
+    s.add_thread("b", _util())
+    assert sorted(s.assignment().allocations.tolist()) == pytest.approx([5.0, 5.0])
+    # Doubling C re-fills both residents up to their domain caps.
+    s.update_capacity(2 * CAP)
+    assert s.capacity == 2 * CAP
+    assert sorted(s.assignment().allocations.tolist()) == pytest.approx([CAP, CAP])
+
+
+def test_update_capacity_rejects_below_resident_cap():
+    s = OnlineScheduler(1, CAP)
+    s.add_thread("a", LogUtility(1.0, 1.0, CAP))  # cap = CAP
+    with pytest.raises(ValueError):
+        s.update_capacity(CAP / 2)
+    with pytest.raises(ValueError):
+        s.update_capacity(0.0)
+
+
+def test_placement_of_unknown_raises():
+    s = OnlineScheduler(1, CAP)
+    with pytest.raises(KeyError):
+        s.placement_of("ghost")
+
+
 # -- AdaptiveScheduler -------------------------------------------------------
 
 

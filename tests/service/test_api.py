@@ -1,0 +1,98 @@
+"""Request/response dataclasses and their JSON codecs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.api import (
+    MUTATING_OPS,
+    QueryAssignment,
+    Rebalance,
+    RemoveThread,
+    Response,
+    Snapshot,
+    SubmitThread,
+    UpdateCapacity,
+    request_from_dict,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+)
+from repro.utility.functions import LogUtility, PiecewiseLinearUtility
+
+CAP = 10.0
+
+
+def _roundtrip(req):
+    return request_from_dict(json.loads(json.dumps(request_to_dict(req))))
+
+
+def test_submit_roundtrip_carries_utility():
+    req = SubmitThread("t1", LogUtility(2.0, 1.5, CAP), request_id="r-1")
+    back = _roundtrip(req)
+    assert isinstance(back, SubmitThread)
+    assert back.thread_id == "t1"
+    assert back.request_id == "r-1"
+    xs = np.linspace(0, CAP, 7)
+    assert np.allclose(back.utility.value(xs), req.utility.value(xs))
+
+
+def test_submit_roundtrip_piecewise():
+    f = PiecewiseLinearUtility([0.0, 2.0, 5.0], [0.0, 3.0, 4.0], cap=CAP)
+    back = _roundtrip(SubmitThread("pw", f))
+    assert np.allclose(back.utility.xs, f.xs)
+    assert np.allclose(back.utility.ys, f.ys)
+
+
+@pytest.mark.parametrize(
+    "req",
+    [
+        RemoveThread("t2", request_id="x"),
+        UpdateCapacity(42.5),
+        Rebalance(request_id="rb"),
+        QueryAssignment(),
+        QueryAssignment(thread_id="t3"),
+        Snapshot(),
+        Snapshot(path="/tmp/s.json"),
+    ],
+)
+def test_request_roundtrip(req):
+    assert _roundtrip(req) == req
+
+
+def test_mutating_ops_partition():
+    assert SubmitThread.op in MUTATING_OPS
+    assert RemoveThread.op in MUTATING_OPS
+    assert UpdateCapacity.op in MUTATING_OPS
+    assert Rebalance.op in MUTATING_OPS
+    assert QueryAssignment.op not in MUTATING_OPS
+    assert Snapshot.op not in MUTATING_OPS
+
+
+def test_request_missing_op_rejected():
+    with pytest.raises(ValueError, match="missing 'op'"):
+        request_from_dict({"thread_id": "t"})
+
+
+def test_request_unknown_op_rejected():
+    with pytest.raises(ValueError, match="unknown request op"):
+        request_from_dict({"op": "explode"})
+
+
+def test_response_roundtrip():
+    resp = Response.success("submit", request_id="r", server=3, projected_gain=1.5)
+    back = response_from_dict(json.loads(json.dumps(response_to_dict(resp))))
+    assert back == resp
+
+
+def test_response_failure_roundtrip():
+    resp = Response.failure("remove", "unknown thread 'x'", request_id="q")
+    back = response_from_dict(response_to_dict(resp))
+    assert not back.ok
+    assert back.error == "unknown thread 'x'"
+
+
+def test_response_missing_fields_rejected():
+    with pytest.raises(ValueError, match="missing"):
+        response_from_dict({"data": {}})

@@ -1,0 +1,76 @@
+"""Replan triggers and admission refusals."""
+
+import pytest
+
+from repro.core.problem import ALPHA
+from repro.service.policy import AdmissionPolicy, ReplanPolicy
+
+
+def test_default_drift_threshold_is_alpha():
+    assert ReplanPolicy().drift_threshold == pytest.approx(ALPHA)
+
+
+def test_drift_fires_below_threshold():
+    pol = ReplanPolicy(drift_threshold=0.9, max_staleness=None)
+    assert pol.should_replan(utility=0.8, bound=1.0, steps_since_replan=0) == "drift"
+    assert pol.should_replan(utility=0.95, bound=1.0, steps_since_replan=0) is None
+
+
+def test_drift_exact_threshold_does_not_fire():
+    pol = ReplanPolicy(drift_threshold=0.9, max_staleness=None)
+    assert pol.should_replan(utility=0.9, bound=1.0, steps_since_replan=10**6) is None
+
+
+def test_staleness_fires_after_max_steps():
+    pol = ReplanPolicy(drift_threshold=0.0, max_staleness=3)
+    assert pol.should_replan(utility=1.0, bound=1.0, steps_since_replan=2) is None
+    assert pol.should_replan(utility=1.0, bound=1.0, steps_since_replan=3) == "staleness"
+
+
+def test_drift_takes_precedence_over_staleness():
+    pol = ReplanPolicy(drift_threshold=0.9, max_staleness=1)
+    assert pol.should_replan(utility=0.1, bound=1.0, steps_since_replan=5) == "drift"
+
+
+def test_empty_cluster_never_drifts():
+    pol = ReplanPolicy(drift_threshold=1.0, max_staleness=None)
+    assert pol.should_replan(utility=0.0, bound=0.0, steps_since_replan=0) is None
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"drift_threshold": -0.1},
+        {"drift_threshold": 1.5},
+        {"max_staleness": 0},
+        {"migration_budget": -1},
+    ],
+)
+def test_replan_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        ReplanPolicy(**kwargs)
+
+
+def test_admission_queue_bound():
+    pol = AdmissionPolicy(max_queue=2)
+    assert pol.refuse_enqueue(0) is None
+    assert pol.refuse_enqueue(1) is None
+    assert "queue full" in pol.refuse_enqueue(2)
+
+
+def test_admission_marginal_floor():
+    pol = AdmissionPolicy(min_marginal_utility=0.5)
+    assert pol.refuse_submit(0.6) is None
+    assert "below floor" in pol.refuse_submit(0.4)
+
+
+def test_admission_zero_floor_accepts_anything():
+    assert AdmissionPolicy().refuse_submit(0.0) is None
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"min_marginal_utility": -1.0}, {"max_queue": 0}]
+)
+def test_admission_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        AdmissionPolicy(**kwargs)

@@ -1,0 +1,84 @@
+"""Snapshot files: atomic write, format marker, warm-restart equality."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    AllocationService,
+    ClusterState,
+    InProcessTransport,
+    Rebalance,
+    SubmitThread,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.utility.functions import LogUtility, SaturatingUtility
+
+CAP = 10.0
+
+
+def _populated_state():
+    state = ClusterState(3, CAP, migration_cost=0.1)
+    state.apply_arrival("log", LogUtility(2.0, 1.0, CAP))
+    state.apply_arrival("sat", SaturatingUtility(3.0, 2.0, CAP))
+    state.apply_departure("log")
+    state.apply_arrival("log2", LogUtility(1.0, 0.5, CAP))
+    state.apply_rebalance(reason="requested")
+    return state
+
+
+def test_file_roundtrip_bit_identical(tmp_path):
+    state = _populated_state()
+    path = tmp_path / "snap.json"
+    save_snapshot(state, path)
+    assert load_snapshot(path).to_dict() == state.to_dict()
+
+
+def test_snapshot_file_is_valid_json_with_format(tmp_path):
+    path = tmp_path / "snap.json"
+    save_snapshot(_populated_state(), path)
+    data = json.loads(path.read_text())
+    assert data["format"] == "aart-snapshot/1"
+    assert data["state"]["format"] == "aart-cluster-state/1"
+
+
+def test_wrong_format_rejected():
+    with pytest.raises(ValueError, match="aart-snapshot"):
+        snapshot_from_dict({"format": "aart-problem/1"})
+
+
+def test_no_tmp_file_left_behind(tmp_path):
+    path = tmp_path / "snap.json"
+    save_snapshot(_populated_state(), path)
+    assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+
+def test_overwrite_is_atomic_replacement(tmp_path):
+    path = tmp_path / "snap.json"
+    state = _populated_state()
+    save_snapshot(state, path)
+    state.apply_arrival("extra", LogUtility(1.0, 1.0, CAP))
+    save_snapshot(state, path)
+    assert load_snapshot(path).n_threads == state.n_threads
+
+
+def test_daemon_restart_resumes_with_log_and_version(tmp_path):
+    svc = AllocationService(ClusterState(2, CAP))
+    bus = InProcessTransport(svc)
+    bus.request(*[SubmitThread(f"t{k}", LogUtility(1 + k, 1.0, CAP)) for k in range(4)])
+    bus.request(Rebalance())
+    path = tmp_path / "snap.json"
+    save_snapshot(svc.state, path)
+
+    svc2 = AllocationService(load_snapshot(path))
+    assert svc2.state.to_dict() == svc.state.to_dict()
+    # The restored daemon keeps the full flight recorder and version line.
+    events = [e["event"] for e in svc2.state.log]
+    assert events.count("arrival") == 4
+    assert events[-1] == "replan"
+    resp = InProcessTransport(svc2).request(SubmitThread("after", LogUtility(1, 1, CAP)))
+    assert resp[0].ok
+    assert svc2.state.version == svc.state.version + 1

@@ -1,0 +1,82 @@
+"""Versioned cluster state: event log, mutations, dict round-trip."""
+
+import json
+
+import pytest
+
+from repro.service.state import ClusterState
+from repro.utility.functions import LogUtility
+
+CAP = 10.0
+
+
+def _util(c=1.0):
+    return LogUtility(c, 1.0, CAP)
+
+
+def test_fresh_state_is_version_zero():
+    state = ClusterState(2, CAP)
+    assert state.version == 0
+    assert state.log == []
+    assert state.n_threads == 0
+    assert state.total_utility() == 0.0
+
+
+def test_every_mutation_bumps_version_and_logs():
+    state = ClusterState(2, CAP)
+    state.apply_arrival("a", _util())
+    state.apply_arrival("b", _util())
+    state.apply_departure("a")
+    state.apply_capacity(12.0)
+    assert state.version == 4
+    assert [e["event"] for e in state.log] == [
+        "arrival", "arrival", "departure", "capacity",
+    ]
+    assert all(e["version"] == k + 1 for k, e in enumerate(state.log))
+
+
+def test_rebalance_logs_replan_and_resets_staleness():
+    state = ClusterState(2, CAP)
+    for k in range(4):
+        state.apply_arrival(f"t{k}", _util(1.0 + k))
+    state.mark_step()
+    state.mark_step()
+    assert state.steps_since_replan == 2
+    report = state.apply_rebalance(reason="staleness")
+    assert state.steps_since_replan == 0
+    entry = state.log[-1]
+    assert entry["event"] == "replan"
+    assert entry["reason"] == "staleness"
+    assert entry["migrations"] == report.migrations
+
+
+def test_to_dict_roundtrip_bit_identical():
+    state = ClusterState(3, CAP, migration_cost=0.25)
+    for k in range(5):
+        state.apply_arrival(f"t{k}", _util(0.5 + k))
+    state.apply_departure("t2")
+    state.apply_rebalance(reason="requested")
+    state.mark_step()
+    d = state.to_dict()
+    restored = ClusterState.from_dict(json.loads(json.dumps(d)))
+    assert restored.to_dict() == d
+    assert restored.version == state.version
+    assert restored.steps_since_replan == state.steps_since_replan
+    assert restored.thread_ids == state.thread_ids
+    assert restored.total_utility() == state.total_utility()
+
+
+def test_from_dict_rejects_wrong_format():
+    with pytest.raises(ValueError, match="aart-cluster-state"):
+        ClusterState.from_dict({"format": "nope"})
+
+
+def test_restored_state_keeps_exact_placements():
+    state = ClusterState(2, CAP)
+    for k in range(4):
+        state.apply_arrival(f"t{k}", _util(1.0 + k))
+    a = state.assignment()
+    restored = ClusterState.from_dict(state.to_dict())
+    b = restored.assignment()
+    assert (a.servers == b.servers).all()
+    assert (a.allocations == b.allocations).all()

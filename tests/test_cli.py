@@ -49,6 +49,38 @@ def test_solve_saves_and_evaluate_scores(tmp_path, capsys):
     assert "evaluated assignment" in capsys.readouterr().out
 
 
+def test_evaluate_infeasible_assignment_exits_nonzero(tmp_path, capsys):
+    """Overloading a server must be reported clearly, not scored."""
+    p = tmp_path / "p.json"
+    a = tmp_path / "a.json"
+    main(["generate", "--servers", "2", "--beta", "2", "--capacity", "100",
+          "--seed", "7", "-o", str(p)])
+    n_threads = len(json.loads(p.read_text())["utilities"])
+    # Every thread on server 0 with a full-capacity grant: loads sum to
+    # n_threads × C on one server — infeasible for any n_threads > 1.
+    a.write_text(json.dumps({
+        "format": "aart-assignment/1",
+        "servers": [0] * n_threads,
+        "allocations": [100.0] * n_threads,
+    }))
+    rc = main(["evaluate", str(p), str(a)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "infeasible" in err
+    assert "exceeds capacity" in err
+
+
+def test_evaluate_wrong_thread_count_exits_nonzero(tmp_path, capsys):
+    p = tmp_path / "p.json"
+    a = tmp_path / "a.json"
+    main(["generate", "--servers", "2", "--beta", "2", "-o", str(p)])
+    a.write_text(json.dumps({
+        "format": "aart-assignment/1", "servers": [0], "allocations": [1.0],
+    }))
+    assert main(["evaluate", str(p), str(a)]) == 2
+    assert "infeasible" in capsys.readouterr().err
+
+
 def test_solve_refine_flag(tmp_path, capsys):
     p = tmp_path / "p.json"
     main(["generate", "--servers", "2", "--beta", "2", "--seed", "4", "-o", str(p)])
@@ -92,6 +124,53 @@ def test_profile_diagnostics(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "gini" in out
     assert "saturation" in out
+
+
+def test_client_session_against_live_server(capsys):
+    """`aart client` subcommands against a TcpServer-hosted daemon."""
+    from repro.service import AllocationService, ClusterState, TcpServer
+
+    svc = AllocationService(ClusterState(2, 10.0))
+    with TcpServer(svc, port=0) as srv:
+        port = str(srv.port)
+        rc = main(["client", "--port", port, "submit", "--id", "t1", "--utility",
+                   '{"type": "log", "coeff": 1, "scale": 1, "cap": 10}'])
+        assert rc == 0
+        assert "submit: ok" in capsys.readouterr().out
+        rc = main(["client", "--port", port, "status"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 threads on 2 servers" in out
+        assert "total utility" in out
+        rc = main(["client", "--port", port, "rebalance"])
+        assert rc == 0
+        rc = main(["client", "--port", port, "remove", "--id", "ghost"])
+        assert rc == 1
+        assert "REFUSED" in capsys.readouterr().err
+        rc = main(["client", "--port", port, "remove", "--id", "t1"])
+        assert rc == 0
+
+
+def test_client_submit_utility_file(tmp_path, capsys):
+    from repro.service import AllocationService, ClusterState, TcpServer
+
+    spec = tmp_path / "u.json"
+    spec.write_text('{"type": "saturating", "vmax": 2, "k": 1, "cap": 10}')
+    svc = AllocationService(ClusterState(1, 10.0))
+    with TcpServer(svc, port=0) as srv:
+        rc = main(["client", "--port", str(srv.port), "submit", "--id", "s",
+                   "--utility-file", str(spec)])
+    assert rc == 0
+    assert svc.state.thread_ids == ["s"]
+
+
+def test_serve_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "--port", "0"])
+    assert args.servers == 4
+    assert args.staleness == 16
+    assert 0.82 < args.drift < 0.83
 
 
 def test_unknown_figure_rejected():

@@ -1,11 +1,15 @@
-"""JSON round-trips for problems, utilities and assignments."""
+"""JSON round-trips for problems, utilities, assignments and scheduler state."""
 
 import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from tests.conftest import CAP, utility_lists
 from repro.core.problem import AAProblem, Assignment
+from repro.extensions.online import OnlineScheduler
 from repro.serialization import (
     assignment_from_dict,
     assignment_to_dict,
@@ -15,6 +19,10 @@ from repro.serialization import (
     problem_to_dict,
     save_assignment,
     save_problem,
+    scheduler_state_from_dict,
+    scheduler_state_to_dict,
+    utility_from_dict,
+    utility_to_dict,
 )
 from repro.utility.batch import QuadSplineBatch
 
@@ -86,6 +94,77 @@ def test_assignment_roundtrip(tmp_path):
 def test_assignment_rejects_wrong_format():
     with pytest.raises(ValueError, match="aart-assignment"):
         assignment_from_dict({"format": "nope", "servers": [], "allocations": []})
+
+
+# -- scalar utility codec -----------------------------------------------------
+
+
+def test_utility_codec_roundtrip(mixed_utilities):
+    xs = np.linspace(0, 10, 21)
+    for f in mixed_utilities:
+        back = utility_from_dict(json.loads(json.dumps(utility_to_dict(f))))
+        assert np.allclose(back.value(xs), f.value(xs))
+
+
+# -- online scheduler live state ----------------------------------------------
+
+
+def _churned_scheduler(utilities, n_servers=3, migration_cost=0.05):
+    s = OnlineScheduler(n_servers, CAP, migration_cost=migration_cost)
+    for k, f in enumerate(utilities):
+        s.add_thread(f"t{k}", f)
+    for k in range(0, len(utilities), 3):
+        s.remove_thread(f"t{k}")
+    s.rebalance()
+    return s
+
+
+def test_scheduler_state_roundtrip_bit_identical():
+    from repro.utility.functions import LogUtility, SaturatingUtility
+
+    s = _churned_scheduler(
+        [LogUtility(1.0 + k, 1.0, CAP) for k in range(4)]
+        + [SaturatingUtility(2.0, 1.0 + k, CAP) for k in range(3)]
+    )
+    d = scheduler_state_to_dict(s)
+    restored = scheduler_state_from_dict(json.loads(json.dumps(d)))
+    assert scheduler_state_to_dict(restored) == d
+    assert restored.thread_ids == s.thread_ids
+    assert restored.total_migrations == s.total_migrations
+    a, b = s.assignment(), restored.assignment()
+    assert np.array_equal(a.servers, b.servers)
+    assert np.array_equal(a.allocations, b.allocations)
+    assert restored.total_utility() == s.total_utility()
+
+
+def test_scheduler_state_rejects_wrong_format():
+    with pytest.raises(ValueError, match="aart-scheduler"):
+        scheduler_state_from_dict({"format": "aart-problem/1"})
+
+
+def test_scheduler_state_empty_roundtrip():
+    s = OnlineScheduler(2, CAP)
+    restored = scheduler_state_from_dict(scheduler_state_to_dict(s))
+    assert restored.thread_ids == []
+    assert restored.n_servers == 2
+    assert restored.capacity == CAP
+
+
+@settings(max_examples=25, deadline=None)
+@given(utility_lists(min_size=1, max_size=6), st.integers(min_value=1, max_value=3))
+def test_scheduler_state_roundtrip_hypothesis(utilities, n_servers):
+    """Any churned scheduler's state survives a JSON round trip bit-identically."""
+    s = OnlineScheduler(n_servers, CAP)
+    for k, f in enumerate(utilities):
+        s.add_thread(f"t{k}", f)
+    if len(utilities) > 1:
+        s.remove_thread("t0")
+    d = scheduler_state_to_dict(s)
+    restored = scheduler_state_from_dict(json.loads(json.dumps(d)))
+    assert scheduler_state_to_dict(restored) == d
+    a, b = s.assignment(), restored.assignment()
+    assert np.array_equal(a.servers, b.servers)
+    assert np.array_equal(a.allocations, b.allocations)
 
 
 def test_roundtrip_preserves_solution_value(small_problem, tmp_path):
