@@ -5,7 +5,6 @@
 * joint Algorithm 2 vs the strongest two-step baselines.
 """
 
-import numpy as np
 
 from _common import SEED, TRIALS
 

@@ -5,7 +5,6 @@ and reports the residual improvement — quantifying the gap the paper's
 "99% of optimal" leaves for heavier machinery.
 """
 
-import numpy as np
 
 from _common import SEED, TRIALS
 

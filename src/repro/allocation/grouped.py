@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.observability import BATCH_EVALUATIONS, GROUPED_BISECTION_ITERATIONS
-from repro.utility.batch import UtilityBatch, as_batch
+from repro.utility.batch import as_batch
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,7 @@ from repro.observability import (
     BISECTION_ITERATIONS,
     WATERFILL_CALLS,
 )
-from repro.utility.batch import UtilityBatch, as_batch
+from repro.utility.batch import as_batch
 
 
 @dataclass(frozen=True)

@@ -38,7 +38,7 @@ def uniform_split(problem: AAProblem, servers: np.ndarray) -> np.ndarray:
 
 
 def random_split(
-    problem: AAProblem, servers: np.ndarray, rng: np.random.Generator
+    problem: AAProblem, servers: np.ndarray, rng: np.random.Generator, ctx=None
 ) -> np.ndarray:
     """Random shares: each server's ``C`` is split at uniform random.
 
@@ -48,6 +48,8 @@ def random_split(
     n = problem.n_threads
     alloc = np.zeros(n)
     for j in range(problem.n_servers):
+        if ctx is not None:
+            ctx.check_deadline()
         members = np.nonzero(servers == j)[0]
         k = members.size
         if k == 0:
@@ -61,31 +63,35 @@ def random_split(
     return np.minimum(alloc, problem.utilities.caps)
 
 
-def uu(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+def uu(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
     """Uniform assignment, uniform allocation (deterministic; seed ignored)."""
     servers = round_robin_servers(problem.n_threads, problem.n_servers)
     return Assignment(servers=servers, allocations=uniform_split(problem, servers))
 
 
-def ur(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+def ur(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
     """Uniform assignment, random allocation."""
     rng = as_generator(seed)
     servers = round_robin_servers(problem.n_threads, problem.n_servers)
-    return Assignment(servers=servers, allocations=random_split(problem, servers, rng))
+    return Assignment(
+        servers=servers, allocations=random_split(problem, servers, rng, ctx=ctx)
+    )
 
 
-def ru(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+def ru(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
     """Random assignment, uniform allocation."""
     rng = as_generator(seed)
     servers = random_servers(problem.n_threads, problem.n_servers, rng)
     return Assignment(servers=servers, allocations=uniform_split(problem, servers))
 
 
-def rr(problem: AAProblem, seed: SeedLike = None) -> Assignment:
+def rr(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
     """Random assignment, random allocation."""
     rng = as_generator(seed)
     servers = random_servers(problem.n_threads, problem.n_servers, rng)
-    return Assignment(servers=servers, allocations=random_split(problem, servers, rng))
+    return Assignment(
+        servers=servers, allocations=random_split(problem, servers, rng, ctx=ctx)
+    )
 
 
 def _register_heuristic(
@@ -95,7 +101,7 @@ def _register_heuristic(
     # not applicable; the harness reports them exactly as produced.
     register_solver(
         name,
-        lambda problem, lin, ctx, seed, _fn=fn: _fn(problem, seed=seed),
+        lambda problem, lin, ctx, seed, _fn=fn: _fn(problem, seed=seed, ctx=ctx),
         kind="heuristic",
         ratio=None,
         complexity=complexity,

@@ -1,0 +1,60 @@
+"""``aart check`` — domain-aware static analysis for this repository.
+
+Generic linters can't see the repro's load-bearing disciplines: RNG that
+must descend from parent-spawned ``SeedSequence`` (parallel bit-identity),
+solver loops that must poll ``ctx.check_deadline()`` (deadline-bounded
+service re-solves), service state that must mutate under its lock,
+toleranced float comparisons in the certified-ratio math.  This package
+machine-enforces them as seven AST rules (AART001–AART007) with a
+line-level pragma escape (``# aart: ignore[RULE]``).
+
+Library use::
+
+    from repro.checks import run_checks
+    result = run_checks(["src"])
+    assert result.exit_code == 0, result.findings
+
+CLI use: ``aart check [--format text|json] [--select RULES] [paths...]``;
+see :mod:`repro.checks.runner` for exit codes and docs/checks.md for the
+rule catalog.
+"""
+
+from repro.checks.base import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.checks.pragmas import Pragma, parse_pragmas
+from repro.checks.reporters import render_json, render_text
+from repro.checks.runner import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    CheckResult,
+    discover_files,
+    run_checks,
+)
+
+__all__ = [
+    "CheckResult",
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "ModuleInfo",
+    "Pragma",
+    "Project",
+    "Rule",
+    "all_rules",
+    "discover_files",
+    "get_rule",
+    "parse_pragmas",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "run_checks",
+]

@@ -1,0 +1,212 @@
+"""Core types of the ``aart check`` static-analysis framework.
+
+Three ideas, deliberately small:
+
+* a :class:`Finding` — one violation at one source location, carrying its
+  rule code so pragmas and ``--select`` can address it;
+* a :class:`Rule` — a named, documented check over one parsed module
+  (:class:`ModuleInfo`), with read access to the whole :class:`Project`
+  for cross-module rules (re-export resolution);
+* the **registry** — rules self-register at import time exactly like
+  solvers do in :mod:`repro.engine.registry`, so the CLI, the CI gate and
+  the tests all enumerate one authoritative rule set.
+
+Rules are AST visitors in spirit but plain ``check`` callables in form:
+each receives a module and yields findings.  Suppression
+(``# aart: ignore[RULE]``) is applied by the runner, not by rules, so a
+rule never needs pragma logic.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (stable key order via sort_keys)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the derived views rules need."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def posix(self) -> str:
+        """The repo-relative path with ``/`` separators (rule scoping key)."""
+        return self.relpath.replace("\\", "/")
+
+    def in_package(self, *parts: str) -> bool:
+        """Whether the file lives under ``repro/<parts...>/``."""
+        suffix = "/".join(("repro",) + parts) + "/"
+        return f"/{suffix}" in f"/{self.posix}"
+
+    def is_module(self, *parts: str) -> bool:
+        """Whether the file *is* ``repro/<parts...>.py``."""
+        suffix = "/".join(("repro",) + parts) + ".py"
+        return self.posix.endswith(suffix)
+
+
+class Project:
+    """All modules of one check run, indexed for cross-module rules."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.modules: list[ModuleInfo] = list(modules)
+        self._by_dotted: dict[str, ModuleInfo] = {}
+        for mod in self.modules:
+            dotted = _dotted_name(mod.posix)
+            if dotted is not None:
+                self._by_dotted[dotted] = mod
+
+    def resolve(self, dotted: str) -> ModuleInfo | None:
+        """The checked module for ``repro.x.y``, if it is part of this run."""
+        return self._by_dotted.get(dotted)
+
+    def top_level_bindings(self, mod: ModuleInfo) -> set[str]:
+        """Names bound at a module's top level (defs, classes, imports, assigns)."""
+        bound: set[str] = set()
+        for node in mod.tree.body:
+            bound |= _bindings_of(node)
+        return bound
+
+
+def _dotted_name(posix: str) -> str | None:
+    """Map ``.../src/repro/a/b.py`` to ``repro.a.b`` (packages drop __init__)."""
+    if "repro/" not in posix and not posix.startswith("repro"):
+        return None
+    idx = posix.rfind("repro/")
+    if idx == -1:
+        if posix == "repro.py":
+            return "repro"
+        return None
+    tail = posix[idx:]
+    if not tail.endswith(".py"):
+        return None
+    parts = tail[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _bindings_of(node: ast.stmt) -> set[str]:
+    """Names a single top-level statement binds in its module namespace."""
+    bound: set[str] = set()
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        bound.add(node.name)
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            bound.add((alias.asname or alias.name).split(".")[0])
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name != "*":
+                bound.add(alias.asname or alias.name)
+    elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    bound.add(leaf.id)
+    elif isinstance(node, (ast.If, ast.Try)):
+        # Conditional top-level bindings (TYPE_CHECKING blocks, fallback
+        # imports) still bind the name as far as re-export checks go.
+        bodies = [node.body, node.orelse]
+        if isinstance(node, ast.Try):
+            bodies.append(node.finalbody)
+            bodies.extend(handler.body for handler in node.handlers)
+        for body in bodies:
+            for sub in body:
+                bound |= _bindings_of(sub)
+    return bound
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement ``check``.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``AART001``...), used in pragmas, ``--select``
+        and reports.
+    name:
+        Short kebab-case slug for tables.
+    rationale:
+        One paragraph tying the rule to the invariant it protects; shown
+        in ``docs/checks.md`` and the JSON report's rule catalog.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, mod: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        """Construct a finding anchored at ``node``."""
+        return Finding(
+            rule=self.code,
+            path=mod.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if rule.code in _RULES:
+        raise ValueError(f"rule {rule.code} is already registered")
+    _RULES[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in code order (imports the built-in rule modules)."""
+    from repro.checks import rules as _builtin  # noqa: F401  (registration side effect)
+
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    for rule in all_rules():
+        if rule.code == code:
+            return rule
+    raise KeyError(f"unknown rule {code!r}; known: {[r.code for r in all_rules()]}")

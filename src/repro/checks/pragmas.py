@@ -1,0 +1,71 @@
+"""``# aart: ignore[...]`` pragma parsing and suppression.
+
+Grammar (a trailing comment on the offending line)::
+
+    x = time.time()          # aart: ignore[AART001]
+    y = legacy_call()        # aart: ignore[AART001, AART002]
+    z = anything_at_all()    # aart: ignore
+
+A bare ``ignore`` suppresses every rule on that line; the bracketed form
+suppresses only the listed codes.  Suppression is *line-anchored*: it
+applies exactly to findings whose reported line carries the pragma, so
+for a multi-line statement the pragma goes on the line the finding names
+(rules anchor findings at the statement or expression head).
+
+The runner (not individual rules) applies suppression, so every rule gets
+the escape hatch for free.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.checks.base import Finding
+
+_PRAGMA_RE = re.compile(
+    r"#\s*aart:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?", re.ASCII
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    codes: frozenset[str]  # empty = suppress every rule on the line
+
+    def suppresses(self, rule: str) -> bool:
+        return not self.codes or rule in self.codes
+
+
+def parse_pragmas(lines: list[str]) -> dict[int, Pragma]:
+    """Scan source lines for pragmas; returns ``{lineno: Pragma}`` (1-based)."""
+    out: dict[int, Pragma] = {}
+    for i, text in enumerate(lines, start=1):
+        if "aart:" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = (
+            frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+            if raw is not None
+            else frozenset()
+        )
+        out[i] = Pragma(line=i, codes=codes)
+    return out
+
+
+def filter_findings(
+    findings: list[Finding], pragmas_by_path: dict[str, dict[int, Pragma]]
+) -> list[Finding]:
+    """Drop findings suppressed by a pragma on their reported line."""
+    kept: list[Finding] = []
+    for f in findings:
+        pragma = pragmas_by_path.get(f.path, {}).get(f.line)
+        if pragma is not None and pragma.suppresses(f.rule):
+            continue
+        kept.append(f)
+    return kept

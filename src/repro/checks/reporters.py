@@ -1,0 +1,50 @@
+"""Text and JSON reporters for ``aart check``.
+
+The JSON document is the CI artifact format (``aart-findings/1``): stable
+keys, findings sorted by location, plus the rule catalog so a reader can
+interpret codes without the source tree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks.base import all_rules
+from repro.checks.runner import CheckResult
+
+FORMAT_TAG = "aart-findings/1"
+
+
+def render_text(result: CheckResult) -> str:
+    """Human-oriented report: one ``path:line:col CODE message`` per finding."""
+    lines: list[str] = []
+    for err in result.errors:
+        lines.append(f"error: {err}")
+    for f in result.findings:
+        lines.append(f"{f.location()}: {f.rule} {f.message}")
+    n = len(result.findings)
+    if result.errors:
+        lines.append(f"aart check: aborted ({len(result.errors)} error(s))")
+    else:
+        summary = (
+            f"aart check: {result.checked} file(s), "
+            f"{n} finding(s)" + (f", {result.suppressed} suppressed" if result.suppressed else "")
+        )
+        lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Machine-oriented report (the CI artifact)."""
+    doc = {
+        "format": FORMAT_TAG,
+        "checked_files": result.checked,
+        "errors": list(result.errors),
+        "suppressed": result.suppressed,
+        "findings": [f.to_dict() for f in result.findings],
+        "rules": {
+            rule.code: {"name": rule.name, "rationale": rule.rationale}
+            for rule in all_rules()
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,36 @@
+"""Built-in domain rules; importing this package registers all of them.
+
+One module per invariant family:
+
+=========  ==============================  =====================================
+code       module                          protects
+=========  ==============================  =====================================
+AART001    :mod:`.wallclock`               timing flows through Timer/SolveContext
+AART002    :mod:`.rng`                     parallel bit-identity (SeedSequence RNG)
+AART003    :mod:`.floats`                  no exact float equality in solver math
+AART004    :mod:`.deadline`                bounded-time solves poll the deadline
+AART005    :mod:`.locks`                   service state mutates under its lock
+AART006    :mod:`.exports`                 ``__init__`` re-exports stay coherent
+AART007    :mod:`.excepts`                 no silently swallowed exceptions
+=========  ==============================  =====================================
+"""
+
+from repro.checks.rules import (
+    deadline,
+    excepts,
+    exports,
+    floats,
+    locks,
+    rng,
+    wallclock,
+)
+
+__all__ = [
+    "deadline",
+    "excepts",
+    "exports",
+    "floats",
+    "locks",
+    "rng",
+    "wallclock",
+]

@@ -1,0 +1,161 @@
+"""AART004 — registered solvers poll ``ctx.check_deadline()`` in a loop.
+
+The allocation service promises deadline-bounded re-solves: a step's
+``SolveContext`` carries a wall-clock budget and an overrunning solve is
+abandoned while the incremental state keeps serving.  That promise only
+holds if every solver reachable through the engine registry polls
+``ctx.check_deadline()`` from inside its iteration — a solver that never
+polls turns the budget into a suggestion.
+
+Mechanics: in any module that calls
+:func:`repro.engine.registry.register_solver` (directly or through a
+module-level helper), the rule resolves the registered entry functions,
+takes the same-module call-graph closure of each, and requires — for
+every entry whose closure contains a ``for``/``while`` loop — at least
+one ``*.check_deadline()`` call lexically inside a loop somewhere in that
+closure.  Loop-free (fully vectorized) solvers pass vacuously: their
+runtime is bounded by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.checks.base import Finding, ModuleInfo, Project, Rule, register_rule
+
+
+@dataclass
+class _FnInfo:
+    """Per module-level function: call targets and loop/deadline facts."""
+
+    node: ast.FunctionDef
+    calls: set[str] = field(default_factory=set)
+    has_loop: bool = False
+    deadline_in_loop: bool = False
+
+
+def _scan_function(fn: ast.FunctionDef) -> _FnInfo:
+    info = _FnInfo(node=fn)
+    loop_depth = 0
+
+    def visit(node: ast.AST) -> None:
+        nonlocal loop_depth
+        is_loop = isinstance(node, (ast.For, ast.AsyncFor, ast.While))
+        if is_loop:
+            info.has_loop = True
+            loop_depth += 1
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                info.calls.add(node.func.id)
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "check_deadline"
+                and loop_depth > 0
+            ):
+                info.deadline_in_loop = True
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+        if is_loop:
+            loop_depth -= 1
+
+    for stmt in fn.body:
+        visit(stmt)
+    return info
+
+
+def _lambda_entry_names(lam: ast.Lambda, functions: set[str]) -> set[str]:
+    """Module functions a registered lambda dispatches to.
+
+    Covers both direct calls in the body and the late-binding default-arg
+    idiom ``lambda ..., _fn=fn: _fn(...)`` (the defaults are evaluated at
+    registration time, so a Name default *is* the entry).
+    """
+    names: set[str] = set()
+    for node in ast.walk(lam.body):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in functions:
+                names.add(node.func.id)
+    for default in [*lam.args.defaults, *lam.args.kw_defaults]:
+        if isinstance(default, ast.Name) and default.id in functions:
+            names.add(default.id)
+    return names
+
+
+@register_rule
+class DeadlineRule(Rule):
+    code = "AART004"
+    name = "solver-polls-deadline"
+    rationale = (
+        "Deadline-bounded service re-solves require every registered solver "
+        "to poll ctx.check_deadline() inside its iteration; a non-polling "
+        "solver turns the per-step budget into a suggestion."
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        tree = mod.tree
+        functions: dict[str, _FnInfo] = {
+            node.name: _scan_function(node)
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        fn_names = set(functions)
+
+        # Helpers that forward to register_solver (indirect registration).
+        registrars = {
+            name
+            for name, info in functions.items()
+            if "register_solver" in info.calls
+        }
+
+        entries: dict[str, ast.AST] = {}  # entry fn name -> anchor node
+
+        def note_entry(arg: ast.expr, anchor: ast.AST) -> None:
+            if isinstance(arg, ast.Name) and arg.id in fn_names:
+                entries.setdefault(arg.id, anchor)
+            elif isinstance(arg, ast.Lambda):
+                for name in _lambda_entry_names(arg, fn_names):
+                    entries.setdefault(name, anchor)
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            target = None
+            if isinstance(callee, ast.Name):
+                target = callee.id
+            elif isinstance(callee, ast.Attribute):
+                target = callee.attr
+            if target == "register_solver" or target in registrars:
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    note_entry(arg, node)
+
+        for name, anchor in sorted(entries.items()):
+            closure = self._closure(name, functions)
+            infos = [functions[n] for n in closure]
+            if not any(info.has_loop for info in infos):
+                continue  # fully vectorized: bounded without polling
+            if any(info.deadline_in_loop for info in infos):
+                continue
+            fn_node = functions[name].node
+            yield self.finding(
+                mod,
+                fn_node,
+                f"registered solver entry {name!r} iterates but never calls "
+                "ctx.check_deadline() inside a loop (checked the function "
+                "and every same-module function it reaches) — the service's "
+                "per-step solve budget cannot interrupt it",
+            )
+
+    @staticmethod
+    def _closure(entry: str, functions: dict[str, _FnInfo]) -> set[str]:
+        seen: set[str] = set()
+        stack = [entry]
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in functions:
+                continue
+            seen.add(name)
+            stack.extend(functions[name].calls)
+        return seen

@@ -1,0 +1,116 @@
+"""AART007 — no silently swallowed exceptions in solver/service code.
+
+The service's failure story depends on errors being *visible*: a
+``SolveTimeout`` is caught, recorded as a counter/sink event and answered
+with a failure response — never dropped.  A bare ``except:`` or a broad
+``except Exception:`` whose handler neither re-raises nor routes the
+error somewhere observable (sink emit, logging, a failure ``Response``,
+``warnings.warn``) turns an invariant violation into a silent wrong
+answer.
+
+Narrow handlers (``except KeyError``, ``except (ValueError, ...)``) are
+exempt: catching a *specific* exception is a statement of intent the rule
+trusts.  Scope: ``repro/core``, ``repro/allocation``, ``repro/assign``,
+``repro/engine``, ``repro/extensions``, ``repro/service``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checks.base import Finding, ModuleInfo, Project, Rule, register_rule
+
+_BROAD = {"Exception", "BaseException"}
+
+#: A call to any of these (as name or attribute tail) counts as routing
+#: the failure somewhere observable.
+_SINKS = {
+    "emit",
+    "_emit",
+    "log",
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "failure",
+    "fail",
+    "print",
+}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for t in types:
+        name = None
+        if isinstance(t, ast.Name):
+            name = t.id
+        elif isinstance(t, ast.Attribute):
+            name = t.attr
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _handler_surfaces(handler: ast.ExceptHandler) -> bool:
+    """Does the handler re-raise, return the error, or route it to a sink?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name in _SINKS:
+                return True
+        if isinstance(node, ast.Return) and node.value is not None:
+            # Returning a value from the handler (e.g. a failure Response
+            # or an error sentinel) surfaces the outcome to the caller.
+            return True
+    return False
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    code = "AART007"
+    name = "no-swallowed-exceptions"
+    rationale = (
+        "Abandoned solves and infeasible requests must surface as counters, "
+        "sink events or failure responses; a broad handler that swallows "
+        "turns invariant violations into silent wrong answers."
+    )
+
+    def _in_scope(self, mod: ModuleInfo) -> bool:
+        return any(
+            mod.in_package(p)
+            for p in ("core", "allocation", "assign", "engine", "extensions", "service")
+        )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not self._in_scope(mod):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            kind = "bare except" if node.type is None else "broad except"
+            if not _handler_surfaces(node):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"{kind} swallows the error — re-raise, return a failure "
+                    "value, or route it to a sink/log so abandoned work "
+                    "stays observable",
+                )

@@ -1,0 +1,123 @@
+"""AART006 — package ``__init__`` re-exports stay coherent.
+
+The public surface of each subsystem is its package ``__init__``: the
+serialization type registry, the service API and the docs all address
+names through it.  Three mechanical guarantees keep that surface honest:
+
+* no ``from x import *`` — star imports make the export set depend on the
+  source module's incidental namespace;
+* every name in ``__all__`` is actually bound at top level, and — when
+  the source module is part of the checked tree — actually bound *there*
+  too (a rename in ``repro.core.solve`` must not leave a dangling
+  re-export);
+* every public name re-exported from inside the project appears in
+  ``__all__`` (stdlib/third-party imports are implementation details and
+  exempt).
+
+Scope: every ``__init__.py`` under ``repro/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checks.base import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    register_rule,
+)
+
+
+@register_rule
+class ExportsRule(Rule):
+    code = "AART006"
+    name = "coherent-reexports"
+    rationale = (
+        "Package __init__ files are the addressable API surface "
+        "(serialization registry, service clients, docs); dangling or "
+        "unlisted re-exports and star imports let that surface drift "
+        "silently."
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not mod.posix.endswith("__init__.py"):
+            return
+        if "repro/" not in mod.posix and mod.posix != "__init__.py":
+            return
+
+        bound = project.top_level_bindings(mod)
+        all_node: ast.Assign | None = None
+        all_names: list[str] = []
+        project_exports: dict[str, ast.ImportFrom] = {}
+
+        for node in mod.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"star import from {node.module!r} — re-export "
+                            "names explicitly so __all__ stays checkable",
+                        )
+                if node.module and node.module.split(".")[0] == "repro":
+                    source = project.resolve(node.module)
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        exported = alias.asname or alias.name
+                        project_exports[exported] = node
+                        if source is not None and alias.name not in (
+                            project.top_level_bindings(source)
+                        ):
+                            yield self.finding(
+                                mod,
+                                node,
+                                f"re-export {alias.name!r} does not resolve: "
+                                f"{node.module} binds no such top-level name",
+                            )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        all_node = node
+                        if isinstance(node.value, (ast.List, ast.Tuple)):
+                            all_names = [
+                                elt.value
+                                for elt in node.value.elts
+                                if isinstance(elt, ast.Constant)
+                                and isinstance(elt.value, str)
+                            ]
+
+        public_exports = {n for n in project_exports if not n.startswith("_")}
+        if all_node is None:
+            if public_exports:
+                yield self.finding(
+                    mod,
+                    mod.tree,
+                    "package re-exports project names but defines no "
+                    "__all__ — declare the public surface explicitly",
+                )
+            return
+
+        seen: set[str] = set()
+        for name in all_names:
+            if name in seen:
+                yield self.finding(
+                    mod, all_node, f"__all__ lists {name!r} more than once"
+                )
+            seen.add(name)
+            if name not in bound:
+                yield self.finding(
+                    mod,
+                    all_node,
+                    f"__all__ lists {name!r} but the module never binds it",
+                )
+        for name in sorted(public_exports - seen):
+            yield self.finding(
+                mod,
+                project_exports[name],
+                f"public re-export {name!r} is missing from __all__",
+            )

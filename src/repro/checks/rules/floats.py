@@ -1,0 +1,110 @@
+"""AART003 — no exact float equality in the solver math packages.
+
+The certified ratio rests on numeric comparisons with explicit tolerances
+(see the ``_FIT_RTOL`` discipline in Algorithm 1 and the bisection
+``rel_tol`` in the water-fill).  ``==``/``!=`` between float expressions
+or against a non-zero float literal is a latent correctness bug: it can
+flip on harmless rounding and produce an infeasible assignment that still
+*looks* certified.  Comparing against an exact zero stays allowed — the
+codebase uses ``0.0`` as an "empty / never touched" sentinel (allocations
+start at exact zero and only become non-zero through assignment), which
+is a well-defined float comparison.
+
+Scope: ``repro/core``, ``repro/allocation``, ``repro/assign`` — the
+packages where float comparisons decide feasibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checks.base import Finding, ModuleInfo, Project, Rule, register_rule
+
+_FLOAT_CALLS = {"float"}
+_FLOAT_NP_ATTRS = {"float64", "float32", "floating"}
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_zero_literal(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and node.value == 0
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Conservatively: is this expression certainly float-valued?
+
+    Only syntactic certainty counts (literals, ``float(...)`` casts, true
+    division, arithmetic over float-ish operands) — the rule must not
+    guess about names, or integer index comparisons would drown it in
+    false positives.
+    """
+    if _is_float_literal(node):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in _FLOAT_CALLS:
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FLOAT_NP_ATTRS
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.Mod)):
+            return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floatish(node.operand)
+    return False
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    code = "AART003"
+    name = "no-float-equality"
+    rationale = (
+        "Feasibility and the certified ratio are decided by toleranced "
+        "comparisons; exact ==/!= between float expressions flips on "
+        "rounding.  Exact-zero sentinel guards are the one sanctioned "
+        "exception."
+    )
+
+    def _in_scope(self, mod: ModuleInfo) -> bool:
+        return (
+            mod.in_package("core")
+            or mod.in_package("allocation")
+            or mod.in_package("assign")
+        )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not self._in_scope(mod):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_zero_literal(left) or _is_zero_literal(right):
+                    continue  # exact-zero sentinel guard
+                lf, rf = _is_floatish(left), _is_floatish(right)
+                if lf or rf:
+                    yield self.finding(
+                        mod,
+                        node,
+                        "exact float equality in solver math — compare with "
+                        "an explicit tolerance (math.isclose / np.isclose) "
+                        "or restructure around an exact-zero sentinel",
+                    )
+                    break

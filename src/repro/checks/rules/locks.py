@@ -1,0 +1,149 @@
+"""AART005 — lock discipline in the allocation service.
+
+The TCP transport serves each connection on its own thread; everything
+those threads share serializes through the owning object's
+``threading.Lock``.  The rule makes the discipline mechanical: inside
+``repro/service/``, any class that creates a ``threading.Lock`` /
+``RLock`` in ``__init__`` is a *lock-owning* class, and attribute
+mutations (``self.x = ...``, ``self.x += ...``, ``del self.x``) in its
+other methods must happen lexically under ``with self.<lock>`` (or
+``self.<lock>.acquire()`` in the enclosing scope is *not* accepted — the
+context-manager form is the only auditable one).
+
+``__init__`` itself is exempt (no concurrent access before construction
+completes), as is rebinding the lock attribute.  Genuinely single-threaded
+lifecycle mutations carry a ``# aart: ignore[AART005]`` pragma with a
+justification — the escape is part of the discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checks.base import Finding, ModuleInfo, Project, Rule, register_rule
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _lock_attrs_of(cls: ast.ClassDef) -> set[str]:
+    """Names of ``self.<attr>`` bound to ``threading.Lock()``-likes in __init__."""
+    locks: set[str] = set()
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                value = sub.value
+                if not (
+                    isinstance(value, ast.Call)
+                    and (
+                        (
+                            isinstance(value.func, ast.Attribute)
+                            and value.func.attr in _LOCK_FACTORIES
+                        )
+                        or (
+                            isinstance(value.func, ast.Name)
+                            and value.func.id in _LOCK_FACTORIES
+                        )
+                    )
+                ):
+                    continue
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        locks.add(target.attr)
+    return locks
+
+
+def _is_with_self_lock(node: ast.With, locks: set[str]) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in locks
+        ):
+            return True
+    return False
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    code = "AART005"
+    name = "service-lock-discipline"
+    rationale = (
+        "Connection threads share the service objects; a lock-owning class "
+        "that mutates shared attributes outside `with self._lock` reintroduces "
+        "exactly the data races the lock exists to prevent."
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not mod.in_package("service"):
+            return
+        for cls in mod.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _lock_attrs_of(cls)
+            if not locks:
+                continue
+            for method in cls.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                if method.name == "__init__":
+                    continue
+                yield from self._check_method(mod, cls, method, locks)
+
+    def _check_method(
+        self,
+        mod: ModuleInfo,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef,
+        locks: set[str],
+    ) -> Iterator[Finding]:
+        guarded_depth = 0
+
+        def visit(node: ast.AST):
+            nonlocal guarded_depth
+            is_guard = isinstance(node, ast.With) and _is_with_self_lock(node, locks)
+            if is_guard:
+                guarded_depth += 1
+            target_attrs = []
+            if isinstance(node, ast.Assign):
+                target_attrs = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                target_attrs = [node.target]
+            elif isinstance(node, ast.Delete):
+                target_attrs = node.targets
+            for target in target_attrs:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr not in locks
+                    and guarded_depth == 0
+                ):
+                    yield_findings.append(
+                        self.finding(
+                            mod,
+                            node,
+                            f"{cls.name}.{method.name} mutates self."
+                            f"{target.attr} outside `with self."
+                            f"{sorted(locks)[0]}` — {cls.name} owns a lock, "
+                            "so shared attributes must mutate under it "
+                            "(or justify with # aart: ignore[AART005])",
+                        )
+                    )
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            if is_guard:
+                guarded_depth -= 1
+
+        yield_findings: list[Finding] = []
+        for stmt in method.body:
+            visit(stmt)
+        yield from yield_findings

@@ -1,0 +1,106 @@
+"""AART002 — randomness arrives as a ``numpy.random.Generator`` parameter.
+
+The parallel sweep engine reproduces serial results bit-for-bit because
+every trial's generator descends from a parent-spawned
+``SeedSequence`` (see :mod:`repro.utils.rng` and
+:mod:`repro.engine.parallel`).  Any draw from the stdlib ``random`` module
+or from numpy's legacy global/``RandomState`` API is invisible to that
+spawning discipline: it injects hidden global state and silently breaks
+worker-count independence.  Construction of modern generators
+(``default_rng``, ``Generator``, ``SeedSequence``) is allowed — seeding
+*policy* still belongs in :mod:`repro.utils.rng`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checks.base import Finding, ModuleInfo, Project, Rule, register_rule
+
+#: Attributes of ``np.random`` that are part of the modern, spawn-friendly
+#: API; everything else on that namespace is legacy global-state.
+_MODERN = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "default_rng",
+}
+
+
+@register_rule
+class RngRule(Rule):
+    code = "AART002"
+    name = "no-legacy-rng"
+    rationale = (
+        "Parallel sweeps are bit-identical for any worker count only when "
+        "every draw descends from a SeedSequence spawned in the parent; the "
+        "stdlib random module and numpy's legacy np.random.* functions use "
+        "hidden global state that breaks that guarantee."
+    )
+
+    def _allowed(self, mod: ModuleInfo) -> bool:
+        return mod.is_module("utils", "rng") or mod.in_package("checks")
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if self._allowed(mod):
+            return
+        numpy_aliases = {"numpy"}
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            mod,
+                            node,
+                            "stdlib random module imported — pass a seeded "
+                            "numpy Generator (repro.utils.rng.as_generator) "
+                            "instead",
+                        )
+                    if alias.name == "numpy.random":
+                        numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        mod,
+                        node,
+                        "stdlib random module imported — pass a seeded numpy "
+                        "Generator (repro.utils.rng.as_generator) instead",
+                    )
+                elif node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        bad = (
+                            node.module == "numpy.random"
+                            and alias.name not in _MODERN
+                        )
+                        if bad or alias.name == "RandomState":
+                            yield self.finding(
+                                mod,
+                                node,
+                                f"legacy numpy.random.{alias.name} imported — "
+                                "use the Generator API via repro.utils.rng",
+                            )
+        # np.random.<legacy>(...) attribute access anywhere in the module.
+        np_names = numpy_aliases | {"np"}
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "random"
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id in np_names
+                and node.attr not in _MODERN
+            ):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"legacy np.random.{node.attr} — draw from a Generator "
+                    "spawned via repro.utils.rng (protects parallel "
+                    "bit-identity)",
+                )

@@ -1,0 +1,139 @@
+"""Discovery + orchestration for ``aart check``.
+
+The runner walks the requested paths, parses every ``*.py`` into a
+:class:`~repro.checks.base.ModuleInfo`, builds the cross-module
+:class:`~repro.checks.base.Project` index, applies the selected rules and
+filters the result through the pragma layer.  Exit-code policy (mirrors
+ruff): ``0`` clean, ``1`` findings, ``2`` usage or parse errors.
+
+Directories named ``__pycache__``, dot-directories, and ``fixtures``
+directories (the checker's own seeded-violation test data) are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checks.base import Finding, ModuleInfo, Project, Rule, all_rules
+from repro.checks.pragmas import Pragma, filter_findings, parse_pragmas
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+_SKIP_DIRS = {"__pycache__", "fixtures"}
+
+
+@dataclass
+class CheckResult:
+    """Everything one run produced (findings already pragma-filtered)."""
+
+    findings: list[Finding]
+    errors: list[str] = field(default_factory=list)
+    checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return EXIT_ERROR
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+
+def discover_files(paths: list[str | Path], root: Path | None = None) -> list[Path]:
+    """Expand files/directories into the sorted list of checkable sources."""
+    root = root or Path.cwd()
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            if path.suffix == ".py":
+                out.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = set(sub.parts)
+                if parts & _SKIP_DIRS or any(
+                    p.startswith(".") and p not in (".", "..") for p in sub.parts
+                ):
+                    continue
+                out.append(sub)
+    return sorted(set(out))
+
+
+def load_module(path: Path, root: Path) -> ModuleInfo:
+    """Parse one file (raises ``SyntaxError`` with the path attached)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        rel = str(path.relative_to(root))
+    except ValueError:
+        rel = str(path)
+    tree = ast.parse(source, filename=rel)
+    return ModuleInfo(path=path, relpath=rel, source=source, tree=tree)
+
+
+def select_rules(select: list[str] | None) -> list[Rule]:
+    """Resolve ``--select`` codes (case-insensitive) to rule objects."""
+    rules = all_rules()
+    if not select:
+        return rules
+    wanted = {code.strip().upper() for code in select if code.strip()}
+    known = {rule.code for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def run_checks(
+    paths: list[str | Path],
+    select: list[str] | None = None,
+    root: Path | None = None,
+) -> CheckResult:
+    """Run the selected rules over ``paths``; the library entry point."""
+    root = root or Path.cwd()
+    try:
+        rules = select_rules(select)
+    except ValueError as exc:
+        return CheckResult(findings=[], errors=[str(exc)])
+
+    files = discover_files(paths, root=root)
+    if not files:
+        return CheckResult(
+            findings=[], errors=[f"no python files found under {list(map(str, paths))}"]
+        )
+
+    modules: list[ModuleInfo] = []
+    errors: list[str] = []
+    for path in files:
+        try:
+            modules.append(load_module(path, root))
+        except SyntaxError as exc:
+            errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+        except OSError as exc:
+            errors.append(f"{path}: unreadable: {exc}")
+    if errors:
+        return CheckResult(findings=[], errors=errors, checked=len(modules))
+
+    project = Project(modules)
+    raw: list[Finding] = []
+    for mod in modules:
+        for rule in rules:
+            raw.extend(rule.check(mod, project))
+
+    pragmas: dict[str, dict[int, Pragma]] = {
+        mod.relpath: parse_pragmas(mod.lines) for mod in modules
+    }
+    findings = filter_findings(raw, pragmas)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return CheckResult(
+        findings=findings,
+        errors=[],
+        checked=len(modules),
+        suppressed=len(raw) - len(findings),
+    )

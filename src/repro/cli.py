@@ -255,6 +255,21 @@ def cmd_client(args) -> int:
     return 1
 
 
+def cmd_check(args) -> int:
+    from pathlib import Path
+
+    from repro.checks import render_json, render_text, run_checks
+
+    paths = args.paths or [p for p in ("src", "tests") if Path(p).exists()]
+    select = None
+    if args.select:
+        select = [c for chunk in args.select for c in chunk.split(",")]
+    result = run_checks(paths, select=select)
+    rendered = render_json(result) if args.format == "json" else render_text(result)
+    print(rendered)
+    return result.exit_code
+
+
 def cmd_profile(args) -> int:
     from repro.analysis.instance import profile_instance
 
@@ -325,6 +340,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("problem")
     p.add_argument("assignment")
     p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("check", help="run the domain-aware static-analysis pass")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src and tests)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (json is the CI artifact)")
+    p.add_argument("--select", action="append", metavar="RULES",
+                   help="comma-separated rule codes to run (default: all); "
+                   "repeatable")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("profile", help="diagnose an instance's difficulty")
     p.add_argument("problem")

@@ -18,17 +18,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.core.linearize import Linearization, linearize
 from repro.core.problem import ALPHA, AAProblem, Assignment
 from repro.engine.registry import register_solver
 from repro.observability import ALG1_ROUNDS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import SolveContext
 
 #: Absolute slack (relative to C) when testing whether ``ĉ_i`` fits.
 _FIT_RTOL = 1e-9
 
 
 def algorithm1(
-    problem: AAProblem, lin: Linearization | None = None, ctx=None
+    problem: AAProblem,
+    lin: Linearization | None = None,
+    ctx: "SolveContext | None" = None,
 ) -> Assignment:
     """Run Algorithm 1 on ``problem``.
 
@@ -52,7 +59,9 @@ def algorithm1(
         return _algorithm1(problem, lin, ctx)
 
 
-def _algorithm1(problem: AAProblem, lin: Linearization, ctx) -> Assignment:
+def _algorithm1(
+    problem: AAProblem, lin: Linearization, ctx: "SolveContext | None"
+) -> Assignment:
     n, m = problem.n_threads, problem.n_servers
     residual = np.full(m, problem.capacity, dtype=float)
     servers = np.full(n, -1, dtype=np.int64)

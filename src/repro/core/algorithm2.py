@@ -14,6 +14,8 @@ the Theorem V.17 tightness instance reproduces its 5/6 ratio exactly.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.linearize import Linearization, linearize
@@ -21,6 +23,9 @@ from repro.core.problem import ALPHA, AAProblem, Assignment
 from repro.engine.registry import register_solver
 from repro.observability import ALG2_HEAP_OPS
 from repro.utils.heaps import IndexedMaxHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import SolveContext
 
 
 def thread_order(lin: Linearization, n_servers: int) -> np.ndarray:
@@ -39,7 +44,9 @@ def thread_order(lin: Linearization, n_servers: int) -> np.ndarray:
 
 
 def algorithm2(
-    problem: AAProblem, lin: Linearization | None = None, ctx=None
+    problem: AAProblem,
+    lin: Linearization | None = None,
+    ctx: "SolveContext | None" = None,
 ) -> Assignment:
     """Run Algorithm 2 on ``problem`` (same contract as :func:`algorithm1`).
 
@@ -55,7 +62,9 @@ def algorithm2(
         return _algorithm2(problem, lin, ctx)
 
 
-def _algorithm2(problem: AAProblem, lin: Linearization, ctx) -> Assignment:
+def _algorithm2(
+    problem: AAProblem, lin: Linearization, ctx: "SolveContext | None"
+) -> Assignment:
     n, m = problem.n_threads, problem.n_servers
     order = thread_order(lin, m)
     servers = np.full(n, -1, dtype=np.int64)

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.allocation.waterfill import water_fill
 from repro.core.problem import AAProblem, Assignment
-from repro.utility.batch import as_batch
+from repro.utility.batch import UtilityBatch, as_batch
 
 
 def iter_partitions(n: int, max_blocks: int) -> Iterator[list[list[int]]]:
@@ -36,7 +36,7 @@ def iter_partitions(n: int, max_blocks: int) -> Iterator[list[list[int]]]:
         return
     labels = [0] * n
 
-    def rec(i: int, used: int):
+    def rec(i: int, used: int) -> Iterator[list[list[int]]]:
         if i == n:
             blocks: list[list[int]] = [[] for _ in range(used)]
             for t, lab in enumerate(labels):
@@ -85,7 +85,10 @@ def exact_continuous(problem: AAProblem) -> Assignment:
 
 
 def exact_discrete_value(
-    utilities, n_servers: int, capacity_units: int, unit: float = 1.0
+    utilities: "UtilityBatch | list",
+    n_servers: int,
+    capacity_units: int,
+    unit: float = 1.0,
 ) -> float:
     """Optimal total utility with unit-granular allocations (memoized DP).
 

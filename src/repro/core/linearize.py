@@ -18,12 +18,16 @@ three arrays stored here: ``c_hat``, ``top = f(ĉ)`` and ``slope = top/ĉ``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.allocation.waterfill import water_fill
 from repro.core.problem import AAProblem
 from repro.observability import LINEARIZE_CALLS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import SolveContext
 
 
 @dataclass(frozen=True)
@@ -47,7 +51,7 @@ class Linearization:
     slope: np.ndarray
     super_optimal_utility: float
 
-    def g_value(self, i, x):
+    def g_value(self, i: "np.ndarray | int", x: "np.ndarray | float") -> "np.ndarray | float":
         """Linearized utility ``g_i(x)``, elementwise over arrays ``i``/``x``."""
         i = np.asarray(i, dtype=np.int64)
         x = np.asarray(x, dtype=float)
@@ -63,7 +67,9 @@ class Linearization:
         return float(np.sum(self.g_value(idx, x)))
 
 
-def linearize(problem: AAProblem, ctx=None) -> Linearization:
+def linearize(
+    problem: AAProblem, ctx: "SolveContext | None" = None
+) -> Linearization:
     """Compute ĉ by water-filling the ``mC`` pool, then build ``g``.
 
     The water-filling respects each thread's domain cap, so ``ĉ_i <= C``
@@ -84,7 +90,7 @@ def linearize(problem: AAProblem, ctx=None) -> Linearization:
         return _linearize(problem, ctx)
 
 
-def _linearize(problem: AAProblem, ctx) -> Linearization:
+def _linearize(problem: AAProblem, ctx: "SolveContext | None") -> Linearization:
     batch = problem.utilities
     result = water_fill(batch, problem.pool, ctx=ctx)
     c_hat = np.asarray(result.allocations, dtype=float)

@@ -13,14 +13,23 @@ paper algorithms remain available via ``reclaim=False``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.allocation.grouped import water_fill_grouped
 from repro.core.problem import AAProblem, Assignment
 from repro.observability import RECLAIM_CALLS
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import SolveContext
 
-def waterfill_within_servers(problem: AAProblem, servers, ctx=None) -> Assignment:
+
+def waterfill_within_servers(
+    problem: AAProblem,
+    servers: "np.ndarray | list[int]",
+    ctx: "SolveContext | None" = None,
+) -> Assignment:
     """Optimal allocation of each server's capacity given a fixed assignment.
 
     ``servers[i]`` names thread ``i``'s server; each server's full capacity
@@ -42,7 +51,9 @@ def waterfill_within_servers(problem: AAProblem, servers, ctx=None) -> Assignmen
     return Assignment(servers=servers, allocations=result.allocations)
 
 
-def reclaim(problem: AAProblem, assignment: Assignment, ctx=None) -> Assignment:
+def reclaim(
+    problem: AAProblem, assignment: Assignment, ctx: "SolveContext | None" = None
+) -> Assignment:
     """Reallocate idle per-server resource; never decreases total utility.
 
     ``ctx`` is an optional :class:`~repro.engine.context.SolveContext`

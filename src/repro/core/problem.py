@@ -9,6 +9,7 @@ nonnegative allocation; per-server grants must sum to at most ``C``.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,7 +40,12 @@ class AAProblem:
         Resource ``C > 0`` on each server.
     """
 
-    def __init__(self, utilities, n_servers: int, capacity: float):
+    def __init__(
+        self,
+        utilities: "UtilityBatch | Sequence",
+        n_servers: int,
+        capacity: float,
+    ) -> None:
         self.utilities: UtilityBatch = as_batch(utilities)
         self.n_servers = check_integral("n_servers", n_servers, minimum=1)
         self.capacity = check_capacity("capacity", capacity)
@@ -88,7 +94,7 @@ class Assignment:
     servers: np.ndarray
     allocations: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.servers = np.asarray(self.servers, dtype=np.int64)
         self.allocations = np.asarray(self.allocations, dtype=float)
         if self.servers.shape != self.allocations.shape or self.servers.ndim != 1:

@@ -10,11 +10,15 @@ certified :class:`Solution`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.linearize import Linearization, linearize
 from repro.core.postprocess import reclaim as _reclaim
 from repro.core.problem import ALPHA, AAProblem, Assignment
 from repro.engine.registry import get_solver, list_solvers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import SolveContext
 
 
 @dataclass(frozen=True)
@@ -65,7 +69,7 @@ def solve(
     algorithm: str = "alg2",
     lin: Linearization | None = None,
     reclaim: bool = True,
-    ctx=None,
+    ctx: "SolveContext | None" = None,
 ) -> Solution:
     """Solve an AA instance with a registered solver.
 

@@ -49,6 +49,7 @@ from repro.engine.registry import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.linearize import Linearization
     from repro.core.problem import AAProblem, Assignment
+    from repro.utils.rng import SeedLike
 
 _BUILTINS_LOADED = False
 
@@ -97,7 +98,7 @@ def run_solver(
     *,
     lin: "Linearization | None" = None,
     ctx: SolveContext | None = None,
-    seed=None,
+    seed: "SeedLike" = None,
     reclaim: bool = True,
 ) -> EngineRun:
     """Resolve ``name`` in the registry and run it on ``problem``.

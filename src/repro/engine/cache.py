@@ -41,7 +41,7 @@ class LinearizationCache:
     def __len__(self) -> int:
         return len(self._store)
 
-    def __contains__(self, problem) -> bool:
+    def __contains__(self, problem: object) -> bool:
         return problem in self._store
 
     def get(self, problem: "AAProblem", ctx: "SolveContext | None" = None) -> "Linearization":

@@ -25,9 +25,12 @@ from repro.observability import Counters, EventSink, SpanRecorder
 from repro.utils.rng import SeedLike, as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from contextlib import AbstractContextManager
+
     from repro.core.linearize import Linearization
     from repro.core.problem import AAProblem
     from repro.engine.cache import LinearizationCache
+    from repro.utils.timing import Timer
 
 
 class SolveTimeout(TimeoutError):
@@ -60,7 +63,7 @@ class SolveContext:
         budget_s: float | None = None,
         sink: EventSink | None = None,
         cache: "LinearizationCache | None" = None,
-    ):
+    ) -> None:
         self.rng: np.random.Generator = as_generator(seed)
         self.counters = Counters()
         self.spans = SpanRecorder()
@@ -78,7 +81,7 @@ class SolveContext:
         """Increment counter ``name`` by ``n``."""
         self.counters.add(name, n)
 
-    def span(self, name: str):
+    def span(self, name: str) -> "_EmittingSpan":
         """Context manager timing a block under ``name`` (accumulating).
 
         On exit the interval is also emitted to the sink (if any) as a
@@ -91,7 +94,7 @@ class SolveContext:
         if self.sink is not None:
             self.sink.emit(event)
 
-    def emit_counters(self, **extra) -> None:
+    def emit_counters(self, **extra: object) -> None:
         """Emit a ``{"type": "counters", ...}`` snapshot event."""
         self.emit({"type": "counters", "counters": self.counters.snapshot(), **extra})
 
@@ -128,17 +131,18 @@ class SolveContext:
 class _EmittingSpan:
     """Span context manager that records to the recorder and the sink."""
 
-    def __init__(self, ctx: SolveContext, name: str):
+    def __init__(self, ctx: SolveContext, name: str) -> None:
         self._ctx = ctx
         self._name = name
-        self._inner = None
+        self._inner: "AbstractContextManager[Timer] | None" = None
 
-    def __enter__(self):
+    def __enter__(self) -> "Timer":
         self._inner = self._ctx.spans.span(self._name)
         self._timer = self._inner.__enter__()
         return self._timer
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
+        assert self._inner is not None, "span exited before it was entered"
         self._inner.__exit__(*exc)
         self._ctx.emit(
             {"type": "span", "name": self._name, "seconds": self._timer.elapsed}

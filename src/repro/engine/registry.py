@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.linearize import Linearization
     from repro.core.problem import AAProblem, Assignment
     from repro.engine.context import SolveContext
+    from repro.utils.rng import SeedLike
 
 
 @runtime_checkable
@@ -38,7 +39,13 @@ class Solver(Protocol):
     solvers and is ignored by deterministic ones.
     """
 
-    def __call__(self, problem, lin, ctx, seed) -> "Assignment":  # pragma: no cover
+    def __call__(
+        self,
+        problem: "AAProblem",
+        lin: "Linearization | None",
+        ctx: "SolveContext | None",
+        seed: "SeedLike",
+    ) -> "Assignment":  # pragma: no cover
         ...
 
 
@@ -90,7 +97,7 @@ class SolverSpec:
         *,
         lin: "Linearization | None" = None,
         ctx: "SolveContext | None" = None,
-        seed=None,
+        seed: "SeedLike" = None,
     ) -> "Assignment":
         """Run the solver, resolving a missing linearization if it needs one.
 
@@ -106,7 +113,14 @@ class SolverSpec:
                 lin = linearize(problem)
         return self.fn(problem, lin, ctx, seed)
 
-    def __call__(self, problem, *, lin=None, ctx=None, seed=None) -> "Assignment":
+    def __call__(
+        self,
+        problem: "AAProblem",
+        *,
+        lin: "Linearization | None" = None,
+        ctx: "SolveContext | None" = None,
+        seed: "SeedLike" = None,
+    ) -> "Assignment":
         """Alias for :meth:`run` so specs drop in for bare heuristic callables."""
         return self.run(problem, lin=lin, ctx=ctx, seed=seed)
 
@@ -196,7 +210,7 @@ class RegistryView(Mapping[str, SolverSpec]):
     drift out of sync.
     """
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self._kind = kind
 
     def __getitem__(self, name: str) -> SolverSpec:

@@ -10,7 +10,7 @@ tests and by ``benchmarks/``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

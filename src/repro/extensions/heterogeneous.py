@@ -103,6 +103,8 @@ def algorithm2_hetero(
     alloc = np.zeros(n)
     heap = IndexedMaxHeap(problem.capacities)
     for i in order:
+        if ctx is not None:
+            ctx.check_deadline()
         j, res = heap.peek()
         c = min(float(c_hat[i]), res)
         servers[i] = j
@@ -111,6 +113,8 @@ def algorithm2_hetero(
 
     if reclaim:
         for j in range(m):
+            if ctx is not None:
+                ctx.check_deadline()
             members = np.nonzero(servers == j)[0]
             if members.size == 0:
                 continue

@@ -54,6 +54,7 @@ def local_search(
     max_passes: int = 10,
     use_swaps: bool = True,
     min_gain: float = 1e-9,
+    ctx=None,
 ) -> LocalSearchResult:
     """First-improvement local search over move and swap neighborhoods.
 
@@ -72,6 +73,10 @@ def local_search(
     min_gain:
         Accept a step only if it improves total utility by more than this
         (relative to the current utility scale).
+    ctx:
+        Optional :class:`~repro.engine.SolveContext`; each neighborhood
+        evaluation polls its deadline so a budgeted service re-solve can
+        abandon a long polish mid-pass.
     """
     n, m = problem.n_threads, problem.n_servers
     servers = np.asarray(start.servers, dtype=np.int64).copy()
@@ -103,6 +108,8 @@ def local_search(
 
         # Move neighborhood: thread i from its server to server j.
         for i in range(n):
+            if ctx is not None:
+                ctx.check_deadline()
             src = int(servers[i])
             for dst in range(m):
                 if dst == src:
@@ -123,6 +130,8 @@ def local_search(
         # Swap neighborhood.
         if use_swaps:
             for i in range(n):
+                if ctx is not None:
+                    ctx.check_deadline()
                 for j in range(i + 1, n):
                     si, sj = int(servers[i]), int(servers[j])
                     if si == sj:
@@ -171,7 +180,7 @@ def _run_registered(problem, lin, ctx, seed):
     from repro.core.postprocess import reclaim
 
     start = reclaim(problem, algorithm2(problem, lin, ctx=ctx), ctx=ctx)
-    return local_search(problem, start).assignment
+    return local_search(problem, start, ctx=ctx).assignment
 
 
 def _register() -> None:

@@ -100,7 +100,9 @@ class TcpServer:
 
     def start(self) -> "TcpServer":
         """Serve in a daemon thread; returns self (so ``server = ...start()``)."""
-        self._thread = threading.Thread(
+        # Lifecycle attribute: start/stop are called by the owning thread
+        # only, never by connection handlers (which share just _lock).
+        self._thread = threading.Thread(  # aart: ignore[AART005]
             target=self.serve_forever, name="aart-serve", daemon=True
         )
         self._thread.start()
@@ -111,7 +113,7 @@ class TcpServer:
         self._shutdown.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-            self._thread = None
+            self._thread = None  # aart: ignore[AART005]  (owner-thread lifecycle)
 
     def __enter__(self) -> "TcpServer":
         return self.start()

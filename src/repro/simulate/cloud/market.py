@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.extensions.online import OnlineScheduler
-from repro.simulate.cloud.vm import VMRequest, random_portfolio
+from repro.simulate.cloud.vm import random_portfolio
 from repro.utils.rng import SeedLike, as_generator
 
 

@@ -1,6 +1,5 @@
 """Galil-style discrete bisection: agreement with Fox's exact greedy."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

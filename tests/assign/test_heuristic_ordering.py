@@ -7,7 +7,6 @@ means over many seeded instances — statistical claims, so moderately sized
 samples with comfortable margins.
 """
 
-import numpy as np
 
 from repro.assign.heuristics import rr, ru, ur, uu
 from repro.workloads.generators import (

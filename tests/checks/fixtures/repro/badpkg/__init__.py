@@ -1,0 +1,6 @@
+"""AART006 fixture: an incoherent package __init__."""
+
+from repro.somewhere import *  # AART006: star import
+from repro.core import thing  # AART006: public re-export missing from __all__
+
+__all__ = ["ghost"]  # AART006: ghost is never bound

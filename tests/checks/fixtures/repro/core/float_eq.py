@@ -1,0 +1,13 @@
+"""AART003 fixture: exact float equality in solver math."""
+
+
+def feasible(alloc, cap, total, budget):
+    if alloc == 1.5:  # AART003: equality against non-zero float literal
+        return False
+    if total / cap == budget:  # AART003: float expression equality
+        return False
+    if float(alloc) != cap:  # AART003: float cast inequality
+        return False
+    if alloc == 0.0:  # allowed: exact-zero sentinel
+        return True
+    return alloc <= cap

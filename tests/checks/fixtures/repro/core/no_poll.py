@@ -1,0 +1,30 @@
+"""AART004 fixture: a registered solver that iterates without polling."""
+
+from repro.engine.registry import register_solver
+
+
+def greedy_order(problem):
+    order = []
+    for i in range(problem.n_threads):  # loop, reached from the entry
+        order.append(i)
+    return order
+
+
+def slow_solver(problem, lin, ctx, seed):
+    total = 0
+    for i in greedy_order(problem):  # loops but never ctx.check_deadline()
+        total += i
+    return total
+
+
+def polite_solver(problem, lin, ctx, seed):
+    total = 0
+    for i in greedy_order(problem):
+        if ctx is not None:
+            ctx.check_deadline()  # allowed: polls inside the loop
+        total += i
+    return total
+
+
+register_solver("fixture_bad", slow_solver, kind="heuristic")
+register_solver("fixture_good", polite_solver, kind="heuristic")

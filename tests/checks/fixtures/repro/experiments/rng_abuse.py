@@ -1,0 +1,13 @@
+"""AART002 fixture: stdlib random and legacy numpy RNG."""
+
+import random  # AART002: stdlib random import
+from random import choice  # AART002: stdlib random import
+from numpy.random import RandomState  # AART002: legacy numpy API
+
+import numpy as np
+
+
+def draw(n):
+    legacy = np.random.rand(n)  # AART002: legacy global-state draw
+    modern = np.random.default_rng(0).random(n)  # allowed: modern API
+    return random.random(), choice([1, 2]), RandomState(0), legacy, modern

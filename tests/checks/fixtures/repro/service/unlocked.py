@@ -1,0 +1,24 @@
+"""AART005 fixture: lock-owning class mutating state outside its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # allowed: __init__ is exempt
+
+    def bump(self):
+        self.value += 1  # AART005: mutation outside `with self._lock`
+
+    def safe_bump(self):
+        with self._lock:
+            self.value += 1  # allowed: under the lock
+
+
+class Unlocked:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1  # allowed: class owns no lock

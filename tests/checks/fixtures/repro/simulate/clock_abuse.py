@@ -1,0 +1,13 @@
+"""AART001 fixture: raw wall-clock reads outside the timing layer."""
+
+import time
+from time import perf_counter
+
+
+def measure(run):
+    start = time.time()  # AART001: banned module call
+    run()
+    mid = perf_counter()  # AART001: banned bare name call
+    elapsed = time.perf_counter() - start  # AART001: banned module call
+    ok = time.monotonic()  # allowed: control-flow clock, never banned
+    return elapsed, mid, ok

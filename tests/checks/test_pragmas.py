@@ -1,0 +1,53 @@
+"""Line-anchored `# aart: ignore[...]` suppression."""
+
+from pathlib import Path
+
+from repro.checks.base import Finding
+from repro.checks.pragmas import filter_findings, parse_pragmas
+from repro.checks.runner import run_checks
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_parse_targeted_and_blanket_pragmas():
+    pragmas = parse_pragmas(
+        [
+            "x = 1  # aart: ignore[AART001]",
+            "y = 2",
+            "z = 3  # aart: ignore[AART002, AART003]",
+            "w = 4  # aart: ignore",
+        ]
+    )
+    assert pragmas[1].codes == frozenset({"AART001"})
+    assert 2 not in pragmas
+    assert pragmas[3].codes == frozenset({"AART002", "AART003"})
+    assert pragmas[4].codes == frozenset()  # blanket: suppress all
+
+
+def _finding(rule, line, path="mod.py"):
+    return Finding(rule=rule, path=path, line=line, col=0, message="m")
+
+
+def test_filter_is_line_and_code_exact():
+    pragmas = {"mod.py": parse_pragmas(["a  # aart: ignore[AART001]", "b"])}
+    kept = filter_findings(
+        [
+            _finding("AART001", 1),  # suppressed: code + line match
+            _finding("AART002", 1),  # kept: wrong code
+            _finding("AART001", 2),  # kept: wrong line
+            _finding("AART001", 1, path="other.py"),  # kept: wrong file
+        ],
+        pragmas,
+    )
+    assert [(f.rule, f.path, f.line) for f in kept] == [
+        ("AART002", "mod.py", 1),
+        ("AART001", "mod.py", 2),
+        ("AART001", "other.py", 1),
+    ]
+
+
+def test_pragma_fixture_is_fully_suppressed():
+    result = run_checks([FIXTURES / "repro/experiments/pragma_ok.py"], root=FIXTURES)
+    assert not result.errors
+    assert result.findings == []
+    assert result.suppressed == 2  # both seeded AART002 violations

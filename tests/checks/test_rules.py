@@ -1,0 +1,71 @@
+"""Every rule fires on its seeded fixture, and on nothing else there."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks.base import all_rules
+from repro.checks.runner import run_checks
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden.json"
+
+#: fixture (relative to FIXTURES) -> the one rule it seeds violations for.
+FIXTURE_RULE = {
+    "repro/simulate/clock_abuse.py": "AART001",
+    "repro/experiments/rng_abuse.py": "AART002",
+    "repro/core/float_eq.py": "AART003",
+    "repro/core/no_poll.py": "AART004",
+    "repro/service/unlocked.py": "AART005",
+    "repro/badpkg/__init__.py": "AART006",
+    "repro/engine/swallow.py": "AART007",
+}
+
+
+def check_fixture(rel):
+    return run_checks([FIXTURES / rel], root=FIXTURES)
+
+
+def test_rule_catalog_is_complete():
+    assert [r.code for r in all_rules()] == sorted(FIXTURE_RULE.values())
+
+
+@pytest.mark.parametrize("rel,code", sorted(FIXTURE_RULE.items()))
+def test_rule_fires_on_its_fixture(rel, code):
+    result = check_fixture(rel)
+    assert not result.errors
+    fired = {f.rule for f in result.findings}
+    assert fired == {code}, f"{rel}: expected only {code}, got {sorted(fired)}"
+
+
+@pytest.mark.parametrize("rel,code", sorted(FIXTURE_RULE.items()))
+def test_select_narrows_to_one_rule(rel, code):
+    result = check_fixture(rel)
+    selected = run_checks([FIXTURES / rel], select=[code.lower()], root=FIXTURES)
+    assert [f.to_dict() for f in selected.findings] == [
+        f.to_dict() for f in result.findings
+    ]
+    others = [r.code for r in all_rules() if r.code != code]
+    rest = run_checks([FIXTURES / rel], select=others, root=FIXTURES)
+    assert rest.findings == []
+
+
+def test_findings_match_golden():
+    golden = json.loads(GOLDEN.read_text())
+    actual = {}
+    for path in sorted(FIXTURES.rglob("*.py")):
+        rel = path.relative_to(FIXTURES).as_posix()
+        result = run_checks([path], root=FIXTURES)
+        assert not result.errors, (rel, result.errors)
+        actual[rel] = {
+            "findings": [f.to_dict() for f in result.findings],
+            "suppressed": result.suppressed,
+        }
+    assert actual == golden
+
+
+def test_every_fixture_is_in_the_golden_file():
+    golden = json.loads(GOLDEN.read_text())
+    on_disk = {p.relative_to(FIXTURES).as_posix() for p in FIXTURES.rglob("*.py")}
+    assert set(golden) == on_disk

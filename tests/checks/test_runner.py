@@ -1,0 +1,62 @@
+"""Runner semantics: discovery, selection errors, exit codes, reports."""
+
+import json
+from pathlib import Path
+
+from repro.checks.reporters import FORMAT_TAG, render_json, render_text
+from repro.checks.runner import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    discover_files,
+    run_checks,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_discovery_skips_fixture_and_cache_dirs():
+    found = discover_files([Path(__file__).parent], root=REPO)
+    assert Path(__file__) in found
+    assert not [p for p in found if "fixtures" in p.parts]
+    assert not [p for p in found if "__pycache__" in p.parts]
+
+
+def test_explicit_file_path_bypasses_the_fixtures_skip():
+    target = FIXTURES / "repro/core/float_eq.py"
+    assert discover_files([target], root=FIXTURES) == [target]
+
+
+def test_unknown_rule_is_a_usage_error():
+    result = run_checks([FIXTURES / "repro/core/float_eq.py"], select=["AART999"])
+    assert result.exit_code == EXIT_ERROR
+    assert "AART999" in result.errors[0]
+
+
+def test_exit_codes():
+    dirty = run_checks([FIXTURES / "repro/core/float_eq.py"], root=FIXTURES)
+    assert dirty.exit_code == EXIT_FINDINGS
+    clean = run_checks(
+        [FIXTURES / "repro/experiments/pragma_ok.py"], root=FIXTURES
+    )
+    assert clean.exit_code == EXIT_CLEAN
+
+
+def test_json_report_shape():
+    result = run_checks([FIXTURES / "repro/core/float_eq.py"], root=FIXTURES)
+    doc = json.loads(render_json(result))
+    assert doc["format"] == FORMAT_TAG
+    assert doc["checked_files"] == 1
+    assert doc["errors"] == []
+    assert {f["rule"] for f in doc["findings"]} == {"AART003"}
+    assert set(doc["findings"][0]) == {"rule", "path", "line", "col", "message"}
+    assert "AART003" in doc["rules"]
+    assert doc["rules"]["AART003"]["rationale"]
+
+
+def test_text_report_mentions_every_finding():
+    result = run_checks([FIXTURES / "repro/core/float_eq.py"], root=FIXTURES)
+    text = render_text(result)
+    assert text.count("AART003") == len(result.findings)
+    assert "1 file(s)" in text

@@ -1,0 +1,41 @@
+"""The repo must pass its own checker — the CI gate in miniature."""
+
+import json
+from pathlib import Path
+
+from repro.checks.runner import EXIT_CLEAN, run_checks
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_is_clean():
+    result = run_checks([REPO / "src"], root=REPO)
+    assert not result.errors
+    assert result.findings == [], "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in result.findings
+    )
+    assert result.exit_code == EXIT_CLEAN
+    assert result.checked > 50  # the whole tree, not a subset
+
+
+def test_test_tree_is_clean():
+    result = run_checks([REPO / "tests"], root=REPO)
+    assert not result.errors
+    assert result.findings == []
+
+
+def test_cli_check_command(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    code = main(["check", "src", "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == EXIT_CLEAN
+    assert doc["format"] == "aart-findings/1"
+    assert doc["findings"] == []
+
+
+def test_cli_select_unknown_rule_exits_2(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    code = main(["check", "src", "--select", "NOPE"])
+    assert code == 2
+    assert "NOPE" in capsys.readouterr().out

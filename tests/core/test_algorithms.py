@@ -10,7 +10,7 @@ from repro.core.exact import exact_continuous
 from repro.core.linearize import linearize
 from repro.core.postprocess import reclaim
 from repro.core.problem import ALPHA, AAProblem
-from repro.utility.functions import CappedLinearUtility, LinearUtility, LogUtility
+from repro.utility.functions import CappedLinearUtility, LogUtility
 
 from tests.conftest import CAP, aa_problems
 

@@ -1,8 +1,6 @@
 """Exact solvers: partition enumeration and the discrete DP cross-check."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 

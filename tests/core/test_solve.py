@@ -1,6 +1,5 @@
 """solve() facade and Solution certificates."""
 
-import numpy as np
 import pytest
 
 from repro.core.problem import ALPHA, AAProblem

@@ -1,10 +1,8 @@
 """Trial-budget convergence tooling."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.convergence import (
-    ConvergencePoint,
     convergence_study,
     render_convergence,
     required_trials,

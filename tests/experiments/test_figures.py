@@ -5,7 +5,6 @@ import pytest
 from repro.experiments.figures import (
     BETA_SWEEP,
     FIGURES,
-    FigureSpec,
     expected_shape_violations,
     run_figure,
 )

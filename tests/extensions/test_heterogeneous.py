@@ -10,7 +10,7 @@ from repro.extensions.heterogeneous import (
     algorithm2_hetero,
     super_optimal_hetero,
 )
-from repro.utility.functions import CappedLinearUtility, LogUtility
+from repro.utility.functions import LogUtility
 
 from tests.conftest import utility_lists
 

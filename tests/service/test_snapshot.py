@@ -13,7 +13,6 @@ from repro.service import (
     load_snapshot,
     save_snapshot,
     snapshot_from_dict,
-    snapshot_to_dict,
 )
 from repro.utility.functions import LogUtility, SaturatingUtility
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.simulate.cloud.provider import CloudProvider, ProvisioningPlan
+from repro.simulate.cloud.provider import CloudProvider
 from repro.simulate.cloud.vm import TIERS, random_portfolio
 
 

@@ -1,6 +1,5 @@
 """Dynamic cloud market simulation."""
 
-import numpy as np
 import pytest
 
 from repro.simulate.cloud.market import CloudMarket

@@ -1,6 +1,5 @@
 """M/M/1/K closed forms and the discrete-event simulator."""
 
-import numpy as np
 import pytest
 
 from repro.simulate.hosting.queueing import (

@@ -12,7 +12,6 @@ from repro.core.problem import AAProblem, Assignment
 from repro.extensions.online import OnlineScheduler
 from repro.serialization import (
     assignment_from_dict,
-    assignment_to_dict,
     load_assignment,
     load_problem,
     problem_from_dict,

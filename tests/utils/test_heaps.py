@@ -1,6 +1,5 @@
 """IndexedMaxHeap: ordering, updates, determinism, randomized cross-check."""
 
-import heapq
 
 import numpy as np
 import pytest

@@ -1,7 +1,6 @@
 """Canonical scenario suites."""
 
 import numpy as np
-import pytest
 
 from repro.workloads.suites import chip_phase_flip_suite, chip_trace_suite
 
