@@ -10,6 +10,11 @@ through one SolveContext + LinearizationCache performs exactly one
 linearization per instance, and the bench reports the per-trial speedup
 over the uncached path together with the engine counters (linearize
 calls saved, bisection iterations, heap ops).
+
+Plus the observability subsystem's headline: full telemetry (tracer +
+metrics registry + in-memory sink) costs a bounded multiple of the bare
+solve, and telemetry left *unset* costs nothing measurable — the
+disabled path is a single ``is None`` check.
 """
 
 import time
@@ -24,6 +29,9 @@ from repro.observability import (
     ALG2_HEAP_OPS,
     BISECTION_ITERATIONS,
     LINEARIZE_CALLS,
+    MemorySink,
+    MetricsRegistry,
+    Tracer,
 )
 from repro.utils.rng import spawn_generators
 from repro.workloads.generators import UniformDistribution, make_problem
@@ -110,3 +118,69 @@ def test_shared_linearization_speedup(benchmark):
 
     # The whole point of the shared cache: one linearization per instance.
     assert linearize_calls == n_trials
+
+
+def test_observability_overhead(benchmark):
+    """What does full telemetry cost per solve — and disabled telemetry?
+
+    Three configurations over the same instances:
+
+    * ``bare``      — a plain ``SolveContext`` (counters/spans only);
+    * ``full``      — tracer + metrics registry + bounded memory sink;
+    * the benchmark times ``bare`` so pytest-benchmark archives the
+      baseline; ``full`` overhead is reported relative to it.
+
+    The disabled path must stay in the same ballpark as bare (its only
+    cost is ``None`` checks); full telemetry is allowed a modest
+    multiple — it records every span into three surfaces.
+    """
+    n_trials = max(TRIALS // 2, 10)
+    instances = [
+        make_problem(UniformDistribution(), n_servers=8, beta=10.0, seed=rng)
+        for rng in spawn_generators(SEED, n_trials)
+    ]
+
+    def sweep(make_ctx):
+        ctx = make_ctx()
+        for p, rng in zip(instances, spawn_generators(SEED, n_trials)):
+            run_trial(p, rng, ctx=ctx)
+        return ctx
+
+    def bare_ctx():
+        return SolveContext(seed=SEED, cache=LinearizationCache())
+
+    def full_ctx():
+        return SolveContext(
+            seed=SEED,
+            cache=LinearizationCache(),
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+            sink=MemorySink(maxlen=4096),
+        )
+
+    sweep(bare_ctx)  # warm the interpreter before timing either path
+    benchmark.pedantic(sweep, args=(bare_ctx,), rounds=1, iterations=1)
+    bare_s = benchmark.stats.stats.mean
+
+    t0 = time.perf_counter()
+    ctx = sweep(full_ctx)
+    full_s = time.perf_counter() - t0
+
+    overhead = full_s / bare_s if bare_s > 0 else float("inf")
+    spans = len(ctx.tracer)
+    print("\n=== observability overhead ===")
+    print(f"trials                 : {n_trials}")
+    print(f"bare context           : {bare_s * 1e3:.1f} ms")
+    print(f"full telemetry         : {full_s * 1e3:.1f} ms ({overhead:.2f}x)")
+    print(f"spans recorded         : {spans}")
+    print(f"metric instruments     : {len(ctx.metrics)}")
+    print(f"sink events kept       : {len(ctx.sink.events)} (dropped {ctx.sink.dropped})")
+    benchmark.extra_info["full_s"] = full_s
+    benchmark.extra_info["overhead_x"] = overhead
+    benchmark.extra_info["spans"] = spans
+
+    assert spans > 0 and len(ctx.metrics) > 0
+    # Telemetry is bookkeeping around solver work, not a second solver:
+    # generous ceiling so CI noise never flakes, still catches a hot-path
+    # regression (e.g. snapshotting inside the solve loop).
+    assert overhead < 10.0, f"full telemetry costs {overhead:.1f}x the bare solve"

@@ -50,9 +50,9 @@ def cmd_solve(args) -> int:
     problem = load_problem(args.problem)
     ctx = None
     if args.trace:
-        from repro.observability import JsonlSink
+        from repro.observability import JsonlSink, Tracer
 
-        ctx = SolveContext(seed=0, sink=JsonlSink(args.trace))
+        ctx = SolveContext(seed=0, sink=JsonlSink(args.trace), tracer=Tracer())
     sol = solve(problem, algorithm=args.algorithm, reclaim=not args.no_reclaim, ctx=ctx)
     assignment = sol.assignment
     if args.refine:
@@ -67,8 +67,9 @@ def cmd_solve(args) -> int:
     _print_solution(problem, assignment, sol.super_optimal_utility, args.algorithm)
     if ctx is not None:
         ctx.emit_counters(solver=args.algorithm)
+        ctx.emit_trace(solver=args.algorithm)
         ctx.sink.close()
-        print(f"trace written to {args.trace}")
+        print(f"trace written to {args.trace} (convert: aart trace {args.trace})")
     if args.output:
         save_assignment(assignment, args.output)
         print(f"assignment saved to {args.output}")
@@ -193,6 +194,17 @@ def cmd_serve(args) -> int:
     server = TcpServer(
         service, host=args.host, port=args.port, coalesce_window_s=args.coalesce_window
     )
+    httpd = None
+    if args.metrics_port is not None:
+        from repro.service import MetricsHttpServer
+
+        httpd = MetricsHttpServer(
+            service, host=args.host, port=args.metrics_port, lock=server.lock
+        ).start()
+        print(
+            f"metrics on http://{httpd.host}:{httpd.port}/metrics "
+            f"(health: /healthz)"
+        )
     print(
         f"aart allocation service on {server.host}:{server.port} "
         f"({state.n_servers} servers × C={state.capacity:g}); Ctrl-C to stop"
@@ -202,6 +214,8 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if httpd is not None:
+            httpd.stop()
         if args.snapshot:
             save_snapshot(state, args.snapshot)
             print(f"snapshot saved to {args.snapshot} (version {state.version})")
@@ -230,6 +244,9 @@ def cmd_client(args) -> int:
             resp = client.rebalance()
         elif args.client_command == "snapshot":
             resp = client.snapshot(args.output)
+        elif args.client_command == "metrics":
+            print(_render_metrics(client.metrics()))
+            return 0
         else:  # status
             status = client.status()
             print(
@@ -253,6 +270,174 @@ def cmd_client(args) -> int:
         return 0
     print(f"{resp.op}: REFUSED — {resp.error}", file=sys.stderr)
     return 1
+
+
+def _hist_quantile(inst: dict, q: float) -> float:
+    """Bucket-resolution quantile from a histogram instrument snapshot."""
+    import math
+
+    total = int(inst["count"])
+    if total == 0:
+        return math.nan
+    rank = q * total
+    seen = 0
+    for bound, n in zip(inst["buckets"], inst["counts"]):
+        seen += int(n)
+        if seen >= rank and n:
+            return float(bound)
+    return math.inf
+
+
+def _fmt_seconds(s: float) -> str:
+    import math
+
+    if math.isnan(s):
+        return "-"
+    if math.isinf(s):
+        return "inf"
+    return f"{s * 1e3:.3g}ms" if s < 1.0 else f"{s:.3g}s"
+
+
+def _render_metrics(data: dict) -> str:
+    """Human-readable summary of a ``QueryMetrics`` response payload."""
+    gap = data["gap"]
+    lines = [
+        f"guarantee: {'OK' if gap['ok'] else 'BREACHED'} — "
+        f"{gap['steps']} certified steps, {gap['breaches']} below "
+        f"α={gap['threshold']:.4f}",
+    ]
+    if gap["last_ratio"] is not None:
+        lines.append(
+            f"ratio: last {gap['last_ratio']:.4f}, "
+            f"min {gap['min_ratio']:.4f}, p50 {gap['p50']:.4f} "
+            f"(rolling window of {gap['window']})"
+        )
+    counters, gauges, hists = [], [], []
+    for inst in data["metrics"]["instruments"]:
+        if inst["kind"] == "counter":
+            counters.append(inst)
+        elif inst["kind"] == "gauge":
+            gauges.append(inst)
+        else:
+            hists.append(inst)
+    if gauges:
+        lines.append("gauges:")
+        for inst in gauges:
+            label = "".join(f"{{{k}={v}}}" for k, v in sorted(inst["labels"].items()))
+            lines.append(f"  {inst['name']}{label} = {inst['value']:g}")
+    if hists:
+        lines.append("histograms (count / mean / p50 / p95):")
+        for inst in hists:
+            label = "".join(f"{{{k}={v}}}" for k, v in sorted(inst["labels"].items()))
+            n = int(inst["count"])
+            mean = inst["sum"] / n if n else float("nan")
+            lines.append(
+                f"  {inst['name']}{label}: {n} / {_fmt_seconds(mean)} / "
+                f"{_fmt_seconds(_hist_quantile(inst, 0.50))} / "
+                f"{_fmt_seconds(_hist_quantile(inst, 0.95))}"
+            )
+    if counters:
+        lines.append("counters:")
+        for inst in counters:
+            lines.append(f"  {inst['name']} = {inst['value']:g}")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Poll a running service and render a compact refreshing dashboard."""
+    import time
+
+    from repro.service import Client
+
+    ticks = 0
+    try:
+        while True:
+            with Client(host=args.host, port=args.port) as client:
+                status = client.status()
+                data = client.metrics()
+            gap = data["gap"]
+            ratio = status["last_ratio"]
+            loads = ", ".join(f"{x:.4g}" for x in status["server_loads"])
+            print(
+                f"v{status['version']}: {status['n_threads']} threads, "
+                f"queue {status['queue_length']}, "
+                f"utility {status['total_utility']:.6g}, "
+                f"ratio {ratio:.4f} (α {gap['threshold']:.3f}), "
+                f"{'OK' if gap['ok'] else 'BREACHED'} "
+                f"[{gap['breaches']}/{gap['steps']} breached]"
+            )
+            print(f"  loads [{loads}] / C={status['capacity']:g}")
+            for inst in data["metrics"]["instruments"]:
+                if inst["kind"] != "histogram" or not inst["labels"].get("op"):
+                    continue
+                n = int(inst["count"])
+                lines = (
+                    f"  {inst['labels']['op']}: {n} reqs, "
+                    f"p50 {_fmt_seconds(_hist_quantile(inst, 0.50))}, "
+                    f"p95 {_fmt_seconds(_hist_quantile(inst, 0.95))}"
+                )
+                print(lines)
+            ticks += 1
+            if args.iterations and ticks >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_trace(args) -> int:
+    """Convert a JSONL event file's trace snapshots to Chrome trace JSON."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.observability import TRACE_FORMAT, Tracer, chrome_trace
+
+    snapshots = []
+    for line in Path(args.trace_file).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = _json.loads(line)
+        except ValueError:
+            continue
+        if obj.get("format") == TRACE_FORMAT and "spans" in obj:
+            snapshots.append(obj)
+    if not snapshots:
+        print(
+            f"error: no {TRACE_FORMAT} snapshots in {args.trace_file} "
+            "(solve with --trace, or emit_trace() from a SolveContext)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.format == "chrome":
+        doc = _json.dumps(chrome_trace(*snapshots))
+        if args.output:
+            Path(args.output).write_text(doc + "\n")
+            n = sum(len(s["spans"]) for s in snapshots)
+            print(
+                f"wrote {n} spans from {len(snapshots)} trace(s) to {args.output} "
+                "(load at https://ui.perfetto.dev or chrome://tracing)"
+            )
+        else:
+            print(doc)
+        return 0
+    # --format tree: ASCII span forests with durations.
+    for snap in snapshots:
+        tracer = Tracer(trace_id=snap.get("trace_id", "?"))
+        tracer.merge(snap, parent_id=None, at=0.0)
+        print(f"trace {tracer.trace_id}:")
+
+        def render(nodes, depth):
+            for node in nodes:
+                print(
+                    f"{'  ' * depth}- {node['name']} "
+                    f"({_fmt_seconds(node['duration'])})"
+                )
+                render(node["children"], depth + 1)
+
+        render(tracer.tree(), 1)
+    return 0
 
 
 def cmd_check(args) -> int:
@@ -383,6 +568,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restore from PATH at start (if present) and save on exit")
     p.add_argument("--trace", metavar="PATH",
                    help="write request/step/replan events (JSONL) here")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="also serve HTTP /metrics (Prometheus) and /healthz "
+                   "(JSON) on this port (0 picks a free port)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve)
 
@@ -400,9 +588,27 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--id", required=True, help="thread id")
     csub.add_parser("rebalance", help="force a full re-solve")
     csub.add_parser("status", help="print the cluster overview")
+    csub.add_parser("metrics", help="print gap stats and instrument summary")
     c = csub.add_parser("snapshot", help="snapshot the daemon's state")
     c.add_argument("-o", "--output", help="server-side path to write (else inline)")
     p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser("top", help="live dashboard for a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="stop after N frames (default: until Ctrl-C)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "trace", help="convert a JSONL trace to Chrome/Perfetto or a span tree"
+    )
+    p.add_argument("trace_file", help="JSONL written by --trace / emit_trace()")
+    p.add_argument("--format", choices=("chrome", "tree"), default="chrome")
+    p.add_argument("-o", "--output", help="write Chrome JSON here (else stdout)")
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

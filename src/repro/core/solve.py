@@ -107,11 +107,21 @@ def solve(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {names}"
         ) from None
-    if lin is None:
-        lin = ctx.linearization(problem) if ctx is not None else linearize(problem)
-    assignment = spec.run(problem, lin=lin, ctx=ctx, seed=ctx.rng if ctx is not None else None)
-    if reclaim and spec.reclaim:
-        assignment = _reclaim(problem, assignment, ctx=ctx)
+    if ctx is None:
+        if lin is None:
+            lin = linearize(problem)
+        assignment = spec.run(problem, lin=lin, ctx=None, seed=None)
+        if reclaim and spec.reclaim:
+            assignment = _reclaim(problem, assignment, ctx=None)
+    else:
+        # One root span covers linearization, the solver and the
+        # reclamation pass, so they trace as children of solve.<name>.
+        with ctx.solve_span(spec.name):
+            if lin is None:
+                lin = ctx.linearization(problem)
+            assignment = spec.run(problem, lin=lin, ctx=ctx, seed=ctx.rng)
+            if reclaim and spec.reclaim:
+                assignment = _reclaim(problem, assignment, ctx=ctx)
     assignment.validate(problem)
     return Solution(
         assignment=assignment,

@@ -122,15 +122,27 @@ def run_solver(
         heuristics no).  Pass ``False`` for the verbatim algorithm.
     """
     spec = get_solver(name)
-    if spec.uses_linearization and lin is None:
-        lin = get_linearization(problem, ctx)
-    if seed is None and ctx is not None:
-        seed = ctx.rng
-    assignment = spec.fn(problem, lin, ctx, seed)
-    if reclaim and spec.reclaim:
-        from repro.core.postprocess import reclaim as _reclaim
+    if ctx is None:
+        if spec.uses_linearization and lin is None:
+            lin = get_linearization(problem, None)
+        assignment = spec.fn(problem, lin, None, seed)
+        if reclaim and spec.reclaim:
+            from repro.core.postprocess import reclaim as _reclaim
 
-        assignment = _reclaim(problem, assignment, ctx=ctx)
+            assignment = _reclaim(problem, assignment, ctx=None)
+        return EngineRun(assignment=assignment, linearization=lin, spec=spec)
+    # One solve.<name> root span per solve: linearization, solver and
+    # reclamation all trace as its children.
+    with ctx.solve_span(spec.name):
+        if spec.uses_linearization and lin is None:
+            lin = get_linearization(problem, ctx)
+        if seed is None:
+            seed = ctx.rng
+        assignment = spec.fn(problem, lin, ctx, seed)
+        if reclaim and spec.reclaim:
+            from repro.core.postprocess import reclaim as _reclaim
+
+            assignment = _reclaim(problem, assignment, ctx=ctx)
     return EngineRun(assignment=assignment, linearization=lin, spec=spec)
 
 

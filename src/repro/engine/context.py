@@ -17,11 +17,12 @@ when no context is supplied.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
-from repro.observability import Counters, EventSink, SpanRecorder
+from repro.observability import Counters, EventSink, MetricsRegistry, SpanRecorder, Tracer
 from repro.utils.rng import SeedLike, as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -30,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.linearize import Linearization
     from repro.core.problem import AAProblem
     from repro.engine.cache import LinearizationCache
+    from repro.observability import Histogram
     from repro.utils.timing import Timer
 
 
@@ -55,6 +57,15 @@ class SolveContext:
     cache:
         Optional shared :class:`~repro.engine.cache.LinearizationCache`;
         :meth:`linearization` consults it before recomputing.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; every
+        :meth:`span` then also records a node in its parent/child span
+        tree (the registry opens a ``solve.<name>`` root per solve).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`;
+        :meth:`observe` records histogram observations into it, and
+        :meth:`span` feeds per-span duration histograms.  When ``None``
+        (the default) both are single-``None``-check no-ops.
     """
 
     def __init__(
@@ -63,12 +74,17 @@ class SolveContext:
         budget_s: float | None = None,
         sink: EventSink | None = None,
         cache: "LinearizationCache | None" = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.rng: np.random.Generator = as_generator(seed)
         self.counters = Counters()
         self.spans = SpanRecorder()
         self.sink = sink
         self.cache = cache
+        self.tracer = tracer
+        self.metrics = metrics
+        self._open_solve: str | None = None
         self.deadline: float | None = None
         if budget_s is not None:
             if budget_s <= 0:
@@ -89,6 +105,27 @@ class SolveContext:
         """
         return _EmittingSpan(self, name)
 
+    @contextmanager
+    def solve_span(self, solver_name: str) -> Iterator[None]:
+        """The per-solve root span, idempotent per solver name.
+
+        Both the ``solve()`` facade and :meth:`SolverSpec.run
+        <repro.engine.registry.SolverSpec.run>` open ``solve.<name>``
+        around a solve; when the facade already holds it, the registry's
+        nested attempt collapses into the existing span instead of
+        double-counting (the accumulating Timer refuses same-name
+        nesting by design).
+        """
+        if self._open_solve == solver_name:
+            yield
+            return
+        previous, self._open_solve = self._open_solve, solver_name
+        try:
+            with self.span(f"solve.{solver_name}"):
+                yield
+        finally:
+            self._open_solve = previous
+
     def emit(self, event: dict) -> None:
         """Forward an event dict to the sink, if one is attached."""
         if self.sink is not None:
@@ -97,6 +134,26 @@ class SolveContext:
     def emit_counters(self, **extra: object) -> None:
         """Emit a ``{"type": "counters", ...}`` snapshot event."""
         self.emit({"type": "counters", "counters": self.counters.snapshot(), **extra})
+
+    def emit_trace(self, **extra: object) -> None:
+        """Emit the tracer's span tree as a ``{"type": "trace"}`` event.
+
+        No-op without a tracer; ``aart trace --format chrome`` converts
+        the emitted events into a Chrome/Perfetto-loadable file.
+        """
+        if self.tracer is not None:
+            self.emit({"type": "trace", **self.tracer.snapshot(), **extra})
+
+    def observe(self, name: str, value: float, help: str = "", **labels: str) -> None:
+        """Record one histogram observation — a no-op without a registry.
+
+        The ``metrics is None`` check is the *entire* disabled-path cost:
+        no instrument lookup, no allocation (a regression test pins
+        this), so hot loops may call it unconditionally.
+        """
+        if self.metrics is None:
+            return
+        self.metrics.histogram(name, help=help, **labels).observe(value)
 
     def snapshot(self) -> dict:
         """Counters plus span totals as one JSON-ready dict."""
@@ -129,14 +186,27 @@ class SolveContext:
 
 
 class _EmittingSpan:
-    """Span context manager that records to the recorder and the sink."""
+    """Span context manager driving every attached recorder at once.
+
+    One ``with ctx.span(name)`` block accumulates into the flat
+    :class:`~repro.observability.SpanRecorder`, opens a node in the
+    hierarchical :class:`~repro.observability.Tracer` (when attached),
+    feeds the per-span duration histogram (when a metrics registry is
+    attached) and emits a ``span`` event to the sink — so instrumented
+    code carries exactly one span idiom regardless of which telemetry
+    surfaces are enabled.
+    """
 
     def __init__(self, ctx: SolveContext, name: str) -> None:
         self._ctx = ctx
         self._name = name
         self._inner: "AbstractContextManager[Timer] | None" = None
+        self._trace_span: "AbstractContextManager | None" = None
 
     def __enter__(self) -> "Timer":
+        if self._ctx.tracer is not None:
+            self._trace_span = self._ctx.tracer.span(self._name)
+            self._trace_span.__enter__()
         self._inner = self._ctx.spans.span(self._name)
         self._timer = self._inner.__enter__()
         return self._timer
@@ -144,6 +214,14 @@ class _EmittingSpan:
     def __exit__(self, *exc: object) -> None:
         assert self._inner is not None, "span exited before it was entered"
         self._inner.__exit__(*exc)
+        if self._trace_span is not None:
+            self._trace_span.__exit__(*exc)
+        if self._ctx.metrics is not None:
+            from repro.observability import SPAN_SECONDS
+
+            self._ctx.metrics.histogram(
+                SPAN_SECONDS, help="Span durations by span name.", span=self._name
+            ).observe(self._timer.elapsed)
         self._ctx.emit(
             {"type": "span", "name": self._name, "seconds": self._timer.elapsed}
         )

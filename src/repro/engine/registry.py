@@ -102,16 +102,21 @@ class SolverSpec:
         """Run the solver, resolving a missing linearization if it needs one.
 
         Returns the *raw* assignment — callers (or
-        :func:`repro.engine.run_solver`) decide about reclamation.
+        :func:`repro.engine.run_solver`) decide about reclamation.  With
+        an instrumented context the whole solve runs under a
+        ``solve.<name>`` root span, so linearization and solver spans
+        become its children in the context's trace tree.
         """
-        if self.uses_linearization and lin is None:
-            if ctx is not None:
-                lin = ctx.linearization(problem)
-            else:
+        if ctx is None:
+            if self.uses_linearization and lin is None:
                 from repro.core.linearize import linearize
 
                 lin = linearize(problem)
-        return self.fn(problem, lin, ctx, seed)
+            return self.fn(problem, lin, ctx, seed)
+        with ctx.solve_span(self.name):
+            if self.uses_linearization and lin is None:
+                lin = ctx.linearization(problem)
+            return self.fn(problem, lin, ctx, seed)
 
     def __call__(
         self,

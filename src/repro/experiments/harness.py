@@ -35,6 +35,7 @@ from repro.engine import (
     map_trials,
     resolve_jobs,
 )
+from repro.observability import TRIAL_THREADS, TRIAL_UTILITY, MetricsRegistry, Tracer
 from repro.workloads.generators import Distribution, make_problem
 from repro.utils.rng import SeedLike, spawn_seed_sequences
 
@@ -98,6 +99,13 @@ def run_trial(
     else:
         for name, heuristic in heuristics.items():
             utilities[name] = heuristic(problem, seed=rng).total_utility(problem)
+    # Deterministic per-trial observations: instance size and ALG2's total
+    # utility are pure functions of the seed, so these histograms merge
+    # bit-identically from any worker split (a tier-1 test asserts it).
+    ctx.observe(TRIAL_THREADS, float(problem.n_threads),
+                help="Threads per trial instance.")
+    ctx.observe(TRIAL_UTILITY, utilities[ALG2],
+                help="ALG2 total utility per trial.")
     return TrialRecord(utilities=utilities, n_threads=problem.n_threads)
 
 
@@ -130,6 +138,8 @@ class _TrialChunkTask:
     interpolator: str
     with_cache: bool
     budget_s: float | None
+    with_tracer: bool = False
+    with_metrics: bool = False
 
 
 @dataclass(frozen=True)
@@ -146,6 +156,8 @@ class _TrialChunkResult:
     utilities: np.ndarray
     counters: dict
     spans: dict
+    trace: dict | None = None
+    metrics: dict | None = None
 
 
 def _run_trial_chunk(
@@ -162,6 +174,8 @@ def _run_trial_chunk(
         ctx = SolveContext(
             budget_s=task.budget_s,
             cache=LinearizationCache() if task.with_cache else None,
+            tracer=Tracer() if task.with_tracer else None,
+            metrics=MetricsRegistry() if task.with_metrics else None,
         )
     names: tuple | None = None
     rows = []
@@ -190,6 +204,8 @@ def _run_trial_chunk(
         utilities=np.asarray(rows, dtype=float),
         counters=ctx.counters.snapshot(),
         spans=ctx.spans.snapshot(),
+        trace=ctx.tracer.snapshot() if ctx.tracer is not None else None,
+        metrics=ctx.metrics.snapshot() if ctx.metrics is not None else None,
     )
 
 
@@ -218,10 +234,13 @@ def run_point_arrays(
     ``chunksize`` whole trials (default: ~4 chunks per worker).  Per-trial
     seeds are spawned from ``seed`` before dispatch, so any worker count —
     including 1 — produces bit-identical utilities.  With ``n_jobs > 1``
-    each worker runs its own :class:`~repro.engine.SolveContext` and its
-    counter/span snapshots are merged into ``ctx`` (sinks, which are not
-    picklable, stay serial-only); with ``n_jobs=1`` the caller's ``ctx``
-    is used directly, exactly as before.
+    each worker runs its own :class:`~repro.engine.SolveContext` mirroring
+    the caller's (tracer and metrics registry included, when present) and
+    its counter/span/trace/metrics snapshots are merged into ``ctx`` —
+    histogram merges are *exact*, worker span trees graft under the
+    caller's open span (sinks, which are not picklable, stay serial-only);
+    with ``n_jobs=1`` the caller's ``ctx`` is used directly, exactly as
+    before.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
@@ -240,6 +259,8 @@ def run_point_arrays(
             interpolator=interpolator,
             with_cache=with_cache,
             budget_s=budget_s,
+            with_tracer=ctx is not None and ctx.tracer is not None,
+            with_metrics=ctx is not None and ctx.metrics is not None,
         )
 
     if jobs == 1:
@@ -263,6 +284,10 @@ def run_point_arrays(
             for res in results:
                 ctx.counters.merge(res.counters)
                 ctx.spans.merge(res.spans)
+                if ctx.tracer is not None and res.trace is not None:
+                    ctx.tracer.merge(res.trace)
+                if ctx.metrics is not None and res.metrics is not None:
+                    ctx.metrics.merge(res.metrics)
     names = results[0].names
     if any(res.names != names for res in results):
         raise RuntimeError("contender sets diverged across trial chunks")

@@ -1,11 +1,26 @@
-"""Observability primitives: counters, timing spans, and event sinks.
+"""Observability: counters, metrics, spans, traces, sinks, gap monitoring.
 
-Grown out of ``repro.utils.timing``: the solver engine's
-:class:`~repro.engine.SolveContext` carries a :class:`Counters` and a
-:class:`SpanRecorder` and optionally streams structured events to an
-:class:`EventSink` (e.g. :class:`JsonlSink`).  Benchmarks and the
-experiment harness consume the same counters, so "how many bisection
-iterations did this sweep cost" is one snapshot away.
+Grown out of ``repro.utils.timing`` into the telemetry subsystem every
+layer shares:
+
+* **counters** — :class:`Counters`, monotonic named integers merged
+  exactly across parallel workers (canonical names live here too);
+* **metrics** — :class:`MetricsRegistry` with typed :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` instruments; fixed log-scale
+  buckets and exact sums make histogram merges associative, commutative
+  and bit-identical however trials are split across processes; rendered
+  by :func:`render_prometheus` / :func:`render_json`;
+* **spans** — :class:`SpanRecorder` (flat per-name totals) and
+  :class:`Tracer` (true parent/child span trees, Chrome-trace
+  exportable via :func:`chrome_trace`);
+* **sinks** — :class:`JsonlSink` (thread-safe), :class:`MemorySink`
+  (optionally bounded), :class:`NullSink`;
+* **gap monitoring** — :class:`GapMonitor` alerts if a certified step's
+  utility/bound ratio ever falls below the paper's α guarantee.
+
+The solver engine's :class:`~repro.engine.SolveContext` carries one of
+each (all optional); the allocation service exposes them over
+``/metrics`` and ``/healthz``.  See ``docs/observability.md``.
 """
 
 from repro.observability.counters import (
@@ -28,19 +43,59 @@ from repro.observability.counters import (
     WATERFILL_CALLS,
     Counters,
 )
+from repro.observability.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    counters_to_snapshot,
+    merge_snapshots,
+    render_json,
+    render_prometheus,
+    strip_partials,
+)
+from repro.observability.gap import GapMonitor
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    GAUGE_BOUND,
+    GAUGE_RATIO,
+    GAUGE_THREADS,
+    GAUGE_UTILITY,
+    METRICS_FORMAT,
+    QUEUE_DEPTH,
+    REQUEST_LATENCY,
+    SERVER_RESIDUAL,
+    SPAN_SECONDS,
+    STEP_SECONDS,
+    TRIAL_THREADS,
+    TRIAL_UTILITY,
+    Counter,
+    ExactSum,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.observability.sinks import EventSink, JsonlSink, MemorySink, NullSink
 from repro.observability.spans import SpanRecorder
+from repro.observability.tracing import TRACE_FORMAT, Tracer, chrome_trace
 
 __all__ = [
     "ALG1_ROUNDS",
     "ALG2_HEAP_OPS",
     "BATCH_EVALUATIONS",
     "BISECTION_ITERATIONS",
+    "DEFAULT_BUCKETS",
+    "GAUGE_BOUND",
+    "GAUGE_RATIO",
+    "GAUGE_THREADS",
+    "GAUGE_UTILITY",
     "GROUPED_BISECTION_ITERATIONS",
     "LINEARIZE_CACHE_HITS",
     "LINEARIZE_CACHE_MISSES",
     "LINEARIZE_CALLS",
+    "METRICS_FORMAT",
+    "PROMETHEUS_CONTENT_TYPE",
+    "QUEUE_DEPTH",
     "RECLAIM_CALLS",
+    "REQUEST_LATENCY",
+    "SERVER_RESIDUAL",
     "SERVICE_ADMISSION_REJECTS",
     "SERVICE_ARRIVALS",
     "SERVICE_DEPARTURES",
@@ -48,11 +103,29 @@ __all__ = [
     "SERVICE_REPLANS",
     "SERVICE_REQUESTS",
     "SERVICE_STEPS",
+    "SPAN_SECONDS",
+    "STEP_SECONDS",
+    "TRACE_FORMAT",
+    "TRIAL_THREADS",
+    "TRIAL_UTILITY",
     "WATERFILL_CALLS",
+    "Counter",
     "Counters",
     "EventSink",
+    "ExactSum",
+    "Gauge",
+    "GapMonitor",
+    "Histogram",
     "JsonlSink",
     "MemorySink",
+    "MetricsRegistry",
     "NullSink",
     "SpanRecorder",
+    "Tracer",
+    "chrome_trace",
+    "counters_to_snapshot",
+    "merge_snapshots",
+    "render_json",
+    "render_prometheus",
+    "strip_partials",
 ]

@@ -25,6 +25,7 @@ from repro.service.api import (
     MUTATING_OPS,
     PROTOCOL,
     QueryAssignment,
+    QueryMetrics,
     Rebalance,
     RemoveThread,
     Request,
@@ -37,6 +38,7 @@ from repro.service.api import (
     response_from_dict,
     response_to_dict,
 )
+from repro.service.httpd import MetricsHttpServer
 from repro.service.policy import AdmissionPolicy, ReplanPolicy
 from repro.service.server import AllocationService
 from repro.service.snapshot import (
@@ -59,7 +61,9 @@ __all__ = [
     "Client",
     "ClusterState",
     "InProcessTransport",
+    "MetricsHttpServer",
     "QueryAssignment",
+    "QueryMetrics",
     "Rebalance",
     "RemoveThread",
     "ReplanPolicy",

@@ -87,7 +87,24 @@ class Snapshot:
     op = "snapshot"
 
 
-Request = SubmitThread | RemoveThread | UpdateCapacity | Rebalance | QueryAssignment | Snapshot
+@dataclass(frozen=True)
+class QueryMetrics:
+    """Read the service's metrics snapshot and gap-monitor statistics."""
+
+    request_id: str | None = None
+
+    op = "metrics"
+
+
+Request = (
+    SubmitThread
+    | RemoveThread
+    | UpdateCapacity
+    | Rebalance
+    | QueryAssignment
+    | Snapshot
+    | QueryMetrics
+)
 
 #: Requests that mutate state and therefore coalesce into one incremental step.
 MUTATING_OPS = frozenset({"submit", "remove", "update_capacity", "rebalance"})
@@ -166,6 +183,8 @@ def request_from_dict(data: dict[str, Any]) -> Request:
         return QueryAssignment(thread_id=data.get("thread_id"), request_id=rid)
     if op == "snapshot":
         return Snapshot(path=data.get("path"), request_id=rid)
+    if op == "metrics":
+        return QueryMetrics(request_id=rid)
     raise ValueError(f"unknown request op {op!r}")
 
 

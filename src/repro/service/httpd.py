@@ -1,0 +1,134 @@
+"""Plain-HTTP introspection endpoint: ``/metrics`` and ``/healthz``.
+
+The allocation protocol itself is JSON-lines over TCP (see
+:mod:`repro.service.transport`); scrapers and load balancers speak HTTP.
+:class:`MetricsHttpServer` is the bridge — a small read-only sidecar in
+front of an :class:`~repro.service.server.AllocationService`:
+
+* ``GET /metrics`` — the service's full metrics snapshot (typed
+  instruments plus lifetime counters) in Prometheus text exposition
+  format 0.0.4;
+* ``GET /healthz`` — a JSON liveness/guarantee summary including the
+  :class:`~repro.observability.GapMonitor` statistics; the status code is
+  200 while no certified step has ever breached the α guarantee and 503
+  afterwards, so a plain HTTP check doubles as a correctness alarm.
+
+Reads race with the request-serving thread unless serialized: pass the
+transport's ``lock`` (see :attr:`~repro.service.transport.TcpServer.lock`)
+so snapshots are taken between batches, never mid-step.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import nullcontext
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.observability import PROMETHEUS_CONTENT_TYPE
+from repro.service.server import AllocationService
+
+
+class _IntrospectionHandler(BaseHTTPRequestHandler):
+    """Routes GETs to the owning :class:`MetricsHttpServer`'s service."""
+
+    # Set by MetricsHttpServer on the handler class it builds per instance.
+    owner: "MetricsHttpServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming contract
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = self.owner.render_metrics().encode("utf-8")
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            health = self.owner.render_health()
+            body = (json.dumps(health, sort_keys=True) + "\n").encode("utf-8")
+            code = 200 if health.get("status") == "ok" else 503
+            self._reply(code, "application/json; charset=utf-8", body)
+        else:
+            self._reply(
+                404,
+                "text/plain; charset=utf-8",
+                b"not found; try /metrics or /healthz\n",
+            )
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Scrape traffic is periodic by design; stderr noise helps nobody.
+        # The service's own sink already records every meaningful event.
+        return
+
+
+class MetricsHttpServer:
+    """A read-only HTTP sidecar serving ``/metrics`` and ``/healthz``.
+
+    Parameters
+    ----------
+    service:
+        The daemon to introspect; never mutated.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port`).
+    lock:
+        Optional lock held while snapshotting — share the allocation
+        transport's lock so scrapes serialize with request batches.
+    """
+
+    def __init__(
+        self,
+        service: AllocationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lock: "threading.Lock | None" = None,
+    ):
+        self.service = service
+        self._guard = lock
+        handler = type("BoundHandler", (_IntrospectionHandler,), {"owner": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    def render_metrics(self) -> str:
+        with self._guard if self._guard is not None else nullcontext():
+            return self.service.metrics_text()
+
+    def render_health(self) -> dict[str, Any]:
+        with self._guard if self._guard is not None else nullcontext():
+            return self.service.health()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MetricsHttpServer":
+        """Serve in a daemon thread; returns self (so ``httpd = ...start()``)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="aart-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and wait for the serve thread to exit."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+__all__ = ["MetricsHttpServer"]

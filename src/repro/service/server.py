@@ -29,6 +29,13 @@ from typing import Any
 
 from repro.engine import LinearizationCache, SolveContext, SolveTimeout
 from repro.observability import (
+    GAUGE_BOUND,
+    GAUGE_RATIO,
+    GAUGE_THREADS,
+    GAUGE_UTILITY,
+    QUEUE_DEPTH,
+    REQUEST_LATENCY,
+    SERVER_RESIDUAL,
     SERVICE_ADMISSION_REJECTS,
     SERVICE_ARRIVALS,
     SERVICE_DEPARTURES,
@@ -36,12 +43,20 @@ from repro.observability import (
     SERVICE_REPLANS,
     SERVICE_REQUESTS,
     SERVICE_STEPS,
+    STEP_SECONDS,
     Counters,
     EventSink,
+    GapMonitor,
+    MetricsRegistry,
+    counters_to_snapshot,
+    merge_snapshots,
+    render_prometheus,
+    strip_partials,
 )
 from repro.service.api import (
     MUTATING_OPS,
     QueryAssignment,
+    QueryMetrics,
     Rebalance,
     RemoveThread,
     Request,
@@ -72,9 +87,20 @@ class AllocationService:
         (still feasible) incremental state stands.
     sink:
         Optional :class:`~repro.observability.EventSink` receiving
-        ``request`` / ``step`` / ``replan`` events and solver spans.
+        ``request`` / ``step`` / ``replan`` / ``gap_alert`` events and
+        solver spans.
     seed:
         Seeds the RNG handed to solver contexts.
+    metrics:
+        Typed instrument registry (created fresh when omitted).  Every
+        step records per-op request latency and step-duration histograms
+        plus queue-depth / thread-count / utility / per-server-residual
+        gauges; :meth:`metrics_text` renders everything — lifetime
+        counters included — in Prometheus text format.
+    gap:
+        The :class:`~repro.observability.GapMonitor` watching certified
+        utility/bound ratios against the paper's α guarantee (created
+        fresh, wired to ``sink``, when omitted).
     """
 
     def __init__(
@@ -85,6 +111,8 @@ class AllocationService:
         solve_budget_s: float | None = None,
         sink: EventSink | None = None,
         seed: SeedLike = 0,
+        metrics: MetricsRegistry | None = None,
+        gap: GapMonitor | None = None,
     ):
         self.state = state
         self.replan_policy = replan_policy or ReplanPolicy()
@@ -93,6 +121,8 @@ class AllocationService:
         self.sink = sink
         self.counters = Counters()
         self.cache = LinearizationCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.gap = gap if gap is not None else GapMonitor(sink=sink)
         self._rng = as_generator(seed)
         self._pending: list[tuple[Request, float]] = []
         #: Certification data from the most recent step (may lag mutations
@@ -135,6 +165,9 @@ class AllocationService:
             )
             return Response.failure(request.op, reason, request_id=request.request_id)
         self._pending.append((request, time.monotonic()))
+        self.metrics.gauge(QUEUE_DEPTH, help="Mutations queued for the next step.").set(
+            len(self._pending)
+        )
         return None
 
     @property
@@ -218,6 +251,11 @@ class AllocationService:
         now = time.monotonic()
         for k, (req, t_enq) in enumerate(batch):
             resp = responses[k]
+            self.metrics.histogram(
+                REQUEST_LATENCY,
+                help="Enqueue-to-response latency per mutating op.",
+                op=req.op,
+            ).observe(now - t_enq)
             self._emit(
                 {
                     "type": "request",
@@ -226,6 +264,10 @@ class AllocationService:
                     "latency_s": now - t_enq,
                 }
             )
+        self.metrics.histogram(
+            STEP_SECONDS, help="Duration of each coalesced service step."
+        ).observe(now - t_start)
+        self._observe_state_gauges()
         self._emit(
             {
                 "type": "step",
@@ -240,6 +282,30 @@ class AllocationService:
             }
         )
         return [responses[k] for k in range(len(batch))]
+
+    def _observe_state_gauges(self) -> None:
+        """Refresh the point-in-time gauges from the post-step state."""
+        self.metrics.gauge(
+            QUEUE_DEPTH, help="Mutations queued for the next step."
+        ).set(self.queue_length)
+        self.metrics.gauge(GAUGE_THREADS, help="Threads currently scheduled.").set(
+            self.state.n_threads
+        )
+        self.metrics.gauge(
+            GAUGE_UTILITY, help="Total realized utility of the serving state."
+        ).set(self.state.total_utility())
+        assignment = self.state.assignment() if self.state.n_threads else None
+        loads = (
+            assignment.server_loads(self.state.n_servers)
+            if assignment is not None
+            else [0.0] * self.state.n_servers
+        )
+        for j, load in enumerate(loads):
+            self.metrics.gauge(
+                SERVER_RESIDUAL,
+                help="Unallocated capacity per server.",
+                server=str(j),
+            ).set(self.state.capacity - float(load))
 
     def _admit(self, req: SubmitThread, ctx: SolveContext) -> Response:
         """Admission-check one submission and greedily place it if accepted."""
@@ -278,6 +344,7 @@ class AllocationService:
         if self.state.n_threads == 0:
             self.last_bound, self.last_ratio = 0.0, 1.0
             self.last_certified_version = self.state.version
+            self.gap.observe(0.0, 0.0, version=self.state.version)
             return {"replanned": False, "reason": None, "migrations": 0}
         try:
             lin = ctx.linearization(self.state.scheduler.problem())
@@ -335,6 +402,13 @@ class AllocationService:
         self.last_bound = bound
         self.last_ratio = utility / bound if bound > 0 else 1.0
         self.last_certified_version = self.state.version
+        self.gap.observe(utility, bound, version=self.state.version)
+        self.metrics.gauge(
+            GAUGE_BOUND, help="Super-optimal utility bound at last certification."
+        ).set(bound)
+        self.metrics.gauge(
+            GAUGE_RATIO, help="Certified utility/bound ratio (guaranteed >= alpha)."
+        ).set(self.last_ratio)
         info.update(utility=utility, bound=bound, ratio=self.last_ratio)
         return info
 
@@ -363,8 +437,47 @@ class AllocationService:
             "counters": self.counters.snapshot(),
         }
 
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Typed instruments plus lifetime counters as ONE mergeable snapshot."""
+        return merge_snapshots(
+            self.metrics.snapshot(),
+            counters_to_snapshot(self.counters.snapshot()),
+        )
+
+    def metrics_text(self) -> str:
+        """Everything :meth:`metrics_snapshot` holds, in Prometheus text format."""
+        return render_prometheus(self.metrics_snapshot())
+
+    def health(self) -> dict[str, Any]:
+        """Liveness + guarantee summary for ``/healthz`` (JSON-ready).
+
+        ``status`` is ``"ok"`` while no certified step has ever breached
+        the α guarantee, ``"degraded"`` afterwards — per Lemma V.3 a
+        breach means a bug, not a hard workload.
+        """
+        gap = self.gap.stats()
+        return {
+            "status": "ok" if gap["ok"] else "degraded",
+            "version": self.state.version,
+            "n_threads": self.state.n_threads,
+            "queue_length": self.queue_length,
+            "total_utility": self.state.total_utility(),
+            "last_bound": self.last_bound,
+            "last_ratio": self.last_ratio,
+            "last_certified_version": self.last_certified_version,
+            "gap": gap,
+        }
+
     def _handle_read(self, req: Request) -> Response:
         self.counters.add(SERVICE_REQUESTS)
+        if isinstance(req, QueryMetrics):
+            return Response.success(
+                req.op,
+                request_id=req.request_id,
+                metrics=strip_partials(self.metrics_snapshot()),
+                gap=self.gap.stats(),
+                version=self.state.version,
+            )
         if isinstance(req, QueryAssignment):
             if req.thread_id is None:
                 return Response.success(req.op, request_id=req.request_id, **self.status())

@@ -26,6 +26,7 @@ import time
 
 from repro.service.api import (
     QueryAssignment,
+    QueryMetrics,
     Rebalance,
     RemoveThread,
     Request,
@@ -95,6 +96,12 @@ class TcpServer:
         self._shutdown = threading.Event()
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
+
+    @property
+    def lock(self) -> threading.Lock:
+        """The batch lock — share it with read-only sidecars (``/metrics``)
+        so their snapshots serialize with request batches."""
+        return self._lock
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -260,6 +267,9 @@ class Client:
 
     def status(self) -> dict:
         return self.request(QueryAssignment())[0].data
+
+    def metrics(self) -> dict:
+        return self.request(QueryMetrics())[0].data
 
     def snapshot(self, path: str | None = None) -> Response:
         return self.request(Snapshot(path=path))[0]

@@ -146,6 +146,62 @@ def test_span_recorder_merge_accumulates_into_existing_timer():
     assert rec.total("work") >= 1.5
 
 
+def test_jsonl_sink_concurrent_emits_produce_whole_lines(tmp_path):
+    """N threads × M events each → N*M complete, parseable lines."""
+    import threading
+
+    path = tmp_path / "concurrent.jsonl"
+    sink = JsonlSink(path)
+    n_threads, n_events = 8, 50
+
+    def pump(tid):
+        for k in range(n_events):
+            sink.emit({"type": "span", "tid": tid, "k": k, "pad": "x" * 200})
+
+    threads = [threading.Thread(target=pump, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    sink.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == n_threads * n_events
+    events = [json.loads(line) for line in lines]  # every line parses whole
+    seen = {(e["tid"], e["k"]) for e in events}
+    assert len(seen) == n_threads * n_events
+
+
+def test_jsonl_sink_reopens_after_close(tmp_path):
+    """A path-backed sink accepts emits after close() by reopening in append."""
+    path = tmp_path / "reopen.jsonl"
+    sink = JsonlSink(path)
+    sink.emit({"k": 1})
+    sink.close()
+    sink.emit({"k": 2})  # must not raise; reopens and appends
+    sink.close()
+    assert [json.loads(x)["k"] for x in path.read_text().splitlines()] == [1, 2]
+
+
+def test_memory_sink_bounded_keeps_newest_and_counts_drops():
+    sink = MemorySink(maxlen=3)
+    for k in range(5):
+        sink.emit({"type": "e", "k": k})
+    assert [e["k"] for e in sink.events] == [2, 3, 4]
+    assert sink.dropped == 2
+
+
+def test_memory_sink_unbounded_never_drops():
+    sink = MemorySink()
+    for k in range(100):
+        sink.emit({"k": k})
+    assert len(sink.events) == 100 and sink.dropped == 0
+
+
+def test_memory_sink_rejects_silly_maxlen():
+    with pytest.raises(ValueError):
+        MemorySink(maxlen=0)
+
+
 def test_timer_add_rejects_negative():
     from repro.utils.timing import Timer
 

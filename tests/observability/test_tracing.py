@@ -1,0 +1,150 @@
+"""Tracer: span trees, merging across processes, Chrome export."""
+
+import itertools
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.observability import TRACE_FORMAT, Tracer, chrome_trace
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def _ticking_clock(step=1.0):
+    """A deterministic monotonic clock advancing ``step`` per read."""
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+def _sample_tracer() -> Tracer:
+    t = Tracer(trace_id="golden-trace", clock=_ticking_clock())
+    with t.span("solve.alg2", solver="alg2"):
+        with t.span("linearize"):
+            pass
+        with t.span("alg2"):
+            pass
+        with t.span("reclaim"):
+            pass
+    return t
+
+
+# -- recording ----------------------------------------------------------------
+
+
+def test_span_tree_structure():
+    t = _sample_tracer()
+    roots = t.tree()
+    assert [r["name"] for r in roots] == ["solve.alg2"]
+    assert [c["name"] for c in roots[0]["children"]] == [
+        "linearize",
+        "alg2",
+        "reclaim",
+    ]
+    assert len(t) == 4
+    assert roots[0]["attrs"] == {"solver": "alg2"}
+    assert all(c["parent_id"] == roots[0]["span_id"] for c in roots[0]["children"])
+
+
+def test_open_span_id_tracks_nesting():
+    t = Tracer(clock=_ticking_clock())
+    assert t.open_span_id is None
+    with t.span("outer") as outer_id:
+        assert t.open_span_id == outer_id
+        with t.span("inner") as inner_id:
+            assert t.open_span_id == inner_id
+        assert t.open_span_id == outer_id
+    assert t.open_span_id is None
+
+
+def test_snapshot_roundtrips_through_json():
+    snap = _sample_tracer().snapshot()
+    assert snap["format"] == TRACE_FORMAT
+    assert snap == json.loads(json.dumps(snap))
+
+
+# -- merging ------------------------------------------------------------------
+
+
+def test_merge_remaps_ids_and_reparents_under_open_span():
+    worker = Tracer(clock=_ticking_clock())
+    with worker.span("chunk"):
+        with worker.span("trial"):
+            pass
+    caller = Tracer(clock=_ticking_clock())
+    with caller.span("sweep"):
+        caller.merge(worker.snapshot())
+    roots = caller.tree()
+    assert [r["name"] for r in roots] == ["sweep"]
+    chunk = roots[0]["children"][0]
+    assert chunk["name"] == "chunk"
+    assert [c["name"] for c in chunk["children"]] == ["trial"]
+    # ids were remapped into the caller's id space — all distinct
+    ids = [s["span_id"] for s in caller.snapshot()["spans"]]
+    assert len(set(ids)) == len(ids)
+
+
+def test_merge_outside_any_span_keeps_foreign_roots_as_roots():
+    worker = Tracer(clock=_ticking_clock())
+    with worker.span("chunk"):
+        pass
+    snap = worker.snapshot()
+    caller = Tracer(clock=_ticking_clock())
+    caller.merge(snap, at=10.0)
+    roots = caller.tree()
+    assert [r["name"] for r in roots] == ["chunk"]
+    # foreign timeline shifted so its origin lands at offset 10 on ours
+    assert roots[0]["start"] == pytest.approx(snap["spans"][0]["start"] + 10.0)
+
+
+def test_merge_rejects_foreign_formats():
+    with pytest.raises(ValueError):
+        Tracer(clock=_ticking_clock()).merge({"format": "not-a-trace"})
+
+
+def test_skeleton_is_split_invariant():
+    """The structural digest ignores how spans were spread across workers."""
+
+    def record(tracer):
+        with tracer.span("solve.alg2"):
+            with tracer.span("linearize"):
+                pass
+
+    serial = Tracer(clock=_ticking_clock())
+    for _ in range(6):
+        record(serial)
+
+    merged = Tracer(clock=_ticking_clock())
+    workers = [Tracer(clock=_ticking_clock()) for _ in range(3)]
+    for k in range(6):
+        record(workers[k % 3])
+    for w in workers:
+        merged.merge(w.snapshot())
+
+    skel = merged.skeleton()
+    assert skel == serial.skeleton()
+    assert skel["solve.alg2"]["count"] == 6
+    assert skel["solve.alg2"]["children"]["linearize"]["count"] == 6
+
+
+# -- Chrome export ------------------------------------------------------------
+
+
+def test_chrome_trace_matches_golden():
+    doc = chrome_trace(_sample_tracer().snapshot())
+    golden = json.loads((GOLDEN / "trace.chrome.json").read_text())
+    assert doc == golden
+
+
+def test_chrome_trace_shape():
+    doc = chrome_trace(_sample_tracer().snapshot(), _sample_tracer().snapshot())
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    assert {e["ph"] for e in events} == {"M", "X"}
+    assert {e["pid"] for e in events} == {0, 1}  # one pid per snapshot
+    xs = [e for e in events if e["ph"] == "X"]
+    for e in xs:
+        assert set(e) == {"ph", "pid", "tid", "name", "ts", "dur", "args"}
+        assert e["ts"] >= 0 and e["dur"] >= 0
+    with pytest.raises(ValueError):
+        chrome_trace({"format": "nope"})

@@ -1,0 +1,199 @@
+"""Service introspection: QueryMetrics, health, and the HTTP endpoints."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.problem import ALPHA
+from repro.observability import (
+    GAUGE_RATIO,
+    GAUGE_THREADS,
+    QUEUE_DEPTH,
+    REQUEST_LATENCY,
+    PROMETHEUS_CONTENT_TYPE,
+    GapMonitor,
+)
+from repro.service import (
+    AdmissionPolicy,
+    AllocationService,
+    Client,
+    ClusterState,
+    InProcessTransport,
+    MetricsHttpServer,
+    QueryMetrics,
+    Rebalance,
+    ReplanPolicy,
+    SubmitThread,
+    TcpServer,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.utility.functions import LogUtility
+
+CAP = 10.0
+
+
+def _util(c=1.0):
+    return LogUtility(c, 1.0, CAP)
+
+
+def _service(**kwargs):
+    return AllocationService(
+        ClusterState(2, CAP),
+        replan_policy=ReplanPolicy(),
+        admission_policy=AdmissionPolicy(),
+        **kwargs,
+    )
+
+
+def _loaded_service():
+    svc = _service()
+    bus = InProcessTransport(svc)
+    bus.request(*[SubmitThread(f"t{k}", _util(1 + k)) for k in range(6)])
+    bus.request(Rebalance())
+    return svc, bus
+
+
+# -- QueryMetrics codec --------------------------------------------------------
+
+
+def test_query_metrics_roundtrips_through_wire_dict():
+    req = QueryMetrics(request_id="m1")
+    wire = request_to_dict(req)
+    assert wire["op"] == "metrics"
+    assert request_from_dict(json.loads(json.dumps(wire))) == req
+
+
+# -- in-process surfaces -------------------------------------------------------
+
+
+def test_metrics_snapshot_combines_registry_and_counters():
+    svc, _ = _loaded_service()
+    names = {i["name"] for i in svc.metrics_snapshot()["instruments"]}
+    # registry-side gauges/histograms and service counters, one document
+    assert REQUEST_LATENCY in names
+    assert GAUGE_THREADS in names and QUEUE_DEPTH in names
+    assert "aart_service_steps_total" in names
+    assert "aart_service_arrivals_total" in names
+
+
+def test_gauges_track_cluster_state():
+    svc, _ = _loaded_service()
+    snap = {
+        (i["name"], tuple(sorted(i["labels"].items()))): i
+        for i in svc.metrics_snapshot()["instruments"]
+    }
+    assert snap[(GAUGE_THREADS, ())]["value"] == 6.0
+    assert snap[(QUEUE_DEPTH, ())]["value"] == 0.0
+    residuals = [i for (n, _), i in snap.items() if n == "aart_server_residual"]
+    assert len(residuals) == svc.state.n_servers
+    for inst in residuals:
+        assert 0.0 <= inst["value"] <= CAP
+
+
+def test_request_latency_labelled_per_op():
+    svc, _ = _loaded_service()
+    ops = {
+        i["labels"]["op"]
+        for i in svc.metrics_snapshot()["instruments"]
+        if i["name"] == REQUEST_LATENCY
+    }
+    assert {"submit", "rebalance"} <= ops
+
+
+def test_query_metrics_request_returns_snapshot_and_gap():
+    svc, bus = _loaded_service()
+    (resp,) = bus.request(QueryMetrics(request_id="q"))
+    assert resp.ok and resp.request_id == "q"
+    assert resp.data["version"] == svc.state.version
+    assert resp.data["gap"]["threshold"] == pytest.approx(ALPHA)
+    insts = resp.data["metrics"]["instruments"]
+    assert all("partials" not in i for i in insts)  # wire form is stripped
+    ratio = [i for i in insts if i["name"] == GAUGE_RATIO]
+    assert ratio and ratio[0]["value"] >= ALPHA
+
+
+def test_health_reports_ok_and_certified_ratio():
+    svc, _ = _loaded_service()
+    h = svc.health()
+    assert h["status"] == "ok"
+    assert h["n_threads"] == 6
+    assert h["last_ratio"] >= ALPHA
+    assert h["gap"]["breaches"] == 0
+
+
+def test_health_degrades_on_gap_breach():
+    # A monitor with an impossible threshold flags every certified step.
+    svc = _service(gap=GapMonitor(threshold=1.5))
+    bus = InProcessTransport(svc)
+    bus.request(SubmitThread("t0", _util()))
+    bus.request(Rebalance())
+    h = svc.health()
+    assert h["status"] == "degraded"
+    assert h["gap"]["breaches"] >= 1
+
+
+# -- HTTP endpoints ------------------------------------------------------------
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+def test_http_metrics_and_healthz():
+    svc, _ = _loaded_service()
+    with MetricsHttpServer(svc, port=0) as httpd:
+        base = f"http://127.0.0.1:{httpd.port}"
+        status, ctype, text = _get(base + "/metrics")
+        assert status == 200 and ctype == PROMETHEUS_CONTENT_TYPE
+        assert "aart_gap_ratio" in text
+        assert "aart_request_latency_seconds_bucket" in text
+        assert "aart_service_steps_total" in text
+
+        status, ctype, body = _get(base + "/healthz")
+        assert status == 200 and ctype.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["status"] == "ok" and doc["last_ratio"] >= ALPHA
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base + "/nope")
+        assert err.value.code == 404
+
+
+def test_http_healthz_returns_503_when_degraded():
+    svc = _service(gap=GapMonitor(threshold=1.5))
+    bus = InProcessTransport(svc)
+    bus.request(SubmitThread("t0", _util()))
+    bus.request(Rebalance())
+    with MetricsHttpServer(svc, port=0) as httpd:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"http://127.0.0.1:{httpd.port}/healthz")
+        assert err.value.code == 503
+        assert json.loads(err.value.read().decode())["status"] == "degraded"
+
+
+def test_http_alongside_tcp_shares_the_service_lock():
+    svc = _service()
+    with TcpServer(svc, port=0) as srv:
+        with MetricsHttpServer(svc, port=0, lock=srv.lock) as httpd:
+            with Client(port=srv.port) as client:
+                client.submit("t0", _util())
+                client.rebalance()
+                data = client.metrics()
+            assert data["gap"]["ok"]
+            status, _, text = _get(f"http://127.0.0.1:{httpd.port}/metrics")
+            assert status == 200 and "aart_threads" in text
+
+
+def test_client_metrics_over_tcp():
+    svc = _service()
+    with TcpServer(svc, port=0) as srv:
+        with Client(port=srv.port) as client:
+            client.submit("a", _util())
+            data = client.metrics()
+    names = {i["name"] for i in data["metrics"]["instruments"]}
+    assert REQUEST_LATENCY in names
+    assert data["version"] == svc.state.version

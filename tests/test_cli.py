@@ -181,3 +181,64 @@ def test_unknown_figure_rejected():
 def test_missing_subcommand_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_solve_trace_then_chrome_export(tmp_path, capsys):
+    """--trace writes a span tree that `aart trace` renders both ways."""
+    p = tmp_path / "prob.json"
+    trace = tmp_path / "run.jsonl"
+    main(["generate", "--servers", "2", "--beta", "3", "--seed", "2", "-o", str(p)])
+    assert main(["solve", str(p), "--trace", str(trace)]) == 0
+    capsys.readouterr()
+
+    chrome = tmp_path / "run.chrome.json"
+    assert main(["trace", str(trace), "--format", "chrome", "-o", str(chrome)]) == 0
+    doc = json.loads(chrome.read_text())
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in xs}
+    assert "solve.alg2" in names and "linearize" in names
+
+    assert main(["trace", str(trace), "--format", "tree"]) == 0
+    out = capsys.readouterr().out
+    assert "solve.alg2" in out
+    assert "linearize" in out
+
+
+def test_trace_rejects_file_without_spans(tmp_path, capsys):
+    bogus = tmp_path / "empty.jsonl"
+    bogus.write_text('{"type": "counters", "counters": {}}\n')
+    assert main(["trace", str(bogus)]) == 2
+    assert "no aart-trace" in capsys.readouterr().err
+
+
+def test_client_metrics_and_top_against_live_server(capsys):
+    from repro.service import AllocationService, ClusterState, TcpServer
+
+    svc = AllocationService(ClusterState(2, 10.0))
+    with TcpServer(svc, port=0) as srv:
+        port = str(srv.port)
+        main(["client", "--port", port, "submit", "--id", "t1", "--utility",
+              '{"type": "log", "coeff": 1, "scale": 1, "cap": 10}'])
+        main(["client", "--port", port, "rebalance"])
+        capsys.readouterr()
+
+        assert main(["client", "--port", port, "metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "guarantee: OK" in out
+        assert "ratio: last" in out
+        assert "aart_request_latency_seconds" in out
+        assert "aart_threads" in out
+
+        rc = main(["top", "--port", port, "--iterations", "1", "--interval", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "threads" in out and "ratio" in out
+
+
+def test_serve_metrics_port_flag_parses():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "--port", "0",
+                                      "--metrics-port", "9100"])
+    assert args.metrics_port == 9100
+    assert build_parser().parse_args(["serve"]).metrics_port is None
