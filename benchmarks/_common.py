@@ -10,7 +10,9 @@ around the full sweep.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 from repro.experiments.figures import expected_shape_violations, run_figure
 from repro.experiments.report import series_table
@@ -24,6 +26,32 @@ SEED = int(os.environ.get("AART_BENCH_SEED", "0"))
 #: Worker processes per sweep point (-1 = all cores).  The series are
 #: bit-identical for any value; raise it to regenerate panels faster.
 JOBS = int(os.environ.get("AART_BENCH_JOBS", "1"))
+
+#: Quick mode (CI smoke): fewer trials, relaxed throughput assertions.
+QUICK = os.environ.get("AART_BENCH_QUICK", "0") not in ("", "0", "false")
+
+#: Machine-readable headline results, shared across benches.
+HEADLINE_PATH = Path(__file__).resolve().with_name("BENCH_headline.json")
+
+
+def append_headline_record(name: str, record: dict) -> Path:
+    """Merge one named record into ``BENCH_headline.json``.
+
+    Re-running a bench replaces its own record and leaves the others in
+    place, so the file accumulates the newest number from every headline
+    bench instead of growing without bound.
+    """
+    doc: dict = {"format": "aart-bench-headline/1", "records": {}}
+    if HEADLINE_PATH.exists():
+        try:
+            existing = json.loads(HEADLINE_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        if existing.get("format") == doc["format"]:
+            doc["records"].update(existing.get("records", {}))
+    doc["records"][name] = record
+    HEADLINE_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    return HEADLINE_PATH
 
 
 def run_panel(benchmark, figure_id: str, x_label: str):

@@ -17,13 +17,15 @@ solve, and telemetry left *unset* costs nothing measurable — the
 disabled path is a single ``is None`` check.
 """
 
+import os
 import time
 
-from _common import SEED, TRIALS
+import numpy as np
+from _common import QUICK, SEED, TRIALS, append_headline_record
 
 from repro.engine import LinearizationCache, SolveContext
 from repro.experiments.figures import run_figure
-from repro.experiments.harness import SO, run_trial
+from repro.experiments.harness import SO, run_point_arrays, run_trial
 from repro.experiments.report import summarize_headlines
 from repro.observability import (
     ALG2_HEAP_OPS,
@@ -118,6 +120,92 @@ def test_shared_linearization_speedup(benchmark):
 
     # The whole point of the shared cache: one linearization per instance.
     assert linearize_calls == n_trials
+
+
+def test_batch_backend_speedup(benchmark):
+    """The array-first pipeline's headline: trials/sec, scalar vs batch.
+
+    Headline sweep point: uniform workload, paper geometry ``m = 8``,
+    ``beta = 8`` (n = 64 threads), ``C = 1000`` — the middle of the
+    figures' beta range.  Both backends run the *same* seeded point;
+    the utility matrices must agree bit for bit (the batch backend is a
+    pure throughput decision), and the batch path must clear 10x the
+    scalar trials/sec.  Results are appended to ``BENCH_headline.json``.
+
+    Knobs: ``AART_BENCH_BACKEND_TRIALS`` (default 200; quick mode 60),
+    ``AART_BENCH_QUICK`` (relaxes the 10x floor to 4x for noisy
+    smoke-test containers).
+    """
+    point = {"dist": "uniform", "n_servers": 8, "beta": 8.0, "capacity": 1000.0}
+    trials = int(
+        os.environ.get("AART_BENCH_BACKEND_TRIALS", "60" if QUICK else "200")
+    )
+    dist = UniformDistribution()
+
+    def run(backend):
+        return run_point_arrays(
+            dist,
+            point["n_servers"],
+            point["beta"],
+            point["capacity"],
+            trials=trials,
+            seed=SEED,
+            backend=backend,
+        )
+
+    def best_rate(backend, reps=3):
+        """Best-of-N trials/sec (container timing is noisy); keeps arrays."""
+        best, kept = 0.0, None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            kept = run(backend)
+            seconds = time.perf_counter() - t0
+            best = max(best, trials / seconds)
+        return best, kept
+
+    run("batch")  # warm both code paths before timing
+    scalar_rate, (names_s, utils_s) = best_rate("scalar")
+    batch_rate, kept = benchmark.pedantic(
+        best_rate, args=("batch",), rounds=1, iterations=1
+    )
+    names_b, utils_b = kept
+    speedup = batch_rate / scalar_rate
+
+    assert names_s == names_b
+    assert np.array_equal(utils_s, utils_b), "batch backend changed results"
+
+    record = {
+        "point": point,
+        "trials": trials,
+        "seed": SEED,
+        "quick": QUICK,
+        "cpu_count": os.cpu_count() or 1,
+        "scalar_trials_per_sec": scalar_rate,
+        "batch_trials_per_sec": batch_rate,
+        "speedup": speedup,
+        "bit_identical": True,
+    }
+    path = append_headline_record("backend_headline", record)
+
+    print("\n=== array-first backend: trials/sec ===")
+    print(f"point: uniform, m=8, beta=8, C=1000, {trials} trials")
+    print(f"scalar backend         : {scalar_rate:8.1f} trials/s")
+    print(f"batch backend          : {batch_rate:8.1f} trials/s")
+    print(f"speedup                : {speedup:.2f}x")
+    print(f"results appended to {path}")
+    benchmark.extra_info.update(
+        {
+            "scalar_trials_per_sec": scalar_rate,
+            "batch_trials_per_sec": batch_rate,
+            "batch_speedup": speedup,
+        }
+    )
+
+    floor = 4.0 if QUICK else 10.0
+    assert speedup >= floor, (
+        f"batch backend {speedup:.2f}x scalar at the headline point; "
+        f"expected >= {floor:.0f}x"
+    )
 
 
 def test_observability_overhead(benchmark):

@@ -18,14 +18,16 @@ import os
 import time
 from pathlib import Path
 
-from _common import SEED
+from _common import QUICK, SEED, append_headline_record
 
 from repro.engine import SolveContext
 from repro.experiments.harness import run_point
 from repro.observability import LINEARIZE_CALLS
 from repro.workloads.generators import UniformDistribution
 
-TRIALS = int(os.environ.get("AART_BENCH_PARALLEL_TRIALS", "500"))
+TRIALS = int(
+    os.environ.get("AART_BENCH_PARALLEL_TRIALS", "100" if QUICK else "500")
+)
 JOB_GRID = (1, 2, 4)
 RESULT_PATH = Path(__file__).with_name("BENCH_parallel.json")
 
@@ -36,19 +38,23 @@ def test_parallel_trials_per_second(benchmark):
     ratios_by_jobs = {}
     counters_by_jobs = {}
 
-    def run_at(jobs):
+    def run_at(jobs, backend="auto"):
         ctx = SolveContext(seed=0)
         t0 = time.perf_counter()
         ratios = run_point(
-            dist, 8, 5.0, 1000.0, trials=TRIALS, seed=SEED, ctx=ctx, n_jobs=jobs
+            dist, 8, 5.0, 1000.0, trials=TRIALS, seed=SEED, ctx=ctx, n_jobs=jobs,
+            backend=backend,
         )
         seconds = time.perf_counter() - t0
+        if backend != "auto":
+            return ratios, TRIALS / seconds
         ratios_by_jobs[jobs] = ratios
         counters_by_jobs[jobs] = ctx.counters.snapshot()
         results[jobs] = {
             "seconds": seconds,
             "trials_per_sec": TRIALS / seconds,
         }
+        return ratios, TRIALS / seconds
 
     # pytest-benchmark times the whole grid; per-config numbers are ours.
     benchmark.pedantic(lambda: [run_at(j) for j in JOB_GRID], rounds=1, iterations=1)
@@ -64,7 +70,33 @@ def test_parallel_trials_per_second(benchmark):
         assert counters_by_jobs[jobs] == counters_by_jobs[1]
     assert counters_by_jobs[1][LINEARIZE_CALLS] == TRIALS
 
+    # Scalar-backend baseline at n_jobs=1: the batch backend (what "auto"
+    # picks here) must reproduce its series exactly, only faster.
+    scalar_ratios, scalar_rate = run_at(1, backend="scalar")
+    assert scalar_ratios == ratios_by_jobs[1], "backends diverged"
+    batch_rate = results[1]["trials_per_sec"]
+    backend_speedup = batch_rate / scalar_rate
+
     cores = os.cpu_count() or 1
+    append_headline_record(
+        "backend_parallel",
+        {
+            "point": {
+                "dist": "uniform", "n_servers": 8, "beta": 5.0, "capacity": 1000.0,
+            },
+            "trials": TRIALS,
+            "seed": SEED,
+            "quick": QUICK,
+            "cpu_count": cores,
+            "scalar_trials_per_sec": scalar_rate,
+            "batch_trials_per_sec": batch_rate,
+            "speedup": backend_speedup,
+            "trials_per_sec_by_jobs": {
+                str(j): results[j]["trials_per_sec"] for j in JOB_GRID
+            },
+        },
+    )
+
     doc = {
         "format": "aart-bench-parallel/1",
         "trials": TRIALS,
@@ -85,6 +117,10 @@ def test_parallel_trials_per_second(benchmark):
             f"  n_jobs={jobs}: {r['trials_per_sec']:8.1f} trials/s "
             f"({r['seconds']:.2f}s, speedup {r['speedup']:.2f}x)"
         )
+    print(
+        f"  scalar backend (n_jobs=1): {scalar_rate:8.1f} trials/s "
+        f"(batch backend {backend_speedup:.2f}x)"
+    )
     print(f"results written to {RESULT_PATH}")
 
     benchmark.extra_info.update(

@@ -157,6 +157,154 @@ def water_fill(
     return AllocationResult(c, batch.total(c), lam_star, iterations)
 
 
+@dataclass(frozen=True)
+class BatchAllocationResult:
+    """Outcome of :func:`water_fill_batch` — one pool allocation per trial.
+
+    Attributes
+    ----------
+    allocations:
+        Per-trial, per-thread grants, shape ``(trials, n)``.
+    total_utility:
+        Row sums ``sum_i f_ti(allocations[t, i])``, shape ``(trials,)``.
+    marginal_price:
+        Per-trial equalized marginal ``lam*`` (0 for slack budgets).
+    iterations:
+        Per-trial bisection steps (bracketing included), shape ``(trials,)``.
+    """
+
+    allocations: np.ndarray
+    total_utility: np.ndarray
+    marginal_price: np.ndarray
+    iterations: np.ndarray
+
+
+def water_fill_batch(
+    utilities,
+    n_trials: int,
+    budgets,
+    *,
+    rel_tol: float = 1e-12,
+    max_iter: int = 200,
+    ctx=None,
+) -> BatchAllocationResult:
+    """Run ``n_trials`` independent single-pool water-fills in lock-step.
+
+    ``utilities`` is one flat trial-major batch of ``n_trials * n`` threads
+    (trial ``t`` owns threads ``t*n … (t+1)*n - 1``); ``budgets`` gives each
+    trial's pool.  Semantically this *is* :func:`water_fill` called per
+    trial — bit-identically so, which the equivalence suite asserts: each
+    trial's bracket/bisection trajectory is advanced only on the passes the
+    scalar loop would have taken (masked updates), row sums use the same
+    pairwise ``np.sum`` reduction over a contiguous row, and the final
+    bracket interpolation is the same elementwise arithmetic.  Counters on
+    ``ctx`` are recorded at per-trial-equivalent totals (one
+    ``WATERFILL_CALLS`` per trial, demand evaluations and iterations summed
+    over the passes each trial actually participated in), so sweeps report
+    identical counts whether points run batched or scalar, in one process
+    or many.
+    """
+    batch = as_batch(utilities)
+    n_trials = int(n_trials)
+    if n_trials < 1:
+        raise ValueError(f"need at least one trial, got {n_trials}")
+    n_total = len(batch)
+    if n_total % n_trials:
+        raise ValueError(
+            f"batch of {n_total} threads does not split into {n_trials} equal trials"
+        )
+    n = n_total // n_trials
+    budgets = np.asarray(budgets, dtype=float)
+    if budgets.shape != (n_trials,):
+        raise ValueError(f"budgets must have shape ({n_trials},)")
+    if np.any(budgets < 0) or not np.all(np.isfinite(budgets)):
+        raise ValueError("budgets must be finite and nonnegative")
+    if ctx is not None:
+        ctx.count(WATERFILL_CALLS, n_trials)
+    if n == 0:
+        zeros = np.zeros(n_trials)
+        return BatchAllocationResult(
+            np.zeros((n_trials, 0)), zeros, zeros.copy(), np.zeros(n_trials, dtype=int)
+        )
+
+    caps = batch.caps
+    caps2 = caps.reshape(n_trials, n)
+    cap_totals = np.sum(caps2, axis=1)
+    slack = budgets >= cap_totals
+    zero = (budgets == 0.0) & ~slack
+    active = ~slack & ~zero
+    evals = np.zeros(n_trials, dtype=np.int64)
+    iterations = np.zeros(n_trials, dtype=np.int64)
+
+    def demand_rows(lam_rows: np.ndarray) -> np.ndarray:
+        lam_threads = np.repeat(lam_rows, n)
+        d = batch.inverse_derivative_each(lam_threads)
+        np.minimum(d, caps, out=d)  # d is a fresh temporary; cap in place
+        return d.reshape(n_trials, n)
+
+    lam_lo = np.zeros(n_trials)
+    lam_hi = np.ones(n_trials)
+    if np.any(active):
+        # Exponential bracket, masked: a trial doubles (and re-evaluates)
+        # only while its own demand at lam_hi exceeds its budget.
+        over = active & (np.sum(demand_rows(lam_hi), axis=1) > budgets)
+        evals[active] += 1
+        while np.any(over):
+            if ctx is not None:
+                ctx.check_deadline()
+            lam_lo = np.where(over, lam_hi, lam_lo)
+            lam_hi = np.where(over, lam_hi * 2.0, lam_hi)
+            iterations[over] += 1
+            evals[over] += 1  # every doubled trial re-checks its budget
+            if float(np.max(lam_hi[over])) > 1e300:
+                raise RuntimeError("water_fill_batch could not bracket a price")
+            over = over & (np.sum(demand_rows(lam_hi), axis=1) > budgets)
+        for _ in range(max_iter):
+            if ctx is not None:
+                ctx.check_deadline()
+            todo = active & (lam_hi - lam_lo > rel_tol * np.maximum(lam_hi, 1.0))
+            if not np.any(todo):
+                break
+            mid = 0.5 * (lam_lo + lam_hi)
+            iterations[todo] += 1
+            evals[todo] += 1
+            over_mid = np.sum(demand_rows(np.where(todo, mid, lam_hi)), axis=1) > budgets
+            lam_lo = np.where(todo & over_mid, mid, lam_lo)
+            lam_hi = np.where(todo & ~over_mid, mid, lam_hi)
+
+    # Final bracket resolution, identical to the scalar epilogue.
+    c_hi = demand_rows(lam_lo)
+    c_lo = demand_rows(lam_hi)
+    evals[active] += 2
+    s_hi = np.sum(c_hi, axis=1)
+    s_lo = np.sum(c_lo, axis=1)
+    moves = s_hi > s_lo
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(moves, (budgets - s_lo) / np.where(moves, s_hi - s_lo, 1.0), 0.0)
+    c = np.where(moves[:, None], c_lo + t[:, None] * (c_hi - c_lo), c_lo)
+    lam_star = np.where(active, 0.5 * (lam_lo + lam_hi), 0.0)
+
+    c = np.where(slack[:, None], caps2, c)
+    c = np.where(zero[:, None], 0.0, c)
+    if np.any(zero):
+        # Scalar convention for empty budgets: price = max derivative at 0.
+        deriv0 = batch.derivative(np.zeros(n_total)).reshape(n_trials, n)
+        zero_price = np.max(deriv0, axis=1, initial=0.0)
+        lam_star = np.where(zero, zero_price, lam_star)
+    if ctx is not None:
+        ctx.count(BATCH_EVALUATIONS, int(np.sum(evals)))
+        ctx.count(BISECTION_ITERATIONS, int(np.sum(iterations)))
+    totals = np.sum(
+        batch.value(c.reshape(n_total)).reshape(n_trials, n), axis=1
+    )
+    return BatchAllocationResult(
+        allocations=c,
+        total_utility=totals,
+        marginal_price=lam_star,
+        iterations=iterations,
+    )
+
+
 def budget_profile(utilities, budgets) -> np.ndarray:
     """Optimal total utility as a function of the pool budget.
 

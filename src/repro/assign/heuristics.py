@@ -9,15 +9,27 @@ All four return feasible :class:`~repro.core.problem.Assignment` objects;
 allocations are clipped to each thread's utility domain (clipping never
 changes utility — the functions are flat past their caps — but keeps the
 assignment strictly feasible).
+
+Each baseline also registers a trial-batched implementation
+(:attr:`~repro.engine.registry.SolverSpec.batch_fn`) that evaluates a
+whole :class:`~repro.core.batch.BatchProblem` at once; random draws still
+come from each trial's own generator in the scalar call order, so batched
+results are bit-identical to per-trial runs.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
+from repro.core.batch import BatchAssignment, BatchLinearization, BatchProblem
 from repro.core.problem import AAProblem, Assignment
 from repro.engine.registry import RegistryView, register_solver
 from repro.utils.rng import SeedLike, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import SolveContext
 
 
 def round_robin_servers(n: int, m: int) -> np.ndarray:
@@ -37,39 +49,74 @@ def uniform_split(problem: AAProblem, servers: np.ndarray) -> np.ndarray:
     return np.minimum(shares, problem.utilities.caps)
 
 
+def _spacings_gaps(
+    cuts: np.ndarray, pos: np.ndarray, size: np.ndarray, base: np.ndarray
+) -> np.ndarray:
+    """Uniform-spacings gaps for grouped members, fully vectorized.
+
+    ``cuts`` holds every group's sorted U(0,1) cut points concatenated;
+    group ``g``'s cuts start at ``base`` and a member at within-group
+    position ``pos`` (of ``size`` members) owns the gap between cut
+    ``pos-1`` (or the 0 boundary) and cut ``pos`` (or the 1 boundary).
+    The subtractions match ``np.diff`` over ``[0, cuts_g..., 1]`` exactly.
+    """
+    total = cuts.shape[0]
+    guard = max(total - 1, 0)
+    left = np.where(
+        pos > 0, cuts[np.clip(base + pos - 1, 0, guard)] if total else 0.0, 0.0
+    )
+    right = np.where(
+        pos < size - 1, cuts[np.clip(base + pos, 0, guard)] if total else 1.0, 1.0
+    )
+    return right - left
+
+
 def random_split(
-    problem: AAProblem, servers: np.ndarray, rng: np.random.Generator, ctx=None
+    problem: AAProblem,
+    servers: np.ndarray,
+    rng: np.random.Generator,
+    ctx: "SolveContext | None" = None,
 ) -> np.ndarray:
     """Random shares: each server's ``C`` is split at uniform random.
 
     Uses the uniform-spacings construction (sorted U(0,1) gaps), i.e. a
     flat Dirichlet, so every split of the full capacity is equally likely.
+    Vectorized over servers: one draw call for all cut points (PCG64
+    streams split exactly, so the draws match the historical per-server
+    calls bit-for-bit) and one grouped lexsort instead of a Python loop.
     """
     n = problem.n_threads
-    alloc = np.zeros(n)
-    for j in range(problem.n_servers):
-        if ctx is not None:
-            ctx.check_deadline()
-        members = np.nonzero(servers == j)[0]
-        k = members.size
-        if k == 0:
-            continue
-        if k == 1:
-            alloc[members] = problem.capacity
-            continue
-        cuts = np.sort(rng.uniform(0.0, 1.0, size=k - 1))
-        gaps = np.diff(np.concatenate(([0.0], cuts, [1.0])))
-        alloc[members] = gaps * problem.capacity
+    m = problem.n_servers
+    if n == 0:
+        return np.zeros(0)
+    counts = np.bincount(servers, minlength=m)
+    sizes = np.where(counts >= 2, counts - 1, 0)
+    total = int(np.sum(sizes))
+    draws = rng.uniform(0.0, 1.0, size=total)
+    seg = np.repeat(np.arange(m), sizes)
+    # Per-segment stable sort == per-server np.sort of its own draws.
+    cuts = draws[np.lexsort((draws, seg))]
+    order = np.argsort(servers, kind="stable")
+    svr = servers[order]
+    pos = np.arange(n) - (np.cumsum(counts) - counts)[svr]
+    gaps = _spacings_gaps(cuts, pos, counts[svr], (np.cumsum(sizes) - sizes)[svr])
+    alloc = np.empty(n)
+    # Singleton servers: gap spans [0, 1] so the product is exactly C.
+    alloc[order] = gaps * problem.capacity
     return np.minimum(alloc, problem.utilities.caps)
 
 
-def uu(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
+def uu(
+    problem: AAProblem, seed: SeedLike = None, ctx: "SolveContext | None" = None
+) -> Assignment:
     """Uniform assignment, uniform allocation (deterministic; seed ignored)."""
     servers = round_robin_servers(problem.n_threads, problem.n_servers)
     return Assignment(servers=servers, allocations=uniform_split(problem, servers))
 
 
-def ur(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
+def ur(
+    problem: AAProblem, seed: SeedLike = None, ctx: "SolveContext | None" = None
+) -> Assignment:
     """Uniform assignment, random allocation."""
     rng = as_generator(seed)
     servers = round_robin_servers(problem.n_threads, problem.n_servers)
@@ -78,14 +125,18 @@ def ur(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
     )
 
 
-def ru(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
+def ru(
+    problem: AAProblem, seed: SeedLike = None, ctx: "SolveContext | None" = None
+) -> Assignment:
     """Random assignment, uniform allocation."""
     rng = as_generator(seed)
     servers = random_servers(problem.n_threads, problem.n_servers, rng)
     return Assignment(servers=servers, allocations=uniform_split(problem, servers))
 
 
-def rr(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
+def rr(
+    problem: AAProblem, seed: SeedLike = None, ctx: "SolveContext | None" = None
+) -> Assignment:
     """Random assignment, random allocation."""
     rng = as_generator(seed)
     servers = random_servers(problem.n_threads, problem.n_servers, rng)
@@ -94,8 +145,129 @@ def rr(problem: AAProblem, seed: SeedLike = None, ctx=None) -> Assignment:
     )
 
 
+# -- trial-batched kernels ---------------------------------------------------
+
+
+def _trial_groups(bp: BatchProblem, servers: np.ndarray) -> tuple[np.ndarray, int]:
+    """Flat global group ids (trial t's server j → offset_t + j) and count."""
+    offsets = np.concatenate(([0], np.cumsum(bp.n_servers)))[:-1]
+    return (offsets[:, None] + servers).reshape(-1), int(np.sum(bp.n_servers))
+
+
+def round_robin_servers_batch(bp: BatchProblem) -> np.ndarray:
+    """Per-trial round-robin assignment, shape ``(trials, n)``."""
+    return np.arange(bp.n_threads, dtype=np.int64)[None, :] % bp.n_servers[:, None]
+
+
+def random_servers_batch(
+    bp: BatchProblem,
+    rngs: Sequence[np.random.Generator],
+    ctx: "SolveContext | None" = None,
+) -> np.ndarray:
+    """Per-trial random assignment; each trial draws from its own generator."""
+    rows = []
+    for t, rng in enumerate(rngs):
+        if ctx is not None:
+            ctx.check_deadline()
+        rows.append(
+            as_generator(rng).integers(
+                0, int(bp.n_servers[t]), size=bp.n_threads, dtype=np.int64
+            )
+        )
+    return np.vstack(rows)
+
+
+def uniform_split_batch(bp: BatchProblem, servers: np.ndarray) -> np.ndarray:
+    """Equal shares for every trial at once (bit-identical to per-trial)."""
+    groups, k_total = _trial_groups(bp, servers)
+    counts = np.bincount(groups, minlength=k_total)
+    shares = np.repeat(bp.capacity, bp.n_threads) / counts[groups]
+    alloc = np.minimum(shares, bp.utilities.caps)
+    return alloc.reshape(bp.n_trials, bp.n_threads)
+
+
+def random_split_batch(
+    bp: BatchProblem,
+    servers: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+    ctx: "SolveContext | None" = None,
+) -> np.ndarray:
+    """Uniform-spacings split of every trial's servers in one pass.
+
+    Each trial draws its own cut points (one ``uniform`` call per trial —
+    the exact call the scalar :func:`random_split` makes), then all
+    trials' segments sort and difference together.
+    """
+    T, n = bp.n_trials, bp.n_threads
+    groups, k_total = _trial_groups(bp, servers)
+    counts = np.bincount(groups, minlength=k_total)
+    sizes = np.where(counts >= 2, counts - 1, 0)
+    group_trial = np.repeat(np.arange(T), bp.n_servers)
+    per_trial = np.bincount(group_trial, weights=sizes, minlength=T).astype(np.int64)
+    draw_rows = []
+    for t, rng in enumerate(rngs):
+        if ctx is not None:
+            ctx.check_deadline()
+        draw_rows.append(as_generator(rng).uniform(0.0, 1.0, size=int(per_trial[t])))
+    draws = np.concatenate(draw_rows) if draw_rows else np.zeros(0)
+    seg = np.repeat(np.arange(k_total), sizes)
+    cuts = draws[np.lexsort((draws, seg))]
+    order = np.argsort(groups, kind="stable")  # trial-major, then server
+    grp = groups[order]
+    pos = np.arange(T * n) - (np.cumsum(counts) - counts)[grp]
+    gaps = _spacings_gaps(cuts, pos, counts[grp], (np.cumsum(sizes) - sizes)[grp])
+    alloc = np.empty(T * n)
+    alloc[order] = gaps * np.repeat(bp.capacity, n)[order]
+    alloc = np.minimum(alloc, bp.utilities.caps)
+    return alloc.reshape(T, n)
+
+
+def _uu_batch(
+    bp: BatchProblem,
+    blin: BatchLinearization | None,
+    ctx: "SolveContext | None",
+    rngs: Sequence[np.random.Generator],
+) -> BatchAssignment:
+    servers = round_robin_servers_batch(bp)
+    return BatchAssignment(servers=servers, allocations=uniform_split_batch(bp, servers))
+
+
+def _ur_batch(
+    bp: BatchProblem,
+    blin: BatchLinearization | None,
+    ctx: "SolveContext | None",
+    rngs: Sequence[np.random.Generator],
+) -> BatchAssignment:
+    servers = round_robin_servers_batch(bp)
+    return BatchAssignment(
+        servers=servers, allocations=random_split_batch(bp, servers, rngs, ctx=ctx)
+    )
+
+
+def _ru_batch(
+    bp: BatchProblem,
+    blin: BatchLinearization | None,
+    ctx: "SolveContext | None",
+    rngs: Sequence[np.random.Generator],
+) -> BatchAssignment:
+    servers = random_servers_batch(bp, rngs, ctx=ctx)
+    return BatchAssignment(servers=servers, allocations=uniform_split_batch(bp, servers))
+
+
+def _rr_batch(
+    bp: BatchProblem,
+    blin: BatchLinearization | None,
+    ctx: "SolveContext | None",
+    rngs: Sequence[np.random.Generator],
+) -> BatchAssignment:
+    servers = random_servers_batch(bp, rngs, ctx=ctx)
+    return BatchAssignment(
+        servers=servers, allocations=random_split_batch(bp, servers, rngs, ctx=ctx)
+    )
+
+
 def _register_heuristic(
-    name: str, fn, randomized: bool, complexity: str, description: str
+    name: str, fn, batch_fn, randomized: bool, complexity: str, description: str
 ) -> None:
     # Heuristics run raw in the paper's figures, so reclamation is declared
     # not applicable; the harness reports them exactly as produced.
@@ -108,14 +280,15 @@ def _register_heuristic(
         reclaim=False,
         uses_linearization=False,
         randomized=randomized,
+        batch_fn=batch_fn,
         description=description,
     )
 
 
-_register_heuristic("UU", uu, False, "O(n)", "round-robin assignment, equal shares")
-_register_heuristic("UR", ur, True, "O(n log n)", "round-robin assignment, random shares")
-_register_heuristic("RU", ru, True, "O(n)", "random assignment, equal shares")
-_register_heuristic("RR", rr, True, "O(n log n)", "random assignment, random shares")
+_register_heuristic("UU", uu, _uu_batch, False, "O(n)", "round-robin assignment, equal shares")
+_register_heuristic("UR", ur, _ur_batch, True, "O(n log n)", "round-robin assignment, random shares")
+_register_heuristic("RU", ru, _ru_batch, True, "O(n)", "random assignment, equal shares")
+_register_heuristic("RR", rr, _rr_batch, True, "O(n log n)", "random assignment, random shares")
 
 #: Live view of the engine registry's heuristics; iteration order is the
 #: registration (= paper legend) order.  Values are

@@ -8,13 +8,17 @@ holds if every solver reachable through the engine registry polls
 polls turns the budget into a suggestion.
 
 Mechanics: in any module that calls
-:func:`repro.engine.registry.register_solver` (directly or through a
-module-level helper), the rule resolves the registered entry functions,
-takes the same-module call-graph closure of each, and requires — for
-every entry whose closure contains a ``for``/``while`` loop — at least
-one ``*.check_deadline()`` call lexically inside a loop somewhere in that
+:func:`repro.engine.registry.register_solver` or
+:func:`repro.engine.registry.attach_batch_fn` (directly or through a
+module-level helper), the rule resolves the registered entry functions —
+scalar ``fn`` and trial-batched ``batch_fn`` alike — takes the
+same-module call-graph closure of each, and requires, for every entry
+whose closure contains a ``for``/``while`` loop, at least one
+``*.check_deadline()`` call lexically inside a loop somewhere in that
 closure.  Loop-free (fully vectorized) solvers pass vacuously: their
-runtime is bounded by construction.
+runtime is bounded by construction.  Batch solvers are *not* assumed
+loop-free — the batched Algorithm 2 walk and the grouped bisections
+iterate in Python and must poll like any scalar solver.
 """
 
 from __future__ import annotations
@@ -102,11 +106,12 @@ class DeadlineRule(Rule):
         }
         fn_names = set(functions)
 
-        # Helpers that forward to register_solver (indirect registration).
+        # Helpers that forward to register_solver / attach_batch_fn
+        # (indirect registration; batch_fn entries count as solvers too).
         registrars = {
             name
             for name, info in functions.items()
-            if "register_solver" in info.calls
+            if "register_solver" in info.calls or "attach_batch_fn" in info.calls
         }
 
         entries: dict[str, ast.AST] = {}  # entry fn name -> anchor node
@@ -127,7 +132,7 @@ class DeadlineRule(Rule):
                 target = callee.id
             elif isinstance(callee, ast.Attribute):
                 target = callee.attr
-            if target == "register_solver" or target in registrars:
+            if target in ("register_solver", "attach_batch_fn") or target in registrars:
                 for arg in [*node.args, *[kw.value for kw in node.keywords]]:
                     note_entry(arg, node)
 

@@ -19,8 +19,15 @@ import sys
 
 from repro.core.problem import ALPHA
 from repro.core.solve import solve
-from repro.engine import SolveContext, get_linearization, list_solvers, solver_table
+from repro.engine import (
+    SOLVER_KINDS,
+    SolveContext,
+    get_linearization,
+    list_solvers,
+    solver_table,
+)
 from repro.experiments.figures import FIGURES, expected_shape_violations, run_figure
+from repro.experiments.harness import BACKENDS
 from repro.experiments.report import series_table
 from repro.serialization import (
     load_assignment,
@@ -107,6 +114,7 @@ def cmd_figure(args) -> int:
         seed=args.seed,
         n_jobs=args.jobs,
         chunksize=args.chunksize,
+        backend=args.backend,
     )
     print(spec.title)
     print(series_table(points, x_label=spec.x_label))
@@ -147,7 +155,7 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_solvers(args) -> int:
-    print(solver_table())
+    print(solver_table(kind=args.kind))
     return 0
 
 
@@ -171,7 +179,9 @@ def cmd_serve(args) -> int:
             f"{state.n_threads} threads on {state.n_servers} servers"
         )
     else:
-        state = ClusterState(args.servers, args.capacity, args.migration_cost)
+        state = ClusterState(
+            args.servers, args.capacity, args.migration_cost, solver=args.solver
+        )
     sink = None
     if args.trace:
         from repro.observability import JsonlSink
@@ -516,6 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
                    "results are bit-identical for any N")
     p.add_argument("--chunksize", type=int, default=None, metavar="K",
                    help="trials per worker chunk (default: ~4 chunks per worker)")
+    p.add_argument("--backend", choices=BACKENDS, default="auto",
+                   help="execution path per sweep point: auto routes through "
+                   "the array-first batch pipeline when every contender "
+                   "supports it; results are bit-identical either way")
     p.add_argument("--spark", action="store_true",
                    help="also render unicode sparklines per series")
     p.add_argument("--save", help="write results JSON here (with provenance)")
@@ -541,6 +555,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("solvers", help="list registered solvers and guarantees")
+    p.add_argument("--kind", choices=SOLVER_KINDS, default=None,
+                   help="filter to one registry kind (e.g. --kind batch for "
+                   "trial-batched solvers)")
     p.set_defaults(func=cmd_solvers)
 
     p = sub.add_parser("serve", help="run the allocation service daemon")
@@ -549,6 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--servers", type=int, default=4)
     p.add_argument("--capacity", type=float, default=100.0)
     p.add_argument("--migration-cost", type=float, default=0.0)
+    p.add_argument("--solver", default="alg2",
+                   choices=[s.name for s in list_solvers()],
+                   help="registry algorithm for policy replans "
+                   "(e.g. algorithm2_batch for the array-first kernel)")
     p.add_argument("--drift", type=float, default=ALPHA,
                    help="replan when utility < DRIFT × super-optimal bound "
                    f"(default: the paper's α ≈ {ALPHA:.3f})")

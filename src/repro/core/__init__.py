@@ -2,6 +2,18 @@
 
 from repro.core.algorithm1 import algorithm1
 from repro.core.algorithm2 import algorithm2, thread_order
+from repro.core.algorithm2_batch import (
+    algorithm2_batch,
+    algorithm2_batch_kernel,
+    thread_order_batch,
+)
+from repro.core.batch import (
+    BatchAssignment,
+    BatchLinearization,
+    BatchProblem,
+    linearize_batch,
+    reclaim_batch,
+)
 from repro.core.discrete import (
     DiscreteLinearization,
     algorithm2_discrete,
@@ -24,9 +36,17 @@ __all__ = [
     "ALPHA",
     "AAProblem",
     "Assignment",
+    "BatchAssignment",
+    "BatchLinearization",
+    "BatchProblem",
     "DiscreteLinearization",
     "Linearization",
+    "algorithm2_batch",
+    "algorithm2_batch_kernel",
     "algorithm2_discrete",
+    "linearize_batch",
+    "reclaim_batch",
+    "thread_order_batch",
     "linearize_discrete",
     "reclaim_discrete",
     "solve_discrete",

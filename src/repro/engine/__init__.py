@@ -36,9 +36,11 @@ from repro.engine.cache import LinearizationCache
 from repro.engine.context import SolveContext, SolveTimeout
 from repro.engine.parallel import default_chunksize, map_trials, resolve_jobs
 from repro.engine.registry import (
+    SOLVER_KINDS,
     RegistryView,
     Solver,
     SolverSpec,
+    attach_batch_fn,
     get_solver,
     list_solvers,
     register_solver,
@@ -66,6 +68,10 @@ def _load_builtins() -> None:
     import repro.extensions.localsearch  # noqa: F401  (registers "localsearch")
     import repro.extensions.weighted  # noqa: F401  (registers "weighted")
     import repro.extensions.heterogeneous  # noqa: F401  (registers "alg2_hetero")
+
+    # Last: imports repro.core.algorithm2 and attaches alg2's batch_fn, so
+    # the scalar registrations above must already be in place.
+    import repro.core.algorithm2_batch  # noqa: F401  (registers "algorithm2_batch")
 
 
 def get_linearization(
@@ -150,10 +156,12 @@ __all__ = [
     "EngineRun",
     "LinearizationCache",
     "RegistryView",
+    "SOLVER_KINDS",
     "SolveContext",
     "SolveTimeout",
     "Solver",
     "SolverSpec",
+    "attach_batch_fn",
     "default_chunksize",
     "get_linearization",
     "get_solver",

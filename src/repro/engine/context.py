@@ -159,6 +159,18 @@ class SolveContext:
         """Counters plus span totals as one JSON-ready dict."""
         return {"counters": self.counters.snapshot(), "spans": self.spans.snapshot()}
 
+    def fold_span(self, name: str, seconds: float, count: int) -> None:
+        """Fold ``count`` externally-measured intervals into span ``name``.
+
+        The trial-batched pipeline times one vectorized phase covering many
+        trials and records it as the *per-trial-equivalent* spans a scalar
+        run would have produced (same names, same interval counts, measured
+        total) — so span-count parity across backends and worker splits is
+        preserved.  Only the flat recorder is fed: the batch path is chosen
+        precisely when no tracer/metrics/sink is attached.
+        """
+        self.spans.merge({name: {"total": float(seconds), "count": count}})
+
     # -- deadline ------------------------------------------------------------
 
     def remaining(self) -> float | None:

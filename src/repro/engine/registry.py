@@ -61,7 +61,10 @@ class SolverSpec:
         Normalized callable, see :class:`Solver`.
     kind:
         ``"paper"`` (the approximation algorithms), ``"heuristic"``
-        (Section VII baselines) or ``"extension"`` (engineering add-ons).
+        (Section VII baselines), ``"extension"`` (engineering add-ons) or
+        ``"batch"`` (array-first backends whose native unit of work is a
+        whole trial batch; their ``fn`` still honours the scalar contract
+        by wrapping single instances as one-trial batches).
     ratio:
         Proven worst-case approximation ratio, or ``None`` when no bound
         is claimed (heuristics, heterogeneous adapter).
@@ -79,6 +82,15 @@ class SolverSpec:
         Whether the solver's output depends on ``seed``.
     description:
         One-line summary for tables and docs.
+    batch_fn:
+        Optional trial-batched implementation with contract
+        ``batch_fn(batch_problem, batch_lin, ctx, rngs) -> BatchAssignment``
+        (see :mod:`repro.core.batch`); ``batch_lin`` is ``None`` when the
+        solver does not use a linearization, and ``rngs`` supplies one
+        generator per trial for randomized solvers.  The experiment
+        harness routes a contender through ``batch_fn`` when present and
+        the point's utilities are vectorizable; results must be
+        bit-identical to running ``fn`` per trial.
     """
 
     name: str
@@ -90,6 +102,12 @@ class SolverSpec:
     uses_linearization: bool = False
     randomized: bool = False
     description: str = ""
+    batch_fn: Callable | None = None
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether a trial-batched implementation is attached."""
+        return self.batch_fn is not None
 
     def run(
         self,
@@ -133,6 +151,10 @@ class SolverSpec:
 _REGISTRY: dict[str, SolverSpec] = {}
 
 
+#: Valid :attr:`SolverSpec.kind` values, in display order.
+SOLVER_KINDS = ("paper", "heuristic", "extension", "batch")
+
+
 def register_solver(
     name: str,
     fn: Callable,
@@ -144,6 +166,7 @@ def register_solver(
     uses_linearization: bool = False,
     randomized: bool = False,
     description: str = "",
+    batch_fn: Callable | None = None,
     replace: bool = False,
 ) -> SolverSpec:
     """Register a solver under ``name``; returns the stored spec.
@@ -151,9 +174,9 @@ def register_solver(
     Re-registering an existing name raises unless ``replace=True`` (tests
     use ``replace`` to stub solvers; production code never should).
     """
-    if kind not in ("paper", "heuristic", "extension"):
+    if kind not in SOLVER_KINDS:
         raise ValueError(
-            f"kind must be 'paper', 'heuristic' or 'extension', got {kind!r}"
+            f"kind must be one of {', '.join(map(repr, SOLVER_KINDS))}, got {kind!r}"
         )
     if not replace and name in _REGISTRY:
         raise ValueError(f"solver {name!r} is already registered")
@@ -167,9 +190,26 @@ def register_solver(
         uses_linearization=uses_linearization,
         randomized=randomized,
         description=description,
+        batch_fn=batch_fn,
     )
     _REGISTRY[name] = spec
     return spec
+
+
+def attach_batch_fn(name: str, batch_fn: Callable) -> SolverSpec:
+    """Attach a trial-batched implementation to an already-registered solver.
+
+    Batched kernels typically live in a separate module that imports the
+    scalar solver (never the reverse), so they bolt their ``batch_fn``
+    onto the existing spec at import time instead of registering twice.
+    Returns the replacement spec now stored in the registry.
+    """
+    import dataclasses
+
+    spec = get_solver(name)
+    new_spec = dataclasses.replace(spec, batch_fn=batch_fn)
+    _REGISTRY[name] = new_spec
+    return new_spec
 
 
 def unregister_solver(name: str) -> None:
@@ -232,16 +272,26 @@ class RegistryView(Mapping[str, SolverSpec]):
         return len(list_solvers(kind=self._kind))
 
 
-def solver_table() -> str:
-    """The registry as an aligned text table (CLI ``aart solvers``, docs)."""
-    rows = [("name", "kind", "ratio", "reclaim", "complexity", "description")]
-    for spec in list_solvers():
+def solver_table(kind: str | None = None) -> str:
+    """The registry as an aligned text table (CLI ``aart solvers``, docs).
+
+    ``kind`` filters to one registry kind (``aart solvers --kind batch``);
+    the ``batch`` column marks solvers with a trial-batched execution path
+    (an attached :attr:`SolverSpec.batch_fn` or a ``kind="batch"`` spec).
+    """
+    if kind is not None and kind not in SOLVER_KINDS:
+        raise ValueError(
+            f"kind must be one of {', '.join(map(repr, SOLVER_KINDS))}, got {kind!r}"
+        )
+    rows = [("name", "kind", "ratio", "reclaim", "batch", "complexity", "description")]
+    for spec in list_solvers(kind=kind):
         rows.append(
             (
                 spec.name,
                 spec.kind,
                 f"{spec.ratio:.4f}" if spec.ratio is not None else "-",
                 "yes" if spec.reclaim else "no",
+                "yes" if spec.supports_batch or spec.kind == "batch" else "no",
                 spec.complexity or "-",
                 spec.description,
             )

@@ -158,12 +158,15 @@ def run_figure(
     ctx=None,
     n_jobs: int | None = 1,
     chunksize: int | None = None,
+    backend: str = "auto",
 ) -> list[SweepPoint]:
     """Execute a registered panel and return its sweep points.
 
     ``n_jobs``/``chunksize`` fan each point's trials out over a process
-    pool (``aart figure --jobs``); the series are bit-identical for any
-    worker count.
+    pool (``aart figure --jobs``); ``backend`` picks the per-point
+    execution path (``aart figure --backend``, see
+    :func:`~repro.experiments.harness.run_point_arrays`).  The series are
+    bit-identical for any worker count and on either backend.
     """
     spec = FIGURES[figure_id]
     return run_sweep(
@@ -179,6 +182,7 @@ def run_figure(
         ctx=ctx,
         n_jobs=n_jobs,
         chunksize=chunksize,
+        backend=backend,
     )
 
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchProblem, linearize_batch, reclaim_batch
 from repro.core.postprocess import reclaim
 from repro.core.problem import AAProblem
 from repro.engine import (
@@ -35,9 +36,22 @@ from repro.engine import (
     map_trials,
     resolve_jobs,
 )
-from repro.observability import TRIAL_THREADS, TRIAL_UTILITY, MetricsRegistry, Tracer
-from repro.workloads.generators import Distribution, make_problem
+from repro.observability import (
+    BATCH_FALLBACKS,
+    BATCH_TRIALS,
+    LINEARIZE_CACHE_MISSES,
+    TRIAL_THREADS,
+    TRIAL_UTILITY,
+    MetricsRegistry,
+    Tracer,
+)
+from repro.utility.batch import concat_batches
+from repro.workloads.generators import Distribution, make_problem, paper_utilities_batch
 from repro.utils.rng import SeedLike, spawn_seed_sequences
+from repro.utils.timing import Timer
+
+#: Valid ``backend`` arguments of :func:`run_point_arrays` and friends.
+BACKENDS = ("auto", "batch", "scalar")
 
 #: Series name of the super-optimal bound in trial records.
 SO = "SO"
@@ -140,6 +154,7 @@ class _TrialChunkTask:
     budget_s: float | None
     with_tracer: bool = False
     with_metrics: bool = False
+    backend: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -160,6 +175,105 @@ class _TrialChunkResult:
     metrics: dict | None = None
 
 
+def _batch_precheck_reason(ctx: SolveContext, include_alg1: bool) -> str | None:
+    """Batch-backend blockers knowable *before* generating any instance.
+
+    The batch pipeline records *per-trial-equivalent* flat counters and
+    spans, but it cannot replay per-trial telemetry streams — so an
+    attached tracer, metrics registry or event sink forces the scalar
+    path; so do contenders without a registered ``batch_fn`` (ALG1).
+    The remaining blocker — a utility family without an array evaluation
+    contract — needs a generated instance; see
+    :func:`_batch_unsupported_reason`.
+    """
+    if ctx.tracer is not None or ctx.metrics is not None or ctx.sink is not None:
+        return "per-trial telemetry attached (tracer/metrics/sink)"
+    if include_alg1:
+        return "ALG1 has no batched implementation"
+    if not get_solver("alg2").supports_batch:
+        return "alg2 has no batch_fn attached"
+    missing = [s.name for s in list_solvers(kind="heuristic") if not s.supports_batch]
+    if missing:
+        return f"heuristics without batch_fn: {', '.join(missing)}"
+    return None
+
+
+def _batch_unsupported_reason(
+    problem: AAProblem, ctx: SolveContext, include_alg1: bool
+) -> str | None:
+    """Why this chunk cannot run on the batch backend (``None`` = it can).
+
+    Combines :func:`_batch_precheck_reason` with the per-instance family
+    check: utility families without an array evaluation contract
+    (:attr:`~repro.utility.batch.UtilityBatch.supports_vectorized` is
+    false, e.g. ``GenericBatch``/pchip) fall back to the scalar loop.
+    """
+    reason = _batch_precheck_reason(ctx, include_alg1)
+    if reason is not None:
+        return reason
+    if not problem.utilities.supports_vectorized:
+        return f"{type(problem.utilities).__name__} has no vectorized evaluation"
+    return None
+
+
+def _run_batch_chunk(
+    task: _TrialChunkTask,
+    ctx: SolveContext,
+    bp: BatchProblem,
+    rngs: list,
+) -> _TrialChunkResult:
+    """Solve a whole chunk through the array-first pipeline.
+
+    Produces the same utility matrix — bit for bit — as the scalar
+    per-trial loop, and per-trial-equivalent observability: counters equal
+    the sum the scalar path would have emitted, and each vectorized phase
+    folds into the scalar span names with one interval per trial
+    (:meth:`~repro.engine.context.SolveContext.fold_span`).
+    """
+    trials = bp.n_trials
+    if ctx.cache is not None:
+        # Parity with the scalar path's per-trial cache probe: every trial
+        # of a fresh instance is a miss (the batch never revisits one).
+        ctx.count(LINEARIZE_CACHE_MISSES, trials)
+    with Timer() as t:
+        blin = linearize_batch(bp, ctx=ctx)
+    ctx.fold_span("linearize", t.elapsed, trials)
+    columns: dict[str, np.ndarray] = {SO: blin.super_optimal_utility}
+    alg2_batch = get_solver("alg2").batch_fn
+    assert alg2_batch is not None  # _batch_unsupported_reason vetted this
+    with Timer() as t:
+        raw2 = alg2_batch(bp, blin, ctx, rngs)
+    # The scalar path nests span "alg2" under root "solve.alg2"; the flat
+    # recorder keeps both names, so the fold feeds both.
+    ctx.fold_span("solve.alg2", t.elapsed, trials)
+    ctx.fold_span("alg2", t.elapsed, trials)
+    with Timer() as t:
+        reclaimed = reclaim_batch(bp, raw2, ctx=ctx)
+    ctx.fold_span("reclaim", t.elapsed, trials)
+    columns[ALG2] = reclaimed.total_utilities(bp)
+    if task.include_raw:
+        columns[ALG2RAW] = raw2.total_utilities(bp)
+    for spec in list_solvers(kind="heuristic"):
+        assert spec.batch_fn is not None  # vetted by _batch_unsupported_reason
+        with Timer() as t:
+            result = spec.batch_fn(
+                bp, blin if spec.uses_linearization else None, ctx, rngs
+            )
+        ctx.fold_span(f"solve.{spec.name}", t.elapsed, trials)
+        columns[spec.name] = result.total_utilities(bp)
+    names = (SO, ALG2) + ((ALG2RAW,) if task.include_raw else ())
+    names = names + tuple(s.name for s in list_solvers(kind="heuristic"))
+    ctx.count(BATCH_TRIALS, trials)
+    return _TrialChunkResult(
+        names=names,
+        utilities=np.column_stack([columns[name] for name in names]),
+        counters=ctx.counters.snapshot(),
+        spans=ctx.spans.snapshot(),
+        trace=None,
+        metrics=None,
+    )
+
+
 def _run_trial_chunk(
     task: _TrialChunkTask, ctx: SolveContext | None = None
 ) -> _TrialChunkResult:
@@ -169,6 +283,13 @@ def _run_trial_chunk(
     is built, with its own :class:`~repro.engine.LinearizationCache` when
     the caller's context had one, so merged counter totals match a serial
     run of the same trials.
+
+    ``task.backend`` picks the execution path: ``"scalar"`` is the
+    historical per-trial loop, ``"batch"`` demands the array-first
+    pipeline (raising when unsupported), and ``"auto"`` uses the batch
+    path whenever the chunk qualifies (see
+    :func:`_batch_unsupported_reason`) — results are bit-identical either
+    way, so ``"auto"`` is purely a throughput decision.
     """
     if ctx is None:
         ctx = SolveContext(
@@ -177,18 +298,71 @@ def _run_trial_chunk(
             tracer=Tracer() if task.with_tracer else None,
             metrics=MetricsRegistry() if task.with_metrics else None,
         )
+    probe: AAProblem | None = None
+    probe_rng = None
+    if task.backend != "scalar":
+        reason = _batch_precheck_reason(ctx, task.include_alg1)
+        if reason is None:
+            # One probe instance decides the family check; its generator
+            # draws exactly what a scalar trial 0 would, so both routes
+            # (and the fallback below) continue from the same stream.
+            probe_rng = np.random.default_rng(task.seeds[0])
+            probe = make_problem(
+                task.dist,
+                task.n_servers,
+                task.beta,
+                task.capacity,
+                seed=probe_rng,
+                interpolator=task.interpolator,
+            )
+            if not probe.utilities.supports_vectorized:
+                family = type(probe.utilities).__name__
+                reason = f"{family} has no vectorized evaluation"
+        if reason is None:
+            assert probe is not None
+            # Remaining trials skip per-trial AAProblem construction: draw
+            # each trial's anchors from its own generator (stream-identical
+            # to make_problem) and build ONE stacked utility family.
+            rest = [np.random.default_rng(child) for child in task.seeds[1:]]
+            rngs = [probe_rng, *rest]
+            utilities = probe.utilities
+            if rest:
+                tail = paper_utilities_batch(
+                    task.dist,
+                    probe.n_threads,
+                    task.capacity,
+                    rest,
+                    interpolator=task.interpolator,
+                )
+                utilities = concat_batches([utilities, tail])
+            bp = BatchProblem(
+                utilities,
+                n_trials=len(task.seeds),
+                n_servers=task.n_servers,
+                capacity=task.capacity,
+            )
+            return _run_batch_chunk(task, ctx, bp, rngs)
+        if task.backend == "batch":
+            raise ValueError(f"batch backend requested but unsupported: {reason}")
+        ctx.count(BATCH_FALLBACKS, len(task.seeds))
+    # Scalar path: when a probe was generated (family fallback), trial 0
+    # reuses it — its generator already consumed the instance draws, so
+    # every trial's stream is identical to a scalar-only run.
     names: tuple | None = None
     rows = []
-    for child in task.seeds:
-        rng = np.random.default_rng(child)
-        problem = make_problem(
-            task.dist,
-            task.n_servers,
-            task.beta,
-            task.capacity,
-            seed=rng,
-            interpolator=task.interpolator,
-        )
+    for k, child in enumerate(task.seeds):
+        if k == 0 and probe is not None:
+            problem, rng = probe, probe_rng
+        else:
+            rng = np.random.default_rng(child)
+            problem = make_problem(
+                task.dist,
+                task.n_servers,
+                task.beta,
+                task.capacity,
+                seed=rng,
+                interpolator=task.interpolator,
+            )
         record = run_trial(
             problem,
             rng,
@@ -222,6 +396,7 @@ def run_point_arrays(
     ctx: SolveContext | None = None,
     n_jobs: int | None = 1,
     chunksize: int | None = None,
+    backend: str = "auto",
 ) -> tuple[tuple, np.ndarray]:
     """Per-trial utility matrix at one parameter setting.
 
@@ -241,9 +416,24 @@ def run_point_arrays(
     caller's open span (sinks, which are not picklable, stay serial-only);
     with ``n_jobs=1`` the caller's ``ctx`` is used directly, exactly as
     before.
+
+    ``backend`` selects the execution path per chunk: ``"auto"`` (default)
+    routes through the array-first batch pipeline whenever every contender
+    supports it and no per-trial telemetry is attached, falling back to
+    the scalar loop otherwise; ``"scalar"`` forces the historical
+    per-trial loop; ``"batch"`` demands the batch pipeline and raises with
+    the blocking reason when the point does not qualify.  Utilities are
+    bit-identical across backends (the scalar path is the oracle the batch
+    kernels are property-tested against), so ``backend`` never changes
+    results — only throughput and the ``batch_trials``/``batch_fallbacks``
+    counters.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {', '.join(map(repr, BACKENDS))}, got {backend!r}"
+        )
     jobs = resolve_jobs(n_jobs)
     seeds = spawn_seed_sequences(seed, trials)
 
@@ -261,6 +451,7 @@ def run_point_arrays(
             budget_s=budget_s,
             with_tracer=ctx is not None and ctx.tracer is not None,
             with_metrics=ctx is not None and ctx.metrics is not None,
+            backend=backend,
         )
 
     if jobs == 1:
@@ -319,6 +510,7 @@ def run_point(
     ctx: SolveContext | None = None,
     n_jobs: int | None = 1,
     chunksize: int | None = None,
+    backend: str = "auto",
 ) -> dict[str, float]:
     """Mean ratios (``alg2/SO``, ``alg2/UU``, …) at one parameter setting.
 
@@ -326,7 +518,8 @@ def run_point(
     with a fresh context, ``ctx.counters["linearize_calls"] == trials``
     afterwards (one linearization per trial instance, shared by every
     contender; a test asserts this) whether the trials ran serially or
-    across a pool (``n_jobs``; see :func:`run_point_arrays`).
+    across a pool (``n_jobs``; see :func:`run_point_arrays`) and on either
+    backend.
     """
     names, utilities = run_point_arrays(
         dist,
@@ -341,6 +534,7 @@ def run_point(
         ctx=ctx,
         n_jobs=n_jobs,
         chunksize=chunksize,
+        backend=backend,
     )
     alg2_col = names.index(ALG2)
     sums: dict[str, float] = {}
@@ -385,6 +579,7 @@ def run_sweep(
     ctx: SolveContext | None = None,
     n_jobs: int | None = 1,
     chunksize: int | None = None,
+    backend: str = "auto",
 ) -> list[SweepPoint]:
     """Run a figure-style sweep.
 
@@ -408,6 +603,9 @@ def run_sweep(
         Process-pool fan-out within each point (see
         :func:`run_point_arrays`); results are independent of the worker
         count.
+    backend:
+        Execution path per point (``"auto"``/``"batch"``/``"scalar"``,
+        see :func:`run_point_arrays`); never changes results.
     """
     values = list(sweep_values)
     point_seeds = sweep_point_seeds(seed, len(values))
@@ -429,6 +627,7 @@ def run_sweep(
             ctx=ctx,
             n_jobs=n_jobs,
             chunksize=chunksize,
+            backend=backend,
         )
         points.append(SweepPoint(value=float(value), ratios=ratios, trials=trials))
     return points

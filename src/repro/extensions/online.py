@@ -48,14 +48,25 @@ class RebalanceReport:
 class OnlineScheduler:
     """Maintains a live AA assignment under thread churn."""
 
-    def __init__(self, n_servers: int, capacity: float, migration_cost: float = 0.0):
+    def __init__(
+        self,
+        n_servers: int,
+        capacity: float,
+        migration_cost: float = 0.0,
+        solver: str = "alg2",
+    ):
         if n_servers < 1 or capacity <= 0:
             raise ValueError("need n_servers >= 1 and capacity > 0")
         if migration_cost < 0:
             raise ValueError("migration_cost must be nonnegative")
+        from repro.engine import get_solver
+
+        get_solver(solver)  # fail fast on unknown solver names
         self.n_servers = int(n_servers)
         self.capacity = float(capacity)
         self.migration_cost = float(migration_cost)
+        #: Registry name of the algorithm :meth:`rebalance` re-solves with.
+        self.solver = str(solver)
         self._threads: dict[str, UtilityFunction] = {}
         self._server_of: dict[str, int] = {}
         self._alloc_of: dict[str, float] = {}
@@ -198,7 +209,8 @@ class OnlineScheduler:
         self._refill_server(server)
 
     def rebalance(self, ctx=None, max_migrations: int | None = None) -> RebalanceReport:
-        """Full Algorithm 2 re-solve; applies only if the net gain is positive.
+        """Full re-solve with the configured ``solver`` (default Algorithm 2);
+        applies only if the net gain is positive.
 
         ``ctx`` is an optional :class:`~repro.engine.SolveContext` so churn
         loops can accumulate counters/spans and enforce a re-plan deadline.
@@ -209,7 +221,7 @@ class OnlineScheduler:
         if not self._threads:
             return RebalanceReport(before, before, 0, 0.0)
         ids = self.thread_ids
-        sol = solve(self._problem(), algorithm="alg2", ctx=ctx)
+        sol = solve(self._problem(), algorithm=self.solver, ctx=ctx)
         moved = sum(
             1 for t, j in zip(ids, sol.assignment.servers) if self._server_of[t] != j
         )
@@ -242,8 +254,9 @@ class AdaptiveScheduler(OnlineScheduler):
         migration_cost: float = 0.0,
         n_knots: int = 12,
         window: int | None = 256,
+        solver: str = "alg2",
     ):
-        super().__init__(n_servers, capacity, migration_cost)
+        super().__init__(n_servers, capacity, migration_cost, solver=solver)
         self._estimators: dict[str, OnlineUtilityEstimator] = {}
         self._n_knots = int(n_knots)
         self._window = window

@@ -27,6 +27,8 @@ from repro.observability.counters import (
     ALG1_ROUNDS,
     ALG2_HEAP_OPS,
     BATCH_EVALUATIONS,
+    BATCH_FALLBACKS,
+    BATCH_TRIALS,
     BISECTION_ITERATIONS,
     GROUPED_BISECTION_ITERATIONS,
     LINEARIZE_CACHE_HITS,
@@ -80,6 +82,8 @@ __all__ = [
     "ALG1_ROUNDS",
     "ALG2_HEAP_OPS",
     "BATCH_EVALUATIONS",
+    "BATCH_FALLBACKS",
+    "BATCH_TRIALS",
     "BISECTION_ITERATIONS",
     "DEFAULT_BUCKETS",
     "GAUGE_BOUND",

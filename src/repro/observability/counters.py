@@ -31,6 +31,15 @@ ALG1_ROUNDS = "alg1_rounds"
 ALG2_HEAP_OPS = "alg2_heap_ops"
 #: Reclamation post-passes applied.
 RECLAIM_CALLS = "reclaim_calls"
+#: Trials solved through the array-first batch backend (vectorized
+#: linearize / water-fill / Algorithm 2 across the trial axis).  The batch
+#: path also emits every scalar counter above at per-trial-equivalent
+#: totals, so this counter is *additive* information, not a replacement.
+BATCH_TRIALS = "batch_trials"
+#: Trials routed back to the scalar path by the harness because a chunk's
+#: utilities could not be batched (e.g. ``GenericBatch`` adapters with
+#: ``supports_vectorized = False``).
+BATCH_FALLBACKS = "batch_fallbacks"
 
 # -- allocation-service counters (emitted by repro.service.server) -----------
 

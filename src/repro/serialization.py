@@ -178,6 +178,7 @@ def scheduler_state_to_dict(scheduler) -> dict[str, Any]:
         "n_servers": scheduler.n_servers,
         "capacity": scheduler.capacity,
         "migration_cost": scheduler.migration_cost,
+        "solver": scheduler.solver,
         "total_migrations": scheduler.total_migrations,
         "threads": [
             {
@@ -207,6 +208,9 @@ def scheduler_state_from_dict(data: dict[str, Any]):
         n_servers=data["n_servers"],
         capacity=data["capacity"],
         migration_cost=data.get("migration_cost", 0.0),
+        # Snapshots written before the solver field default to alg2 — the
+        # only replan algorithm older schedulers could have used.
+        solver=data.get("solver", "alg2"),
     )
     for entry in data["threads"]:
         scheduler.restore_thread(

@@ -37,8 +37,10 @@ class ClusterState:
 
     Parameters
     ----------
-    n_servers, capacity, migration_cost:
-        Forwarded to the underlying :class:`OnlineScheduler`.
+    n_servers, capacity, migration_cost, solver:
+        Forwarded to the underlying :class:`OnlineScheduler` (``solver``
+        is the registry name its replans re-solve with, ``aart serve
+        --solver``).
     scheduler:
         Optional pre-built scheduler (used by :meth:`from_dict`); when
         given, the scalar parameters are ignored.
@@ -50,11 +52,12 @@ class ClusterState:
         capacity: float = 1.0,
         migration_cost: float = 0.0,
         scheduler: OnlineScheduler | None = None,
+        solver: str = "alg2",
     ):
         self.scheduler = (
             scheduler
             if scheduler is not None
-            else OnlineScheduler(n_servers, capacity, migration_cost)
+            else OnlineScheduler(n_servers, capacity, migration_cost, solver=solver)
         )
         self.version = 0
         self.log: list[dict[str, Any]] = []

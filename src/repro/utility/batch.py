@@ -31,6 +31,16 @@ class UtilityBatch(abc.ABC):
     #: Per-thread domain upper bounds, shape ``(n,)``.
     caps: np.ndarray
 
+    #: Whether this family's ``value`` / ``derivative`` /
+    #: ``inverse_derivative_each`` run as real array kernels (``True`` for
+    #: the array-parameterized families) or fall back to a Python loop over
+    #: scalar utilities (``False``, e.g. :class:`GenericBatch`).  The
+    #: experiment harness consults this flag to route whole sweep points
+    #: through the trial-batched backend: batching a loop-backed family
+    #: would still be correct but would hide an O(n) Python loop inside
+    #: every "vectorized" step, so such families stay on the scalar path.
+    supports_vectorized: bool = True
+
     def __len__(self) -> int:
         return self.caps.shape[0]
 
@@ -107,6 +117,15 @@ class QuadSplineBatch(UtilityBatch):
         self.d1 = np.minimum(0.5 * (s1 + s2), 2.0 * s2)
         self.d0 = 2.0 * s1 - self.d1
         self.d2 = 2.0 * s2 - self.d1
+        # Demand-path precomputation: the water-filling bisection calls
+        # _demand dozens of times per solve with only lam changing, so the
+        # lam-independent pieces are hoisted here.
+        self._h2 = self.caps - self.xm
+        self._den1 = self.d0 - self.d1
+        self._den2 = self.d1 - self.d2
+        self._flat01 = self.d0 <= self.d1  # first segment has no slope range
+        self._flat12 = self.d1 <= self.d2  # second segment has no slope range
+        self._xm_flat12 = self.xm[self._flat12]
 
     def value(self, c: np.ndarray) -> np.ndarray:
         c = np.clip(np.asarray(c, dtype=float), 0.0, self.caps)
@@ -125,17 +144,32 @@ class QuadSplineBatch(UtilityBatch):
         return np.where(c <= self.xm, left, right)
 
     def _demand(self, lam) -> np.ndarray:
-        """Closed-form demand; ``lam`` may be scalar or per-thread array."""
+        """Closed-form demand; ``lam`` may be scalar or per-thread array.
+
+        Hot path of every water-filling bisection step: written with
+        in-place updates on freshly allocated temporaries (the elementwise
+        arithmetic is the historical ``xm*(d0-lam)/(d0-d1)`` /
+        ``xm + h2*(d1-lam)/(d1-d2)`` formulas, reassociated only by
+        commutativity — results are bit-identical).
+        """
         lam = np.asarray(lam, dtype=float)
-        h2 = self.caps - self.xm
         with np.errstate(divide="ignore", invalid="ignore"):
-            x1 = self.xm * (self.d0 - lam) / (self.d0 - self.d1)
-            x2 = self.xm + h2 * (self.d1 - lam) / (self.d1 - self.d2)
-        out = np.where(lam > self.d1, np.where(self.d0 > self.d1, x1, 0.0),
-                       np.where(self.d1 > self.d2, x2, self.xm))
-        out = np.where(lam > self.d0, 0.0, out)
-        out = np.where(lam <= self.d2, self.caps, out)
-        return np.clip(out, 0.0, self.caps)
+            x1 = np.subtract(self.d0, lam)
+            x1 *= self.xm
+            x1 /= self._den1
+            x2 = np.subtract(self.d1, lam)
+            x2 *= self._h2
+            x2 /= self._den2
+            x2 += self.xm
+        # Flat segments divide by zero above; their selected values are the
+        # segment endpoints, patched in place of the historical np.where.
+        x1[self._flat01] = 0.0
+        x2[self._flat12] = self._xm_flat12
+        out = np.where(lam > self.d1, x1, x2)
+        out[np.greater(lam, self.d0)] = 0.0
+        saturated = np.less_equal(lam, self.d2)
+        out[saturated] = self.caps[saturated]
+        return np.clip(out, 0.0, self.caps, out=out)
 
     def inverse_derivative(self, lam: float) -> np.ndarray:
         return self._demand(float(lam))
@@ -268,7 +302,14 @@ class GenericBatch(UtilityBatch):
     """Adapter exposing a list of scalar utilities through the batch API.
 
     Runs at Python-loop speed; use a specialized batch for large sweeps.
+    ``supports_vectorized`` is ``False``: every batch-API call here loops
+    over the wrapped scalar functions, so callers that pick between the
+    scalar and trial-batched pipelines (the experiment harness) treat
+    instances of this class as *not* batchable rather than silently
+    looping inside an ostensibly vectorized path.
     """
+
+    supports_vectorized = False
 
     def __init__(self, functions: Sequence[UtilityFunction]):
         self._fns = list(functions)
@@ -303,3 +344,51 @@ def as_batch(utilities) -> UtilityBatch:
     if isinstance(utilities, UtilityBatch):
         return utilities
     return GenericBatch(utilities)
+
+
+def concat_batches(batches: Sequence[UtilityBatch]) -> UtilityBatch:
+    """Stack same-family batches into one flat batch (thread-major).
+
+    The trial-batched solve pipeline stores a whole sweep point's utilities
+    as a single struct-of-arrays batch of ``sum(len(b) for b in batches)``
+    threads.  Because every family evaluates elementwise, the concatenated
+    batch's ``value`` / ``derivative`` / ``inverse_derivative_each`` agree
+    bit-for-bit with evaluating each member batch on its own slice.
+
+    Same-family array batches concatenate their parameter arrays
+    (:class:`QuadSplineBatch`, :class:`PowerBatch`; and
+    :class:`SharedGridPWLBatch` when every member shares one knot grid).
+    Anything else — mixed families, :class:`GenericBatch` adapters — falls
+    back to a :class:`GenericBatch` over the concatenated scalar functions,
+    which keeps ``supports_vectorized = False``.
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("concat_batches needs at least one batch")
+    if len(batches) == 1:
+        return batches[0]
+    first_type = type(batches[0])
+    if all(type(b) is first_type for b in batches):
+        if first_type is QuadSplineBatch:
+            return QuadSplineBatch(
+                np.concatenate([b.v for b in batches]),
+                np.concatenate([b.w for b in batches]),
+                np.concatenate([b.caps for b in batches]),
+            )
+        if first_type is PowerBatch:
+            return PowerBatch(
+                np.concatenate([b.coeff for b in batches]),
+                np.concatenate([b.beta for b in batches]),
+                np.concatenate([b.caps for b in batches]),
+            )
+        if first_type is SharedGridPWLBatch and all(
+            b.xs.shape == batches[0].xs.shape and np.array_equal(b.xs, batches[0].xs)
+            for b in batches
+        ):
+            return SharedGridPWLBatch(
+                batches[0].xs, np.vstack([b.ys for b in batches])
+            )
+    functions: list[UtilityFunction] = []
+    for b in batches:
+        functions.extend(b.functions())
+    return GenericBatch(functions)

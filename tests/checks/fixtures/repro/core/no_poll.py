@@ -1,6 +1,6 @@
 """AART004 fixture: a registered solver that iterates without polling."""
 
-from repro.engine.registry import register_solver
+from repro.engine.registry import attach_batch_fn, register_solver
 
 
 def greedy_order(problem):
@@ -28,3 +28,23 @@ def polite_solver(problem, lin, ctx, seed):
 
 register_solver("fixture_bad", slow_solver, kind="heuristic")
 register_solver("fixture_good", polite_solver, kind="heuristic")
+
+
+def batch_walk(bp, blin, ctx, rngs):
+    total = 0
+    for t in range(bp.n_trials):  # loops but never ctx.check_deadline()
+        total += t
+    return total
+
+
+def polite_batch_walk(bp, blin, ctx, rngs):
+    total = 0
+    for t in range(bp.n_trials):
+        if ctx is not None:
+            ctx.check_deadline()  # allowed: batch solvers poll too
+        total += t
+    return total
+
+
+attach_batch_fn("fixture_bad", batch_walk)
+attach_batch_fn("fixture_good", polite_batch_walk)
