@@ -1,4 +1,4 @@
-"""Single-pool concave allocators and knapsack substrates."""
+"""Single-pool concave allocators, knapsack substrates, price discovery."""
 
 from repro.allocation.fox import DiscreteAllocationResult, fox_greedy
 from repro.allocation.galil import galil_discrete
@@ -10,20 +10,36 @@ from repro.allocation.mckp import (
     mckp_greedy,
     utilities_to_classes,
 )
+from repro.allocation.prices import (
+    BatchPriceResult,
+    PriceResult,
+    discover_price,
+    discover_prices_batch,
+    pack_demands_batch,
+    price_discovery,
+    price_discovery_batch_kernel,
+)
 from repro.allocation.waterfill import AllocationResult, kkt_violation, water_fill
 
 __all__ = [
     "AllocationResult",
+    "BatchPriceResult",
     "DiscreteAllocationResult",
     "GroupedAllocationResult",
+    "PriceResult",
     "water_fill_grouped",
     "MCKPItem",
     "MCKPSolution",
+    "discover_price",
+    "discover_prices_batch",
     "fox_greedy",
     "galil_discrete",
     "kkt_violation",
     "mckp_dp",
     "mckp_greedy",
+    "pack_demands_batch",
+    "price_discovery",
+    "price_discovery_batch_kernel",
     "utilities_to_classes",
     "water_fill",
 ]

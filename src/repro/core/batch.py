@@ -237,7 +237,11 @@ def linearize_batch(
 
 
 def reclaim_batch(
-    bp: BatchProblem, assignment: BatchAssignment, ctx: "SolveContext | None" = None
+    bp: BatchProblem,
+    assignment: BatchAssignment,
+    ctx: "SolveContext | None" = None,
+    *,
+    rel_tol: float = 1e-12,
 ) -> BatchAssignment:
     """Per-server water-fill reclamation for every trial in lock-step.
 
@@ -249,6 +253,10 @@ def reclaim_batch(
     trajectory its scalar ``water_fill_grouped`` call would take.  Counter
     totals (``RECLAIM_CALLS``, ``BATCH_EVALUATIONS``,
     ``GROUPED_BISECTION_ITERATIONS``) are summed per-trial equivalents.
+
+    ``rel_tol`` is the per-group bisection tolerance (the default matches
+    the scalar reclaim pass; the price-discovery solver relaxes it — its
+    refill stage is a wall-clock hot spot at n = 10⁵⁺).
     """
     T, n = bp.n_trials, bp.n_threads
     if ctx is not None:
@@ -301,7 +309,7 @@ def reclaim_batch(
         if ctx is not None:
             ctx.check_deadline()
         width = lam_hi - lam_lo
-        todo = active & (width > 1e-12 * np.maximum(lam_hi, 1.0))
+        todo = active & (width > rel_tol * np.maximum(lam_hi, 1.0))
         if not np.any(todo):
             break
         t_todo = trial_any(todo)

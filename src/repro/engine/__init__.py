@@ -68,6 +68,7 @@ def _load_builtins() -> None:
     import repro.extensions.localsearch  # noqa: F401  (registers "localsearch")
     import repro.extensions.weighted  # noqa: F401  (registers "weighted")
     import repro.extensions.heterogeneous  # noqa: F401  (registers "alg2_hetero")
+    import repro.allocation.prices  # noqa: F401  (registers "price_discovery")
 
     # Last: imports repro.core.algorithm2 and attaches alg2's batch_fn, so
     # the scalar registrations above must already be in place.

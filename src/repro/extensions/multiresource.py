@@ -8,18 +8,41 @@ share* (the largest fraction of any one server resource its bundle uses).
 A feasible dominant-share allocation is feasible for every resource, so
 the reduction never produces an invalid plan; it can leave non-dominant
 resources idle, which :func:`utilization_report` quantifies.
+
+Two backends for :func:`solve_multiresource`:
+
+* ``"dominant"`` (default) — the scalarization above with any registered
+  scalar solver;
+* ``"prices"`` — the price-discovery route: a fleet-level tatonnement
+  over the *real* per-resource capacities quotes a price vector, whose
+  Lagrangian dual value is a rigorous upper bound on the multiresource
+  optimum at **any** nonnegative prices (no convergence assumption), and
+  the feasible plan is produced by solving the dominant-share
+  scalarization with the ``"price_discovery"`` solver.  The pricing
+  report (:class:`ResourcePricing`) exposes which resources are actually
+  scarce — information the dominant-share view erases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.problem import AAProblem, Assignment
 from repro.core.solve import Solution, solve
+from repro.observability import (
+    BATCH_EVALUATIONS,
+    PRICE_CONVERGENCE_RESIDUAL,
+    PRICE_ITERATIONS,
+    PRICE_UPDATE_ITERATIONS,
+)
 from repro.utility.batch import GenericBatch
 from repro.utility.transforms import Truncated, XStretched
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import SolveContext
 
 
 class MultiResourceProblem:
@@ -98,6 +121,124 @@ class MultiResourceProblem:
 
 
 @dataclass(frozen=True)
+class ResourcePricing:
+    """Fleet-level per-resource market report from :func:`discover_resource_prices`.
+
+    Attributes
+    ----------
+    prices:
+        Per-resource prices ``p_r`` (per unit of resource), shape ``(R,)``.
+    task_units:
+        Best-response task-unit demands at ``prices`` (the market's demand
+        vector — fleet-relaxed, *not* the feasible plan), shape ``(n,)``.
+    dual_bound:
+        Lagrangian dual value — an upper bound on the multiresource
+        optimum valid for **any** ``prices >= 0``, converged or not.
+    iterations:
+        Price updates performed.
+    residual:
+        Final worst-resource market-clearing residual (0 = exactly
+        cleared; positive prices with leftover demand mismatch).
+    """
+
+    prices: np.ndarray
+    task_units: np.ndarray
+    dual_bound: float
+    iterations: int
+    residual: float
+
+
+def discover_resource_prices(
+    problem: MultiResourceProblem,
+    *,
+    rel_tol: float = 1e-4,
+    damping: float = 0.5,
+    max_iter: int = 300,
+    ctx: "SolveContext | None" = None,
+) -> ResourcePricing:
+    """Tatonnement over the fleet's real per-resource capacities.
+
+    Quotes a price vector ``p`` over the ``R`` physical resources with
+    fleet budgets ``B_r = m * cap_r``; each thread answers with its
+    best-response task units ``u_i = min(f_i'^{-1}(q_i), u_cap_i)`` where
+    ``q_i = demands[i] @ p`` is its bundle cost.  Over-demanded resources
+    get more expensive (damped multiplicative update), idle ones cheaper.
+
+    With Leontief bundles the demand map is not guaranteed to converge to
+    a clearing point, so the value returned as ``dual_bound`` is the
+    Lagrangian dual ``Σ_i [f_i(u_i) − q_i·u_i] + p·B`` — an upper bound
+    on the multiresource optimum at *any* nonnegative price vector
+    (every feasible plan keeps each thread on one server, hence
+    ``u_i <= u_cap_i`` and fleet usage ``<= B``).  Convergence quality
+    only affects the bound's tightness, never its validity.
+    """
+    if rel_tol <= 0 or not (0 < damping <= 1) or max_iter < 1:
+        raise ValueError(
+            f"need rel_tol > 0, 0 < damping <= 1, max_iter >= 1; got "
+            f"{rel_tol!r}, {damping!r}, {max_iter!r}"
+        )
+    batch = problem.utilities
+    shares = problem.dominant_share_per_unit()
+    # A thread cannot span servers: its units are capped by its own
+    # utility plateau and by one full server of its dominant resource.
+    u_caps = np.minimum(batch.caps, 1.0 / shares)
+    budgets = problem.n_servers * problem.capacities  # B_r, shape (R,)
+    demands = problem.demands
+    floor = 1e-18
+
+    # Opening quote: spread the median positive mid-point marginal across
+    # resources so a typical thread's opening bundle cost is near its
+    # mid-point marginal (flat utilities fall back to a unit price).
+    d_mid = batch.derivative(0.5 * u_caps)
+    seeds = d_mid[(d_mid > 0.0) & np.isfinite(d_mid)]
+    lam0 = float(np.median(seeds)) if seeds.size else 1.0
+    p = np.full(problem.n_resources, lam0, dtype=float) / (
+        problem.n_resources * problem.capacities
+    )
+    p = np.maximum(p, floor)
+
+    units = np.zeros(problem.n_threads)
+    residual = np.inf
+    iterations = 0
+    for _ in range(max_iter):
+        if ctx is not None:
+            ctx.check_deadline()
+        q = demands @ p
+        units = np.minimum(batch.inverse_derivative_each(q), u_caps)
+        iterations += 1
+        if ctx is not None:
+            ctx.count(BATCH_EVALUATIONS, 1)
+        over = (units @ demands) / budgets
+        # A resource only has to clear if its price is meaningful; at the
+        # floor, under-demand is fine (the resource is effectively free).
+        gaps = np.where(p > floor * 2.0, np.abs(over - 1.0), np.maximum(over - 1.0, 0.0))
+        residual = float(np.max(gaps))
+        if residual <= rel_tol:
+            break
+        p = np.maximum(p * np.clip(over**damping, 0.125, 8.0), floor)
+
+    q = demands @ p
+    units = np.minimum(batch.inverse_derivative_each(q), u_caps)
+    dual_bound = float(np.sum(batch.value(units) - q * units) + p @ budgets)
+    if ctx is not None:
+        ctx.count(BATCH_EVALUATIONS, 1)
+        ctx.count(PRICE_UPDATE_ITERATIONS, iterations)
+        ctx.count(PRICE_CONVERGENCE_RESIDUAL, int(np.rint(min(residual, 1.0) * 1e9)))
+        ctx.observe(
+            PRICE_ITERATIONS,
+            float(iterations),
+            help="Price-update iterations to convergence, per solve.",
+        )
+    return ResourcePricing(
+        prices=p,
+        task_units=units,
+        dual_bound=dual_bound,
+        iterations=iterations,
+        residual=residual,
+    )
+
+
+@dataclass(frozen=True)
 class MultiResourceSolution:
     """Scalarized solve plus the physical-resource view."""
 
@@ -105,6 +246,9 @@ class MultiResourceSolution:
     task_units: np.ndarray
     usage: np.ndarray  # (m, n_resources)
     capacities: np.ndarray
+    #: Market report when solved with ``backend="prices"``; ``None`` under
+    #: the default dominant-share backend.
+    pricing: ResourcePricing | None = None
 
     @property
     def total_utility(self) -> float:
@@ -116,11 +260,28 @@ class MultiResourceSolution:
 
 
 def solve_multiresource(
-    problem: MultiResourceProblem, algorithm: str = "alg2"
+    problem: MultiResourceProblem,
+    algorithm: str = "alg2",
+    backend: str = "dominant",
+    ctx: "SolveContext | None" = None,
 ) -> MultiResourceSolution:
-    """Solve via the dominant-share scalarization and validate feasibility."""
+    """Solve via the dominant-share scalarization and validate feasibility.
+
+    ``backend="dominant"`` runs ``algorithm`` on the scalarized instance.
+    ``backend="prices"`` first runs :func:`discover_resource_prices` for
+    the per-resource price vector and its dual upper bound, then produces
+    the feasible plan by solving the scalarization with the
+    ``"price_discovery"`` solver (``algorithm`` is ignored); the market
+    report rides along as ``.pricing``.
+    """
+    if backend not in ("dominant", "prices"):
+        raise ValueError(f"backend must be 'dominant' or 'prices', got {backend!r}")
+    pricing = None
+    if backend == "prices":
+        pricing = discover_resource_prices(problem, ctx=ctx)
+        algorithm = "price_discovery"
     scalar_problem = problem.to_scalar_aa()
-    sol = solve(scalar_problem, algorithm=algorithm)
+    sol = solve(scalar_problem, algorithm=algorithm, ctx=ctx)
     usage = problem.resource_usage(sol.assignment)
     if np.any(usage > problem.capacities * (1 + 1e-9)):
         raise AssertionError(
@@ -131,4 +292,5 @@ def solve_multiresource(
         task_units=problem.task_units(sol.assignment),
         usage=usage,
         capacities=problem.capacities,
+        pricing=pricing,
     )

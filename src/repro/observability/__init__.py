@@ -34,6 +34,8 @@ from repro.observability.counters import (
     LINEARIZE_CACHE_HITS,
     LINEARIZE_CACHE_MISSES,
     LINEARIZE_CALLS,
+    PRICE_CONVERGENCE_RESIDUAL,
+    PRICE_UPDATE_ITERATIONS,
     RECLAIM_CALLS,
     SERVICE_ADMISSION_REJECTS,
     SERVICE_ARRIVALS,
@@ -61,6 +63,7 @@ from repro.observability.metrics import (
     GAUGE_THREADS,
     GAUGE_UTILITY,
     METRICS_FORMAT,
+    PRICE_ITERATIONS,
     QUEUE_DEPTH,
     REQUEST_LATENCY,
     SERVER_RESIDUAL,
@@ -95,6 +98,9 @@ __all__ = [
     "LINEARIZE_CACHE_MISSES",
     "LINEARIZE_CALLS",
     "METRICS_FORMAT",
+    "PRICE_CONVERGENCE_RESIDUAL",
+    "PRICE_ITERATIONS",
+    "PRICE_UPDATE_ITERATIONS",
     "PROMETHEUS_CONTENT_TYPE",
     "QUEUE_DEPTH",
     "RECLAIM_CALLS",

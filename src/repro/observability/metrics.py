@@ -48,6 +48,7 @@ GAUGE_THREADS = "aart_threads"
 GAUGE_UTILITY = "aart_utility_total"
 GAUGE_BOUND = "aart_bound_total"
 GAUGE_RATIO = "aart_gap_ratio"
+PRICE_ITERATIONS = "aart_price_iterations"
 
 
 class ExactSum:

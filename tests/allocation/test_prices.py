@@ -1,0 +1,268 @@
+"""Price-discovery solver: oracle parity, certificates, batch identity.
+
+The solver's contract has two regimes.  On arbitrary tiny instances it
+only promises feasibility (prefix packing is crude when one thread's
+demand rivals a whole server), so the universal hypothesis properties
+here assert the *guaranteed* invariants: validity, capacity respect,
+convergence of the price iteration, scalar/batch bit-identity.  In the
+regime it was built for — many threads per server, thread caps well
+below pooled capacity (the paper's workload shape) — it tracks the
+Algorithm-2 oracle closely, and the oracle-parity tests pin calibrated
+rtols there (worst observed gap ≈ 2.9% at beta 8 over uniform/normal;
+≈ 0.3% by m = 64).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import (
+    discover_price,
+    discover_prices_batch,
+    pack_demands_batch,
+    price_discovery_batch_kernel,
+)
+from repro.core.batch import BatchProblem
+from repro.core.solve import solve
+from repro.engine import SolveContext, SolveTimeout, get_solver, run_solver
+from repro.observability import (
+    PRICE_CONVERGENCE_RESIDUAL,
+    PRICE_ITERATIONS,
+    PRICE_UPDATE_ITERATIONS,
+)
+from repro.utility.batch import as_batch
+from repro.utility.functions import LinearUtility, LogUtility, ZeroUtility
+from repro.workloads.generators import make_distribution, make_problem
+
+from tests.conftest import aa_problems
+
+DISTS = {name: make_distribution(name) for name in ("uniform", "normal")}
+
+
+def _paper_problem(dist_name, m, beta, seed):
+    return make_problem(DISTS[dist_name], n_servers=m, beta=beta, seed=seed)
+
+
+# -- universal invariants (any instance) ------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(aa_problems(max_threads=10, max_servers=4))
+def test_always_feasible(problem):
+    a = run_solver("price_discovery", problem).assignment
+    a.validate(problem)
+    assert np.all(a.allocations >= 0.0)
+    assert np.all(a.server_loads(problem.n_servers) <= problem.capacity + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(aa_problems(max_threads=8, max_servers=3))
+def test_scalar_equals_one_trial_batch(problem):
+    scalar = run_solver("price_discovery", problem).assignment
+    bp = BatchProblem(
+        problem.utilities,
+        n_trials=1,
+        n_servers=problem.n_servers,
+        capacity=problem.capacity,
+    )
+    batch = price_discovery_batch_kernel(bp)
+    assert np.array_equal(scalar.servers, batch.servers[0])
+    assert np.array_equal(scalar.allocations, batch.allocations[0])
+
+
+# -- oracle parity in the target regime -------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    dist_name=st.sampled_from(sorted(DISTS)),
+    m=st.integers(min_value=4, max_value=16),
+    beta=st.floats(min_value=6.0, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_utility_within_rtol_of_alg2_oracle(dist_name, m, beta, seed):
+    problem = _paper_problem(dist_name, m, beta, seed)
+    oracle = run_solver("alg2", problem).assignment.total_utility(problem)
+    priced = run_solver("price_discovery", problem)
+    priced.assignment.validate(problem)
+    utility = priced.assignment.total_utility(problem)
+    assert utility >= oracle * (1.0 - 0.05)
+
+
+def test_large_instance_tracks_oracle_within_one_percent():
+    problem = _paper_problem("uniform", 64, 8.0, 123)
+    oracle = run_solver("alg2", problem).assignment.total_utility(problem)
+    utility = run_solver("price_discovery", problem).assignment.total_utility(problem)
+    assert utility >= oracle * 0.99
+
+
+def test_certified_through_solve_facade():
+    problem = _paper_problem("uniform", 16, 8.0, 7)
+    sol = solve(problem, algorithm="price_discovery")
+    assert sol.algorithm == "price_discovery"
+    assert 0.95 <= sol.certified_ratio <= 1.0 + 1e-9
+
+
+def test_per_server_refill_is_kkt_optimal():
+    from repro.allocation import kkt_violation
+
+    problem = _paper_problem("uniform", 16, 8.0, 3)
+    a = run_solver("price_discovery", problem).assignment
+    for j in range(problem.n_servers):
+        members = np.where(a.servers == j)[0]
+        if members.size == 0:
+            continue
+        load = float(a.allocations[members].sum())
+        sub = problem.utilities.subset(members)
+        assert kkt_violation(sub, a.allocations[members], load) <= 1e-3
+
+
+# -- the price iteration itself ---------------------------------------------
+
+
+def test_discover_price_clears_the_budget():
+    fns = [LogUtility(1.0 + i, 1.0, 10.0) for i in range(12)]
+    res = discover_price(fns, 30.0)
+    assert res.allocations.shape == (12,)
+    assert res.total_utility > 0.0
+    assert res.price > 0.0
+    assert res.residual <= 1e-6
+    assert abs(res.allocations.sum() - 30.0) <= 30.0 * 1e-6 + 1e-9
+
+
+def test_discover_price_slack_budget_grants_caps():
+    fns = [LinearUtility(2.0, 5.0), LinearUtility(1.0, 5.0)]
+    res = discover_price(fns, 100.0)
+    assert np.allclose(res.allocations, [5.0, 5.0])
+    assert res.price == 0.0
+    assert res.iterations == 0
+
+
+def test_discover_price_zero_budget():
+    fns = [LinearUtility(3.0, 5.0), ZeroUtility(5.0)]
+    res = discover_price(fns, 0.0)
+    assert np.all(res.allocations == 0.0)
+    assert res.total_utility == 0.0
+    assert res.price >= 3.0  # at least the steepest opening marginal
+
+
+def test_discover_price_rejects_bad_knobs():
+    fns = [LinearUtility(1.0, 1.0)]
+    with pytest.raises(ValueError):
+        discover_price(fns, -1.0)
+    with pytest.raises(ValueError):
+        discover_price(fns, 1.0, rel_tol=0.0)
+    with pytest.raises(ValueError):
+        discover_price(fns, 1.0, damping=0.0)
+    with pytest.raises(ValueError):
+        discover_price(fns, 1.0, max_iter=0)
+
+
+def test_discover_prices_batch_matches_scalar_loop():
+    batches = [
+        as_batch([LogUtility(1.0 + i + t, 1.0, 8.0) for i in range(6)])
+        for t in range(3)
+    ]
+    fns = []
+    for b in batches:
+        fns.extend(b.functions())
+    stacked = as_batch(fns)
+    budgets = np.array([10.0, 14.0, 18.0])
+    res = discover_prices_batch(stacked, 3, budgets)
+    for t, b in enumerate(batches):
+        single = discover_price(b, float(budgets[t]))
+        assert np.array_equal(single.allocations, res.allocations[t])
+        assert single.price == res.price[t]
+        assert single.iterations == res.iterations[t]
+
+
+# -- packing ----------------------------------------------------------------
+
+
+def test_pack_demands_respects_capacity_and_demands():
+    rng = np.random.default_rng(0)
+    demands = rng.uniform(0.0, 4.0, (5, 40))
+    servers, alloc = pack_demands_batch(demands, n_servers=6, capacity=10.0)
+    assert servers.shape == alloc.shape == demands.shape
+    assert np.all((servers >= 0) & (servers < 6))
+    assert np.all(alloc >= 0.0)
+    assert np.all(alloc <= demands + 1e-12)
+    for t in range(5):
+        loads = np.bincount(servers[t], weights=alloc[t], minlength=6)
+        assert np.all(loads <= 10.0 + 1e-9)
+        # Only boundary-straddling threads lose anything, at most one per
+        # server boundary (the refill stage recovers the clipped utility).
+        total = float(demands[t].sum())
+        packed = float(alloc[t].sum())
+        assert packed <= min(total, 60.0) + 1e-9
+        assert packed >= min(total, 60.0) - 5 * float(demands[t].max())
+
+
+def test_pack_demands_exact_when_one_server_suffices():
+    rng = np.random.default_rng(1)
+    demands = rng.uniform(0.0, 0.3, (4, 30))  # totals < one server's 10.0
+    servers, alloc = pack_demands_batch(demands, n_servers=3, capacity=10.0)
+    assert np.array_equal(alloc, demands)
+    assert np.all(servers == 0)
+
+
+# -- batch twin, counters, observability -------------------------------------
+
+
+def test_batch_twin_bit_identical_and_counter_parity():
+    problems = [_paper_problem("uniform", 8, 8.0, 200 + s) for s in range(3)]
+    bp = BatchProblem.from_problems(problems)
+    ctx_b = SolveContext()
+    batch = price_discovery_batch_kernel(bp, ctx_b)
+    summed = {}
+    for t, problem in enumerate(problems):
+        ctx_s = SolveContext()
+        scalar = run_solver("price_discovery", problem, ctx=ctx_s).assignment
+        assert np.array_equal(scalar.servers, batch.servers[t])
+        assert np.array_equal(scalar.allocations, batch.allocations[t])
+        for name, value in ctx_s.counters.items():
+            summed[name] = summed.get(name, 0) + value
+    # Lock-step batch totals are exactly the per-trial scalar sums.
+    assert {k: v for k, v in ctx_b.counters.items()} == summed
+
+
+def test_counters_and_histogram_recorded():
+    from repro.observability import MetricsRegistry
+
+    problem = _paper_problem("uniform", 8, 8.0, 11)
+    ctx = SolveContext(metrics=MetricsRegistry())
+    run_solver("price_discovery", problem, ctx=ctx)
+    assert ctx.counters[PRICE_UPDATE_ITERATIONS] >= 1
+    # Converged at the default 1e-6 tolerance: at most 1000 ppb recorded.
+    assert 0 <= ctx.counters[PRICE_CONVERGENCE_RESIDUAL] <= 1000
+    hist = ctx.metrics.histogram(PRICE_ITERATIONS)
+    assert hist.count == 1
+    assert hist.snapshot()["sum"] == ctx.counters[PRICE_UPDATE_ITERATIONS]
+
+
+def test_solve_span_traced():
+    problem = _paper_problem("uniform", 4, 8.0, 5)
+    ctx = SolveContext()
+    run_solver("price_discovery", problem, ctx=ctx)
+    spans = ctx.spans.snapshot()
+    assert "solve.price_discovery" in spans
+    assert "price" in spans
+    assert "reclaim" in spans
+
+
+def test_deadline_abandon_mid_iteration():
+    problem = _paper_problem("uniform", 64, 8.0, 9)
+    with pytest.raises(SolveTimeout):
+        run_solver("price_discovery", problem, ctx=SolveContext(budget_s=1e-9))
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_spec_contract():
+    spec = get_solver("price_discovery")
+    assert spec.kind == "extension"
+    assert spec.reclaim is False  # the refill stage IS its reclamation
+    assert spec.uses_linearization is False
+    assert spec.batch_fn is not None

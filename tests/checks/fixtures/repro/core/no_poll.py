@@ -48,3 +48,23 @@ def polite_batch_walk(bp, blin, ctx, rngs):
 
 attach_batch_fn("fixture_bad", batch_walk)
 attach_batch_fn("fixture_good", polite_batch_walk)
+
+
+def price_walk(problem, lin, ctx, seed):
+    lam = 1.0
+    while lam > 1e-6:  # price-update iteration, never ctx.check_deadline()
+        lam *= 0.5
+    return lam
+
+
+def polite_price_walk(problem, lin, ctx, seed):
+    lam = 1.0
+    while lam > 1e-6:
+        if ctx is not None:
+            ctx.check_deadline()  # allowed: tatonnement loops poll too
+        lam *= 0.5
+    return lam
+
+
+register_solver("fixture_price_bad", price_walk, kind="extension")
+register_solver("fixture_price_good", polite_price_walk, kind="extension")

@@ -84,3 +84,78 @@ def test_total_utility_counts_scalarized_values():
         for f, u in zip(p.utilities.functions(), sol.task_units)
     )
     assert sol.total_utility == pytest.approx(direct, rel=1e-6)
+
+
+# -- the price-discovery backend --------------------------------------------
+
+
+def _market_problem(n=40, R=3, m=4, seed=0):
+    rng = np.random.default_rng(seed)
+    utils = [
+        PowerUtility(float(c), 0.5, cap=float(cap))
+        for c, cap in zip(rng.uniform(1.0, 4.0, n), rng.uniform(2.0, 10.0, n))
+    ]
+    demands = rng.uniform(0.1, 1.0, (n, R))
+    caps = rng.uniform(3.0, 9.0, R)
+    return MultiResourceProblem(utils, demands, n_servers=m, capacities=caps)
+
+
+def test_prices_backend_feasible_and_reports_pricing():
+    p = _market_problem()
+    sol = solve_multiresource(p, backend="prices")
+    assert np.all(sol.usage <= p.capacities * (1 + 1e-9))
+    assert sol.scalar.algorithm == "price_discovery"
+    assert sol.pricing is not None
+    assert sol.pricing.prices.shape == (p.n_resources,)
+    assert np.all(sol.pricing.prices >= 0.0)
+    assert sol.pricing.iterations >= 1
+    # The default dominant backend carries no market report.
+    assert solve_multiresource(p).pricing is None
+
+
+def test_prices_backend_parity_with_dominant():
+    p = _market_problem(seed=3)
+    dom = solve_multiresource(p, algorithm="alg2")
+    pri = solve_multiresource(p, backend="prices")
+    assert pri.total_utility >= dom.total_utility * 0.95
+
+
+def test_dual_bound_dominates_both_backends():
+    for seed in range(3):
+        p = _market_problem(seed=seed)
+        dom = solve_multiresource(p, algorithm="alg2")
+        pri = solve_multiresource(p, backend="prices")
+        bound = pri.pricing.dual_bound
+        # The Lagrangian dual value upper-bounds the multiresource optimum
+        # at ANY nonnegative price vector — convergence only tightens it.
+        assert bound >= dom.total_utility - 1e-9
+        assert bound >= pri.total_utility - 1e-9
+
+
+def test_dual_bound_valid_even_far_from_convergence():
+    from repro.extensions.multiresource import discover_resource_prices
+
+    p = _market_problem(seed=5)
+    crude = discover_resource_prices(p, max_iter=1)
+    converged = discover_resource_prices(p)
+    best = solve_multiresource(p, algorithm="alg2").total_utility
+    assert crude.dual_bound >= best - 1e-9
+    assert converged.dual_bound >= best - 1e-9
+    assert converged.dual_bound <= crude.dual_bound + 1e-9 or converged.residual <= 1e-4
+
+
+def test_prices_backend_counters_and_deadline():
+    from repro.engine import SolveContext, SolveTimeout
+    from repro.observability import PRICE_UPDATE_ITERATIONS
+
+    p = _market_problem()
+    ctx = SolveContext()
+    solve_multiresource(p, backend="prices", ctx=ctx)
+    assert ctx.counters[PRICE_UPDATE_ITERATIONS] >= 1
+    with pytest.raises(SolveTimeout):
+        solve_multiresource(p, backend="prices", ctx=SolveContext(budget_s=1e-9))
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        solve_multiresource(_problem(), backend="nope")
