@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""3-shard fleet smoke run (also the CI fleet job).
+
+Drives a :class:`~repro.service.FleetCoordinator` over three in-process
+:class:`~repro.service.AllocationService` shards through the fleet
+lifecycle: a burst of arrivals routed across shards (one coalesced fleet
+step), a deliberately skewed workload that makes one cross-shard
+rebalance fire and *strictly increase* total utility within the
+migration budget, a fleet-wide certified ratio that stays ≥ α after
+every step (checked via the composed certificate and the fleet
+GapMonitor), and an ``aart-fleet-snapshot/1`` save + restore that must
+reproduce the whole fleet bit-identically.  Exits non-zero on any
+violated invariant.
+
+Run:  PYTHONPATH=src python examples/fleet_smoke.py
+"""
+
+import json
+import sys
+
+from repro.core.problem import ALPHA
+from repro.observability import FLEET_MIGRATIONS, FLEET_STEPS
+from repro.service import (
+    AllocationService,
+    ClusterState,
+    FleetCoordinator,
+    FleetPolicy,
+    QueryAssignment,
+    Rebalance,
+    RemoveThread,
+    ShardRouter,
+    SubmitThread,
+    fleet_snapshot_from_dict,
+    fleet_snapshot_to_dict,
+)
+from repro.utility.functions import LogUtility, SaturatingUtility
+
+N_SHARDS = 3
+N_SERVERS = 2  # per shard
+CAPACITY = 50.0
+MIGRATION_BUDGET = 4
+
+
+def main() -> int:
+    # Pin the first 9 threads onto shard 0 so the fleet starts skewed and
+    # the cross-shard rebalance has real work to do.
+    router = ShardRouter(N_SHARDS, pins={f"log{k}": 0 for k in range(9)})
+    fleet = FleetCoordinator(
+        [
+            AllocationService(ClusterState(N_SERVERS, CAPACITY))
+            for _ in range(N_SHARDS)
+        ],
+        router=router,
+        policy=FleetPolicy(
+            rebalance_interval=None,
+            imbalance_threshold=None,
+            migration_budget=MIGRATION_BUDGET,
+        ),
+    )
+
+    # One burst of 12 arrivals must coalesce into ONE fleet step, routed
+    # per the router (9 pinned to shard 0, 3 hashed).
+    arrivals = [
+        SubmitThread(f"log{k}", LogUtility(1.0 + k, 2.0, CAPACITY)) for k in range(9)
+    ] + [
+        SubmitThread(f"sat{k}", SaturatingUtility(2.0 + k, 10.0, CAPACITY))
+        for k in range(3)
+    ]
+    responses = fleet.process(arrivals)
+    assert all(r.ok for r in responses), [r.error for r in responses]
+    assert fleet.counters.snapshot()[FLEET_STEPS] == 1, "burst did not coalesce"
+    for k in range(9):
+        assert fleet.locate(f"log{k}") == 0, "pin was not honored"
+
+    # Churn a little; every step must keep the composed certificate ≥ α.
+    fleet.process([RemoveThread("log0"), RemoveThread("sat2")])
+
+    # One forced cross-shard rebalance must fire, migrate within budget,
+    # and STRICTLY increase total fleet utility (the fleet was skewed).
+    before = fleet.certificate().utility
+    report = fleet.handle(Rebalance()).data
+    moved = report["migrations"]
+    assert 0 < moved <= MIGRATION_BUDGET, f"migrations {moved} out of budget"
+    after = fleet.certificate().utility
+    assert after > before, f"rebalance did not improve utility ({before} → {after})"
+    assert fleet.counters.snapshot()[FLEET_MIGRATIONS] == moved
+
+    # Fleet-wide certification: the composed certificate holds α now, and
+    # the fleet GapMonitor saw NO breach on any step so far.
+    status = fleet.process([QueryAssignment()])[0].data
+    cert = status["certificate"]
+    assert cert["complete"] and cert["holds_alpha"], cert
+    ratio = status["last_ratio"]
+    assert ratio >= ALPHA - 1e-9, f"fleet ratio {ratio:.4f} below α={ALPHA:.4f}"
+    gap = fleet.gap.stats()
+    assert gap["ok"] and gap["breaches"] == 0, gap
+    assert gap["min_ratio"] >= ALPHA - 1e-9, gap
+
+    # Fleet snapshot + restore must reproduce every shard bit-identically.
+    doc = fleet_snapshot_to_dict(fleet)
+    warm = fleet_snapshot_from_dict(doc)
+    assert json.dumps(fleet_snapshot_to_dict(warm), sort_keys=True) == json.dumps(
+        doc, sort_keys=True
+    ), "fleet snapshot round trip drifted"
+
+    # The restored fleet keeps serving, and re-certifies at α after its
+    # first full pass (freshly restored shards are uncertified until they
+    # re-solve, exactly like a single warm-restarted service).
+    resp = warm.handle(SubmitThread("late", LogUtility(3.0, 2.0, CAPACITY)))
+    assert resp.ok, resp.error
+    assert warm.handle(Rebalance()).ok
+    assert warm.certificate().holds(), "restored fleet lost certification"
+
+    print(
+        f"fleet smoke OK: {status['n_threads']} threads on {N_SHARDS} shards "
+        f"({status['n_servers']} servers), rebalance moved {moved} "
+        f"(≤ budget {MIGRATION_BUDGET}) for +{after - before:.4f} utility, "
+        f"fleet ratio {ratio:.4f} ≥ α={ALPHA:.4f} on all {gap['steps']} "
+        f"certified steps, snapshot round trip bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

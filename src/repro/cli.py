@@ -234,12 +234,85 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _parse_endpoints(spec: str, default_port: int) -> list[tuple[str, int]]:
+    """``host:port,host,...`` → [(host, port), ...] (default port filled in)."""
+    endpoints = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        host, _, port = chunk.rpartition(":")
+        if host:
+            endpoints.append((host, int(port)))
+        else:
+            endpoints.append((chunk, default_port))
+    if not endpoints:
+        raise ValueError(f"no endpoints in {spec!r}")
+    return endpoints
+
+
+def _status_table(rows: list[tuple[str, dict]]) -> str:
+    """One aligned table over per-instance status dicts (label per row)."""
+    header = ("endpoint", "ver", "threads", "servers", "C", "utility", "ratio", "queue")
+    table = [header]
+    for label, st in rows:
+        ratio = st.get("last_ratio")
+        table.append(
+            (
+                label,
+                str(st["version"]),
+                str(st["n_threads"]),
+                str(st["n_servers"]),
+                f"{st['capacity']:g}",
+                f"{st['total_utility']:.6g}",
+                "-" if ratio is None else f"{ratio:.4f}",
+                str(st["queue_length"]),
+            )
+        )
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in table
+    )
+
+
+def _print_status(status: dict) -> None:
+    """The classic single-instance ``aart client status`` rendering."""
+    print(
+        f"version {status['version']}: {status['n_threads']} threads on "
+        f"{status['n_servers']} servers (C={status['capacity']:g})"
+    )
+    print(f"total utility      = {status['total_utility']:.6g}")
+    if status["last_bound"]:
+        print(
+            f"last certification = {status['last_ratio']:.4f} of bound "
+            f"{status['last_bound']:.6g} (at version "
+            f"{status['last_certified_version']})"
+        )
+    loads = ", ".join(f"{x:.4g}" for x in status["server_loads"])
+    print(f"server loads       = [{loads}]")
+    print(f"steps since replan = {status['steps_since_replan']}")
+
+
 def cmd_client(args) -> int:
     import json as _json
     from pathlib import Path
 
     from repro.serialization import utility_from_dict
     from repro.service import Client
+
+    if args.client_command == "status" and args.endpoints:
+        # Multi-instance view: one status round per endpoint, one table.
+        rows = []
+        for host, port in _parse_endpoints(args.endpoints, args.port):
+            with Client(host=host, port=port) as client:
+                rows.append((f"{host}:{port}", client.status()))
+        print(_status_table(rows))
+        total_u = sum(st["total_utility"] for _, st in rows)
+        total_n = sum(st["n_threads"] for _, st in rows)
+        print(f"total: {total_n} threads, utility {total_u:.6g} "
+              f"across {len(rows)} instances")
+        return 0
 
     with Client(host=args.host, port=args.port) as client:
         if args.client_command == "submit":
@@ -258,21 +331,7 @@ def cmd_client(args) -> int:
             print(_render_metrics(client.metrics()))
             return 0
         else:  # status
-            status = client.status()
-            print(
-                f"version {status['version']}: {status['n_threads']} threads on "
-                f"{status['n_servers']} servers (C={status['capacity']:g})"
-            )
-            print(f"total utility      = {status['total_utility']:.6g}")
-            if status["last_bound"]:
-                print(
-                    f"last certification = {status['last_ratio']:.4f} of bound "
-                    f"{status['last_bound']:.6g} (at version "
-                    f"{status['last_certified_version']})"
-                )
-            loads = ", ".join(f"{x:.4g}" for x in status["server_loads"])
-            print(f"server loads       = [{loads}]")
-            print(f"steps since replan = {status['steps_since_replan']}")
+            _print_status(client.status())
             return 0
     payload = {k: v for k, v in resp.data.items() if k != "state"}
     if resp.ok:
@@ -280,6 +339,143 @@ def cmd_client(args) -> int:
         return 0
     print(f"{resp.op}: REFUSED — {resp.error}", file=sys.stderr)
     return 1
+
+
+def cmd_fleet(args) -> int:
+    """``aart fleet serve|status|rebalance`` — the sharded allocation tier."""
+    if args.fleet_command == "serve":
+        return _fleet_serve(args)
+
+    from repro.service import Client
+
+    with Client(host=args.host, port=args.port) as client:
+        if args.fleet_command == "rebalance":
+            resp = client.rebalance()
+            if not resp.ok:
+                print(f"rebalance: REFUSED — {resp.error}", file=sys.stderr)
+                return 1
+            d = resp.data
+            print(
+                f"rebalance: {d.get('migrations', 0)} migrations, "
+                f"{d.get('rollbacks', 0)} rollbacks "
+                f"(donor {d.get('donor')} → receiver {d.get('receiver')})"
+            )
+            print(
+                f"fleet utility {d.get('utility_before', 0.0):.6g} → "
+                f"{d.get('utility_after', 0.0):.6g}"
+            )
+            return 0
+        # status
+        status = client.status()
+        if not status.get("fleet"):
+            print(
+                "warning: endpoint is a single service, not a fleet "
+                "coordinator", file=sys.stderr,
+            )
+            _print_status(status)
+            return 0
+        cert = status["certificate"]
+        print(
+            f"fleet of {status['n_shards']} shards: {status['n_threads']} "
+            f"threads on {status['n_servers']} servers "
+            f"({status['steps']} steps, {status['migrations']} migrations, "
+            f"{status['rebalances']} rebalances)"
+        )
+        ratio = cert["ratio"]
+        print(
+            f"composed certificate: utility {cert['utility']:.6g} / bound "
+            f"{cert['bound']:.6g}"
+            + ("" if ratio is None else f" = {ratio:.4f}")
+            + (
+                f" (α={cert['alpha']:.4f} "
+                f"{'holds' if cert['holds_alpha'] else 'NOT certified'})"
+            )
+        )
+        rows = [
+            (f"shard {s['shard']}", s) for s in status["shards"]
+        ]
+        print(_status_table(rows))
+        return 0
+
+
+def _fleet_serve(args) -> int:
+    import signal
+    from pathlib import Path
+
+    from repro.service import (
+        AllocationService,
+        ClusterState,
+        FleetCoordinator,
+        FleetPolicy,
+        MetricsHttpServer,
+        TcpServer,
+        load_fleet_snapshot,
+        save_fleet_snapshot,
+    )
+
+    sink = None
+    if args.trace:
+        from repro.observability import JsonlSink
+
+        sink = JsonlSink(args.trace)
+    policy = FleetPolicy(
+        rebalance_interval=args.rebalance_interval or None,
+        imbalance_threshold=args.imbalance,
+        migration_budget=args.migration_budget,
+    )
+    if args.snapshot and Path(args.snapshot).exists():
+        fleet = load_fleet_snapshot(args.snapshot, policy=policy, sink=sink)
+        print(
+            f"warm restart from {args.snapshot}: {fleet.n_shards} shards, "
+            f"{fleet.n_threads} threads"
+        )
+    else:
+        shards = [
+            AllocationService(
+                ClusterState(
+                    args.servers_per_shard, args.capacity, solver=args.solver
+                ),
+                seed=args.seed + k,
+            )
+            for k in range(args.shards)
+        ]
+        fleet = FleetCoordinator(shards, policy=policy, sink=sink)
+    server = TcpServer(
+        fleet, host=args.host, port=args.port, coalesce_window_s=args.coalesce_window
+    )
+    httpd = None
+    if args.metrics_port is not None:
+        httpd = MetricsHttpServer(
+            fleet, host=args.host, port=args.metrics_port, lock=server.lock
+        ).start()
+        print(
+            f"fleet metrics on http://{httpd.host}:{httpd.port}/metrics "
+            f"(health: /healthz)"
+        )
+    print(
+        f"aart fleet coordinator on {server.host}:{server.port} "
+        f"({fleet.n_shards} shards); Ctrl-C to stop"
+    )
+
+    def _graceful_term(signum, frame):
+        # SIGTERM (e.g. from a supervisor) takes the same shutdown path
+        # as Ctrl-C so the fleet snapshot still gets written.
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful_term)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if httpd is not None:
+            httpd.stop()
+        if args.snapshot:
+            save_fleet_snapshot(fleet, args.snapshot)
+            print(f"fleet snapshot saved to {args.snapshot}")
+        if sink is not None:
+            sink.close()
+    return 0
 
 
 def _hist_quantile(inst: dict, q: float) -> float:
@@ -608,11 +804,52 @@ def build_parser() -> argparse.ArgumentParser:
     c = csub.add_parser("remove", help="withdraw a thread")
     c.add_argument("--id", required=True, help="thread id")
     csub.add_parser("rebalance", help="force a full re-solve")
-    csub.add_parser("status", help="print the cluster overview")
+    c = csub.add_parser("status", help="print the cluster overview")
+    c.add_argument("--endpoints", metavar="HOST:PORT,...",
+                   help="comma-separated service endpoints — render one "
+                   "table across all of them (bare host inherits --port)")
     csub.add_parser("metrics", help="print gap stats and instrument summary")
     c = csub.add_parser("snapshot", help="snapshot the daemon's state")
     c.add_argument("-o", "--output", help="server-side path to write (else inline)")
     p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser("fleet", help="run or inspect a sharded fleet coordinator")
+    fsub = p.add_subparsers(dest="fleet_command", required=True)
+    f = fsub.add_parser("serve", help="run N in-process shards behind one "
+                        "coordinator endpoint")
+    f.add_argument("--host", default="127.0.0.1")
+    f.add_argument("--port", type=int, default=7431, help="0 picks a free port")
+    f.add_argument("--shards", type=int, default=3)
+    f.add_argument("--servers-per-shard", type=int, default=4)
+    f.add_argument("--capacity", type=float, default=100.0)
+    f.add_argument("--solver", default="alg2",
+                   choices=[s.name for s in list_solvers()],
+                   help="registry algorithm each shard replans with")
+    f.add_argument("--rebalance-interval", type=int, default=8,
+                   help="cross-shard rebalance after this many fleet steps "
+                   "(0 disables the interval trigger)")
+    f.add_argument("--imbalance", type=float, default=0.25,
+                   help="cross-shard rebalance when residual-capacity "
+                   "fractions spread wider than this")
+    f.add_argument("--migration-budget", type=int, default=8,
+                   help="max threads one cross-shard pass may migrate")
+    f.add_argument("--coalesce-window", type=float, default=0.02,
+                   help="seconds to keep draining a request burst into one step")
+    f.add_argument("--snapshot", metavar="PATH",
+                   help="restore the fleet from PATH at start (if present) "
+                   "and save on exit (aart-fleet-snapshot/1)")
+    f.add_argument("--trace", metavar="PATH",
+                   help="write fleet step/rebalance/migration events here")
+    f.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="also serve shard-labeled /metrics and fleet /healthz")
+    f.add_argument("--seed", type=int, default=0)
+    f = fsub.add_parser("status", help="composed certificate + per-shard table")
+    f.add_argument("--host", default="127.0.0.1")
+    f.add_argument("--port", type=int, default=7431)
+    f = fsub.add_parser("rebalance", help="force one cross-shard rebalance pass")
+    f.add_argument("--host", default="127.0.0.1")
+    f.add_argument("--port", type=int, default=7431)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("top", help="live dashboard for a running service")
     p.add_argument("--host", default="127.0.0.1")

@@ -30,6 +30,11 @@ from repro.observability.counters import (
     BATCH_FALLBACKS,
     BATCH_TRIALS,
     BISECTION_ITERATIONS,
+    FLEET_MIGRATION_ROLLBACKS,
+    FLEET_MIGRATIONS,
+    FLEET_REBALANCES,
+    FLEET_REQUESTS,
+    FLEET_STEPS,
     GROUPED_BISECTION_ITERATIONS,
     LINEARIZE_CACHE_HITS,
     LINEARIZE_CACHE_MISSES,
@@ -51,6 +56,7 @@ from repro.observability.exposition import (
     PROMETHEUS_CONTENT_TYPE,
     counters_to_snapshot,
     merge_snapshots,
+    relabel_snapshot,
     render_json,
     render_prometheus,
     strip_partials,
@@ -58,6 +64,11 @@ from repro.observability.exposition import (
 from repro.observability.gap import GapMonitor
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
+    FLEET_BOUND,
+    FLEET_RATIO,
+    FLEET_SHARDS,
+    FLEET_THREADS,
+    FLEET_UTILITY,
     GAUGE_BOUND,
     GAUGE_RATIO,
     GAUGE_THREADS,
@@ -67,6 +78,7 @@ from repro.observability.metrics import (
     QUEUE_DEPTH,
     REQUEST_LATENCY,
     SERVER_RESIDUAL,
+    SHARD_LABEL,
     SPAN_SECONDS,
     STEP_SECONDS,
     TRIAL_THREADS,
@@ -89,6 +101,16 @@ __all__ = [
     "BATCH_TRIALS",
     "BISECTION_ITERATIONS",
     "DEFAULT_BUCKETS",
+    "FLEET_BOUND",
+    "FLEET_MIGRATION_ROLLBACKS",
+    "FLEET_MIGRATIONS",
+    "FLEET_RATIO",
+    "FLEET_REBALANCES",
+    "FLEET_REQUESTS",
+    "FLEET_SHARDS",
+    "FLEET_STEPS",
+    "FLEET_THREADS",
+    "FLEET_UTILITY",
     "GAUGE_BOUND",
     "GAUGE_RATIO",
     "GAUGE_THREADS",
@@ -113,6 +135,7 @@ __all__ = [
     "SERVICE_REPLANS",
     "SERVICE_REQUESTS",
     "SERVICE_STEPS",
+    "SHARD_LABEL",
     "SPAN_SECONDS",
     "STEP_SECONDS",
     "TRACE_FORMAT",
@@ -135,6 +158,7 @@ __all__ = [
     "chrome_trace",
     "counters_to_snapshot",
     "merge_snapshots",
+    "relabel_snapshot",
     "render_json",
     "render_prometheus",
     "strip_partials",

@@ -67,6 +67,19 @@ SERVICE_REPLANS = "service_replans"
 #: Threads moved between servers by applied re-solves.
 SERVICE_MIGRATIONS = "service_migrations"
 
+# -- fleet-coordinator counters (emitted by repro.service.fleet) --------------
+
+#: Requests routed by the fleet coordinator (all ops, across all shards).
+FLEET_REQUESTS = "fleet_requests"
+#: Coalesced fleet steps (one per processed batch containing mutations).
+FLEET_STEPS = "fleet_steps"
+#: Cross-shard rebalance passes executed (policy-triggered or requested).
+FLEET_REBALANCES = "fleet_rebalances"
+#: Threads migrated between shards by applied cross-shard rebalances.
+FLEET_MIGRATIONS = "fleet_migrations"
+#: Candidate moves attempted but rolled back (no fleet-utility gain).
+FLEET_MIGRATION_ROLLBACKS = "fleet_migration_rollbacks"
+
 
 class Counters(Mapping[str, int]):
     """A mapping of monotonic named counters.

@@ -71,6 +71,33 @@ def counters_to_snapshot(
     }
 
 
+def relabel_snapshot(snapshot: dict[str, Any], **labels: str) -> dict[str, Any]:
+    """A copy of ``snapshot`` with ``labels`` stamped onto every instrument.
+
+    The added keys become *defaults*: an instrument that already carries
+    one of them keeps its own value.  This is how the fleet coordinator
+    turns N per-shard snapshots — all emitting the same canonical names —
+    into disjoint series in one scrape: stamp each with
+    ``shard="<k>"`` (:data:`~repro.observability.metrics.SHARD_LABEL`)
+    before concatenating via :func:`merge_snapshots`.
+    """
+    from repro.observability.metrics import METRICS_FORMAT
+
+    if snapshot.get("format") != METRICS_FORMAT:
+        raise ValueError(f"not a metrics snapshot: {snapshot.get('format')!r}")
+    stamped = {str(k): str(v) for k, v in labels.items()}
+    instruments = [
+        {**inst, "labels": {**stamped, **inst.get("labels", {})}}
+        for inst in snapshot["instruments"]
+    ]
+    return {
+        "format": METRICS_FORMAT,
+        "instruments": sorted(
+            instruments, key=lambda s: (s["name"], sorted(s["labels"].items()))
+        ),
+    }
+
+
 def merge_snapshots(*snapshots: dict[str, Any]) -> dict[str, Any]:
     """One combined snapshot (instruments concatenated, re-sorted)."""
     from repro.observability.metrics import METRICS_FORMAT

@@ -50,6 +50,21 @@ GAUGE_BOUND = "aart_bound_total"
 GAUGE_RATIO = "aart_gap_ratio"
 PRICE_ITERATIONS = "aart_price_iterations"
 
+#: Canonical label key distinguishing per-shard series in a fleet-wide
+#: scrape.  Shard-local exporters never set it themselves; the fleet
+#: coordinator stamps it onto every aggregated instrument (see
+#: :func:`repro.observability.exposition.relabel_snapshot`) so the same
+#: canonical names — ``aart_utility_total``, ``aart_server_residual``, … —
+#: from N shards coexist in one exposition instead of colliding.
+SHARD_LABEL = "shard"
+
+#: Fleet-coordinator gauges (aggregates over every shard's certified state).
+FLEET_SHARDS = "aart_fleet_shards"
+FLEET_THREADS = "aart_fleet_threads"
+FLEET_UTILITY = "aart_fleet_utility_total"
+FLEET_BOUND = "aart_fleet_bound_total"
+FLEET_RATIO = "aart_fleet_gap_ratio"
+
 
 class ExactSum:
     """An exactly-represented running sum of floats.

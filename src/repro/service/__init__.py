@@ -38,6 +38,19 @@ from repro.service.api import (
     response_from_dict,
     response_to_dict,
 )
+from repro.service.fleet import (
+    FLEET_SNAPSHOT_FORMAT,
+    FleetCertificate,
+    FleetCoordinator,
+    FleetPolicy,
+    ShardCertificate,
+    ShardRouter,
+    compose_certificates,
+    fleet_snapshot_from_dict,
+    fleet_snapshot_to_dict,
+    load_fleet_snapshot,
+    save_fleet_snapshot,
+)
 from repro.service.httpd import MetricsHttpServer
 from repro.service.policy import AdmissionPolicy, ReplanPolicy
 from repro.service.server import AllocationService
@@ -52,6 +65,7 @@ from repro.service.state import STATE_FORMAT, ClusterState
 from repro.service.transport import Client, InProcessTransport, TcpServer
 
 __all__ = [
+    "FLEET_SNAPSHOT_FORMAT",
     "MUTATING_OPS",
     "PROTOCOL",
     "SNAPSHOT_FORMAT",
@@ -60,6 +74,9 @@ __all__ = [
     "AllocationService",
     "Client",
     "ClusterState",
+    "FleetCertificate",
+    "FleetCoordinator",
+    "FleetPolicy",
     "InProcessTransport",
     "MetricsHttpServer",
     "QueryAssignment",
@@ -69,15 +86,22 @@ __all__ = [
     "ReplanPolicy",
     "Request",
     "Response",
+    "ShardCertificate",
+    "ShardRouter",
     "Snapshot",
     "SubmitThread",
     "TcpServer",
     "UpdateCapacity",
+    "compose_certificates",
+    "fleet_snapshot_from_dict",
+    "fleet_snapshot_to_dict",
+    "load_fleet_snapshot",
     "load_snapshot",
     "request_from_dict",
     "request_to_dict",
     "response_from_dict",
     "response_to_dict",
+    "save_fleet_snapshot",
     "save_snapshot",
     "snapshot_from_dict",
     "snapshot_to_dict",

@@ -1,0 +1,57 @@
+"""The fleet tier: N allocation shards behind one coordinator.
+
+A :class:`FleetCoordinator` speaks the same typed request API as a
+single :class:`~repro.service.server.AllocationService`, but fans out
+over per-shard services (in-process or TCP): a
+:class:`ShardRouter` places new threads via weighted rendezvous hashing
+(plus explicit pins), a :class:`FleetPolicy` drives cross-shard
+rebalance from the shards' certified F/F̂ ratios and residual gauges,
+and :func:`compose_certificates` folds per-shard α certificates into a
+provable fleet-wide lower bound (see :mod:`repro.service.fleet.certificate`
+for the lemma).  Fleet-wide warm restart goes through
+``aart-fleet-snapshot/1`` (:func:`save_fleet_snapshot` /
+:func:`load_fleet_snapshot`).
+
+Typical 3-shard in-process use::
+
+    from repro.service import AllocationService, ClusterState, SubmitThread
+    from repro.service.fleet import FleetCoordinator
+
+    fleet = FleetCoordinator(
+        [AllocationService(ClusterState(n_servers=2, capacity=10.0))
+         for _ in range(3)]
+    )
+    fleet.process([SubmitThread(f"t{i}", some_utility) for i in range(30)])
+    print(fleet.status()["certificate"])
+
+CLI: ``aart fleet serve | status | rebalance``.
+"""
+
+from repro.service.fleet.certificate import (
+    FleetCertificate,
+    ShardCertificate,
+    compose_certificates,
+)
+from repro.service.fleet.coordinator import FleetCoordinator, FleetPolicy
+from repro.service.fleet.router import ShardRouter
+from repro.service.fleet.snapshot import (
+    FLEET_SNAPSHOT_FORMAT,
+    fleet_snapshot_from_dict,
+    fleet_snapshot_to_dict,
+    load_fleet_snapshot,
+    save_fleet_snapshot,
+)
+
+__all__ = [
+    "FLEET_SNAPSHOT_FORMAT",
+    "FleetCertificate",
+    "FleetCoordinator",
+    "FleetPolicy",
+    "ShardCertificate",
+    "ShardRouter",
+    "compose_certificates",
+    "fleet_snapshot_from_dict",
+    "fleet_snapshot_to_dict",
+    "load_fleet_snapshot",
+    "save_fleet_snapshot",
+]

@@ -1,0 +1,194 @@
+"""Composing per-shard α certificates into one fleet-wide lower bound.
+
+Each :class:`~repro.service.server.AllocationService` certifies its own
+state every step: realized utility ``F_k`` against the super-optimal
+bound ``F̂_k`` of *its* residents on *its* servers (Lemma V.3), with the
+paper guaranteeing ``F_k ≥ α·F̂_k`` after any full re-solve
+(Theorem V.8/V.16, α = 2(√2−1)).  The fleet tier needs those per-shard
+facts to add up to one number a health check can gate on.  They do:
+
+**Lemma (certificate composition).**  Let shards ``k = 1..K`` hold
+disjoint thread sets with realized utilities ``F_k ≥ 0``, bounds
+``F̂_k ≥ F_k``, and certified ratios ``r_k = F_k / F̂_k`` (``r_k = 1``
+for an empty shard, where ``F_k = F̂_k = 0``).  Write ``F = Σ_k F_k``
+and ``F̂ = Σ_k F̂_k``.  Then
+
+    ``min_k r_k  ≤  F / F̂  ≤  max_k r_k``        (mediant inequality)
+
+so in particular ``F ≥ (min_k r_k)·F̂ ≥ α·F̂`` whenever every shard
+certifies at α.  *Proof.*  ``F = Σ r_k·F̂_k ≥ (min_k r_k)·Σ F̂_k``
+since every ``F̂_k ≥ 0``; the upper half is symmetric.  ∎
+
+Two honest caveats, encoded in the docstrings below and in
+``docs/service.md``:
+
+* ``F̂`` upper-bounds the best *partition-respecting* allocation
+  (Lemma V.3 applied per shard), not the best allocation over the pooled
+  fleet — threads are constrained to their shard's servers.  The
+  coordinator's cross-shard rebalance exists precisely to improve the
+  partition; the certificate is exact *for the partition being served*.
+* Between a shard's certification and the coordinator's read the shard
+  may have absorbed more mutations; like the single-service case, the
+  certificate is stamped with the versions it was computed at.
+
+The property test in ``tests/service/test_fleet_certificate.py`` checks
+the lemma on generated workload splits: the composed floor
+``(min_k r_k)·F̂`` never exceeds the true summed utility and never falls
+below ``α·F̂`` once every shard has re-solved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+def _alpha() -> float:
+    # Imported lazily, matching repro.observability.gap: keep this module
+    # importable before the core package finishes loading.
+    from repro.core.problem import ALPHA
+
+    return ALPHA
+
+
+@dataclass(frozen=True)
+class ShardCertificate:
+    """One shard's certification facts, as read from its status.
+
+    ``utility``/``bound`` are the shard's realized total utility and
+    last certified super-optimal bound; ``version`` is the shard state
+    version the bound was computed at.  ``bound`` is ``None`` when the
+    shard has never certified (e.g. a fresh shard that served no step).
+    An empty shard certifies trivially at ratio 1.
+    """
+
+    shard: int
+    utility: float
+    bound: float | None
+    n_threads: int
+    version: int
+
+    @property
+    def certified(self) -> bool:
+        """Whether this shard contributes a usable (utility, bound) pair."""
+        return self.bound is not None or self.n_threads == 0
+
+    @property
+    def ratio(self) -> float | None:
+        """``F_k / F̂_k`` (1.0 for an empty or zero-bound shard)."""
+        if not self.certified:
+            return None
+        if self.bound is None or self.bound <= 0:
+            return 1.0
+        return self.utility / self.bound
+
+
+@dataclass(frozen=True)
+class FleetCertificate:
+    """The composed fleet-wide certificate (see the module lemma).
+
+    ``utility`` and ``bound`` are ``Σ F_k`` and ``Σ F̂_k``;
+    ``floor = (min_k r_k)·F̂`` is the provable lower bound on the fleet's
+    realized utility implied by the per-shard certificates alone — by
+    the composition lemma it is ≥ ``α·F̂`` whenever every shard
+    certifies at α.  ``complete`` is False when some non-empty shard had
+    no bound to contribute (the fleet then serves uncertified, exactly
+    like a single service whose certification timed out).
+    """
+
+    utility: float
+    bound: float
+    min_shard_ratio: float
+    max_shard_ratio: float
+    complete: bool
+    shards: tuple[ShardCertificate, ...]
+
+    @property
+    def ratio(self) -> float | None:
+        """``F / F̂`` (1.0 for an empty fleet; None while incomplete)."""
+        if not self.complete:
+            return None
+        if self.bound <= 0:
+            return 1.0
+        return self.utility / self.bound
+
+    @property
+    def floor(self) -> float | None:
+        """``(min_k r_k)·F̂`` — the composed provable utility floor."""
+        if not self.complete:
+            return None
+        return self.min_shard_ratio * self.bound
+
+    def holds(self, threshold: float | None = None, tolerance: float = 1e-9) -> bool:
+        """Whether every shard — hence the fleet — certifies at ``threshold``.
+
+        Defaults to the paper's α; an incomplete certificate never holds.
+        """
+        if not self.complete:
+            return False
+        threshold = _alpha() if threshold is None else float(threshold)
+        return self.min_shard_ratio >= threshold * (1.0 - tolerance)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (used by fleet status and ``/healthz``)."""
+        return {
+            "utility": self.utility,
+            "bound": self.bound,
+            "ratio": self.ratio,
+            "floor": self.floor,
+            "min_shard_ratio": self.min_shard_ratio,
+            "max_shard_ratio": self.max_shard_ratio,
+            "complete": self.complete,
+            "alpha": _alpha(),
+            "holds_alpha": self.holds(),
+            "shards": [
+                {
+                    "shard": c.shard,
+                    "utility": c.utility,
+                    "bound": c.bound,
+                    "ratio": c.ratio,
+                    "n_threads": c.n_threads,
+                    "version": c.version,
+                }
+                for c in self.shards
+            ],
+        }
+
+
+def compose_certificates(shards: Iterable[ShardCertificate]) -> FleetCertificate:
+    """Aggregate per-shard certificates per the composition lemma.
+
+    Empty shards contribute ``(0, 0)`` and ratio 1 (they constrain
+    nothing); a non-empty shard with no bound marks the composition
+    incomplete but still contributes its realized utility to ``F``.
+    An empty iterable composes to the trivial certificate
+    ``F = F̂ = 0``, ratio 1.
+    """
+    certs = tuple(shards)
+    utility = 0.0
+    bound = 0.0
+    complete = True
+    ratios: list[float] = []
+    for cert in certs:
+        utility += cert.utility
+        if cert.certified:
+            if cert.bound is not None:
+                bound += cert.bound
+            r = cert.ratio
+            assert r is not None  # certified ⇒ ratio defined
+            ratios.append(r)
+        else:
+            complete = False
+    min_ratio = min(ratios) if ratios else 1.0
+    max_ratio = max(ratios) if ratios else 1.0
+    if not complete:
+        min_ratio, max_ratio = math.nan, math.nan
+    return FleetCertificate(
+        utility=utility,
+        bound=bound,
+        min_shard_ratio=min_ratio,
+        max_shard_ratio=max_ratio,
+        complete=complete,
+        shards=certs,
+    )

@@ -1,0 +1,146 @@
+"""Deterministic thread→shard placement for the fleet tier.
+
+:class:`ShardRouter` decides which shard *admits* a thread.  Placement
+uses rendezvous (highest-random-weight) hashing over a stable SHA-256
+digest of ``(shard name, thread id)``:
+
+* **deterministic** — the same thread id maps to the same shard in every
+  process on every platform (no reliance on Python's randomized
+  ``hash``), so a restarted coordinator routes identically;
+* **minimally disruptive** — adding or removing a shard only remaps the
+  keys that land on (or leave) that shard, the classic consistent-hashing
+  property, proved by the rendezvous argument: a key's winner changes
+  only if the new shard beats the old winner, or the old winner left;
+* **weighted** — per-shard weights scale each shard's score via the
+  standard ``-w / ln(u)`` transform, so heterogeneous shards (more
+  servers, bigger capacity) can take proportionally more threads.
+
+Explicit **pins** override hashing per thread id — the escape hatch for
+server-group partitioning (tenant X lives on shard 2) and for tests that
+need a deliberately skewed fleet.  The coordinator's migrations do NOT
+rewrite the router: the router answers "where does a new thread go",
+while the coordinator's location map answers "where does it live now".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+
+def _score(shard_name: str, thread_id: str, weight: float) -> float:
+    """Rendezvous score of ``thread_id`` on the shard named ``shard_name``.
+
+    Maps the digest to a uniform ``u ∈ (0, 1)`` and returns
+    ``-weight / ln(u)``: a strictly increasing function of ``u`` scaled
+    so a shard with twice the weight wins twice as often in expectation.
+    """
+    digest = hashlib.sha256(
+        f"{shard_name}\x00{thread_id}".encode("utf-8")
+    ).digest()
+    # 53 bits → exact float in [0, 1); shift into (0, 1) to keep ln finite.
+    u = (int.from_bytes(digest[:8], "big") >> 11) / float(1 << 53)
+    u = (u + 0.5 / (1 << 53))
+    return -weight / math.log(u)
+
+
+class ShardRouter:
+    """Stable thread→shard mapping: rendezvous hashing plus explicit pins.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards (routed indices are ``0..n_shards-1``).
+    weights:
+        Optional per-shard positive weights (default: uniform).
+    pins:
+        Optional explicit ``thread_id -> shard`` overrides.
+    names:
+        Optional stable shard names used as hash salt; defaults to
+        ``"shard-<k>"``.  Keep names stable across resizes — that is
+        what makes the remapping minimal.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        weights: Iterable[float] | None = None,
+        pins: dict[str, int] | None = None,
+        names: Iterable[str] | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"need n_shards >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.names = (
+            [str(n) for n in names]
+            if names is not None
+            else [f"shard-{k}" for k in range(self.n_shards)]
+        )
+        if len(self.names) != self.n_shards or len(set(self.names)) != self.n_shards:
+            raise ValueError("names must be unique, one per shard")
+        self.weights = (
+            [float(w) for w in weights]
+            if weights is not None
+            else [1.0] * self.n_shards
+        )
+        if len(self.weights) != self.n_shards or any(w <= 0 for w in self.weights):
+            raise ValueError("weights must be positive, one per shard")
+        self._pins: dict[str, int] = {}
+        for tid, shard in (pins or {}).items():
+            self.pin(tid, shard)
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, thread_id: str) -> int:
+        """The shard that should admit ``thread_id`` (pin, else rendezvous)."""
+        pinned = self._pins.get(thread_id)
+        if pinned is not None:
+            return pinned
+        best_k, best_score = 0, -math.inf
+        for k, (name, weight) in enumerate(zip(self.names, self.weights)):
+            s = _score(name, thread_id, weight)
+            if s > best_score:
+                best_k, best_score = k, s
+        return best_k
+
+    def pin(self, thread_id: str, shard: int) -> None:
+        """Pin ``thread_id`` to an explicit shard (override hashing)."""
+        if not 0 <= int(shard) < self.n_shards:
+            raise ValueError(f"shard {shard!r} out of range [0, {self.n_shards})")
+        self._pins[str(thread_id)] = int(shard)
+
+    def unpin(self, thread_id: str) -> None:
+        """Drop an explicit pin (no-op if absent)."""
+        self._pins.pop(str(thread_id), None)
+
+    @property
+    def pins(self) -> dict[str, int]:
+        return dict(self._pins)
+
+    def spread(self, thread_ids: Iterable[str]) -> list[int]:
+        """Routed shard population counts for a hypothetical id set."""
+        counts = [0] * self.n_shards
+        for tid in thread_ids:
+            counts[self.route(tid)] += 1
+        return counts
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready config; ``from_dict`` round-trips it bit-identically."""
+        return {
+            "n_shards": self.n_shards,
+            "names": list(self.names),
+            "weights": list(self.weights),
+            "pins": {t: self._pins[t] for t in sorted(self._pins)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardRouter":
+        return cls(
+            int(data["n_shards"]),
+            weights=data.get("weights"),
+            pins={str(t): int(s) for t, s in data.get("pins", {}).items()},
+            names=data.get("names"),
+        )

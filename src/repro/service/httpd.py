@@ -3,7 +3,8 @@
 The allocation protocol itself is JSON-lines over TCP (see
 :mod:`repro.service.transport`); scrapers and load balancers speak HTTP.
 :class:`MetricsHttpServer` is the bridge — a small read-only sidecar in
-front of an :class:`~repro.service.server.AllocationService`:
+front of an :class:`~repro.service.server.AllocationService` or a
+:class:`~repro.service.fleet.coordinator.FleetCoordinator`:
 
 * ``GET /metrics`` — the service's full metrics snapshot (typed
   instruments plus lifetime counters) in Prometheus text exposition
@@ -24,10 +25,22 @@ import json
 import threading
 from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Protocol
 
 from repro.observability import PROMETHEUS_CONTENT_TYPE
-from repro.service.server import AllocationService
+
+
+class Introspectable(Protocol):
+    """Anything exposing Prometheus text and a health summary.
+
+    Satisfied by :class:`~repro.service.server.AllocationService` and
+    :class:`~repro.service.fleet.coordinator.FleetCoordinator`, so one
+    sidecar design covers a shard and a whole fleet.
+    """
+
+    def metrics_text(self) -> str: ...
+
+    def health(self) -> dict[str, Any]: ...
 
 
 class _IntrospectionHandler(BaseHTTPRequestHandler):
@@ -83,7 +96,7 @@ class MetricsHttpServer:
 
     def __init__(
         self,
-        service: AllocationService,
+        service: Introspectable,
         host: str = "127.0.0.1",
         port: int = 0,
         lock: "threading.Lock | None" = None,

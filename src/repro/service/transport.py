@@ -23,6 +23,7 @@ import json
 import socket
 import threading
 import time
+from typing import Protocol
 
 from repro.service.api import (
     QueryAssignment,
@@ -39,17 +40,28 @@ from repro.service.api import (
     response_from_dict,
     response_to_dict,
 )
-from repro.service.server import AllocationService
 from repro.utility.base import UtilityFunction
 
 _RECV_CHUNK = 65536
 _POLL_S = 0.1
 
 
+class RequestProcessor(Protocol):
+    """Anything that serves one coalesced batch of typed requests.
+
+    Both :class:`~repro.service.server.AllocationService` and
+    :class:`~repro.service.fleet.coordinator.FleetCoordinator` satisfy
+    this, so every transport here fronts a single shard and a whole
+    fleet interchangeably.
+    """
+
+    def process(self, requests: list[Request]) -> list[Response]: ...
+
+
 class InProcessTransport:
     """Zero-copy transport: requests go straight to ``service.process``."""
 
-    def __init__(self, service: AllocationService):
+    def __init__(self, service: RequestProcessor):
         self.service = service
 
     def request(self, *requests: Request) -> list[Response]:
@@ -64,14 +76,17 @@ def _encode_lines(dicts) -> bytes:
 
 
 class TcpServer:
-    """JSON-lines-over-TCP listener in front of an :class:`AllocationService`.
+    """JSON-lines-over-TCP listener in front of a :class:`RequestProcessor`.
 
     Parameters
     ----------
     service:
-        The daemon to serve.  Concurrent connections are accepted (one
-        thread each) but batches serialize through one lock — the service
-        itself stays single-writer.
+        The daemon to serve — an
+        :class:`~repro.service.server.AllocationService` or a
+        :class:`~repro.service.fleet.coordinator.FleetCoordinator`.
+        Concurrent connections are accepted (one thread each) but batches
+        serialize through one lock — the service itself stays
+        single-writer.
     host, port:
         Bind address; ``port=0`` picks a free port (read it back from
         :attr:`port`).
@@ -83,7 +98,7 @@ class TcpServer:
 
     def __init__(
         self,
-        service: AllocationService,
+        service: RequestProcessor,
         host: str = "127.0.0.1",
         port: int = 0,
         coalesce_window_s: float = 0.02,

@@ -1,0 +1,24 @@
+"""AART005 fixture: a fleet-coordinator-shaped class leaking its lock."""
+
+import threading
+
+
+class MiniCoordinator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._location = {}  # allowed: __init__ is exempt
+        self.steps = 0
+
+    def record(self, thread_id, shard):
+        with self._lock:
+            self._location = {**self._location, thread_id: shard}  # allowed
+
+    def step(self):
+        self.steps += 1  # AART005: counter mutated outside `with self._lock`
+
+    def forget(self, thread_id):
+        del self._location  # AART005: delete outside the lock
+
+    def migrate(self, thread_id, shard):
+        if shard is not None:
+            self._location = {thread_id: shard}  # AART005: nested but unguarded

@@ -1,0 +1,144 @@
+"""The certificate composition lemma, unit-tested and property-tested.
+
+The property test generates a workload and an arbitrary split across K
+in-process shards, lets every shard re-solve (so each is α-certified),
+and checks the composed fleet certificate against ground truth:
+
+* ``utility`` equals the true summed utility of the shards (F = Σ F_k);
+* the composed floor ``(min_k r_k)·F̂`` never exceeds that true utility
+  (the lemma's lower bound is *valid*);
+* the floor is at least ``α·F̂`` (the lemma's lower bound is *strong*:
+  every shard certifies at α, so the fleet does);
+* ``F ≤ F̂`` (the summed bound stays an upper bound on the
+  partition-respecting optimum, hence on the realized utility).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import ALPHA
+from repro.service import (
+    AllocationService,
+    ClusterState,
+    FleetCoordinator,
+    FleetPolicy,
+    Rebalance,
+    ShardCertificate,
+    ShardRouter,
+    SubmitThread,
+    compose_certificates,
+)
+
+from tests.conftest import CAP, utility_lists
+
+TOL = 1e-9
+
+
+# -- unit: the lemma's edge cases ---------------------------------------------
+
+
+def test_empty_composition_is_trivially_certified():
+    cert = compose_certificates([])
+    assert cert.complete and cert.ratio == 1.0 and cert.floor == 0.0
+    assert cert.holds()
+
+
+def test_empty_shards_do_not_constrain_the_minimum():
+    cert = compose_certificates(
+        [
+            ShardCertificate(shard=0, utility=9.0, bound=10.0, n_threads=3, version=3),
+            ShardCertificate(shard=1, utility=0.0, bound=None, n_threads=0, version=0),
+        ]
+    )
+    assert cert.complete
+    assert cert.min_shard_ratio == pytest.approx(0.9)
+    assert cert.max_shard_ratio == 1.0
+
+
+def test_uncertified_nonempty_shard_marks_composition_incomplete():
+    cert = compose_certificates(
+        [
+            ShardCertificate(shard=0, utility=5.0, bound=6.0, n_threads=2, version=2),
+            ShardCertificate(shard=1, utility=3.0, bound=None, n_threads=1, version=1),
+        ]
+    )
+    assert not cert.complete
+    assert cert.ratio is None and cert.floor is None
+    assert not cert.holds()
+    assert math.isnan(cert.min_shard_ratio)
+    # Realized utility still aggregates (for dashboards), bound excludes
+    # the uncertified shard.
+    assert cert.utility == pytest.approx(8.0)
+    assert cert.bound == pytest.approx(6.0)
+
+
+def test_mediant_inequality_on_fixed_numbers():
+    cert = compose_certificates(
+        [
+            ShardCertificate(shard=0, utility=8.5, bound=10.0, n_threads=4, version=4),
+            ShardCertificate(shard=1, utility=19.0, bound=20.0, n_threads=7, version=7),
+        ]
+    )
+    assert cert.min_shard_ratio == pytest.approx(0.85)
+    assert cert.max_shard_ratio == pytest.approx(0.95)
+    assert cert.min_shard_ratio - TOL <= cert.ratio <= cert.max_shard_ratio + TOL
+    assert cert.floor <= cert.utility + TOL
+    assert cert.holds(threshold=0.85)
+    assert not cert.holds(threshold=0.86)
+
+
+# -- property: composed certificate vs ground truth ---------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fns=utility_lists(min_size=2, max_size=10),
+    data=st.data(),
+)
+def test_fleet_floor_bounds_true_utility_for_any_split(fns, data):
+    n_shards = data.draw(st.integers(min_value=2, max_value=3), label="n_shards")
+    split = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_shards - 1),
+            min_size=len(fns),
+            max_size=len(fns),
+        ),
+        label="split",
+    )
+    router = ShardRouter(n_shards, pins={f"t{i}": s for i, s in enumerate(split)})
+    fleet = FleetCoordinator(
+        [AllocationService(ClusterState(2, CAP)) for _ in range(n_shards)],
+        router=router,
+        policy=FleetPolicy(rebalance_interval=None, imbalance_threshold=None),
+    )
+    resps = fleet.process(
+        [SubmitThread(f"t{i}", fn) for i, fn in enumerate(fns)]
+    )
+    assert all(r.ok for r in resps)
+    # Force every shard to its α-certified optimum (Theorem V.8/V.16).
+    fleet.handle(Rebalance())
+    cert = fleet.certificate()
+    assert cert.complete
+
+    # Ground truth: the true summed utility, recomputed from placements.
+    statuses = fleet.status()["shards"]
+    true_utility = sum(s["total_utility"] for s in statuses)
+    scale = max(true_utility, 1.0)
+
+    # F aggregates exactly.
+    assert cert.utility == pytest.approx(true_utility)
+    # Lemma, validity: the composed floor never exceeds the true utility.
+    assert cert.floor <= true_utility + TOL * scale
+    # Lemma, strength: every shard re-solved, so the floor is ≥ α·F̂.
+    assert cert.holds(), (
+        f"min shard ratio {cert.min_shard_ratio} < α={ALPHA}"
+    )
+    assert cert.floor >= ALPHA * cert.bound - TOL * scale
+    # Lemma V.3 per shard: F̂ stays an upper bound on what the partition
+    # can realize.
+    assert cert.utility <= cert.bound + TOL * scale
+    # Mediant sandwich.
+    assert cert.min_shard_ratio - TOL <= cert.ratio <= cert.max_shard_ratio + TOL

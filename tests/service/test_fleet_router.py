@@ -1,0 +1,98 @@
+"""ShardRouter: determinism, minimal disruption, weights, pins, codec."""
+
+import pytest
+
+from repro.service import ShardRouter
+
+
+def test_routes_are_deterministic_across_instances():
+    ids = [f"t{i}" for i in range(200)]
+    a = ShardRouter(5)
+    b = ShardRouter(5)
+    assert [a.route(t) for t in ids] == [b.route(t) for t in ids]
+
+
+def test_routes_in_range_and_spread_covers_all_shards():
+    router = ShardRouter(4)
+    ids = [f"thread-{i}" for i in range(400)]
+    counts = router.spread(ids)
+    assert sum(counts) == len(ids)
+    assert all(c > 0 for c in counts), f"some shard got nothing: {counts}"
+
+
+def test_adding_a_shard_only_remaps_onto_the_new_shard():
+    ids = [f"t{i}" for i in range(500)]
+    before = ShardRouter(4)
+    after = ShardRouter(5)
+    moved = [t for t in ids if before.route(t) != after.route(t)]
+    # The rendezvous property: every remapped key lands on the new shard.
+    assert all(after.route(t) == 4 for t in moved)
+    # And only roughly 1/5 of keys move (generous bound: < 2/5).
+    assert len(moved) < 2 * len(ids) / 5
+
+
+def test_removing_a_shard_only_remaps_its_own_keys():
+    ids = [f"t{i}" for i in range(500)]
+    full = ShardRouter(5)
+    shrunk = ShardRouter(4)
+    for t in ids:
+        if full.route(t) != 4:
+            assert shrunk.route(t) == full.route(t)
+
+
+def test_weights_skew_the_spread():
+    ids = [f"t{i}" for i in range(600)]
+    counts = ShardRouter(2, weights=[3.0, 1.0]).spread(ids)
+    assert counts[0] > 2 * counts[1], counts
+
+
+def test_pins_override_hashing_and_unpin_restores():
+    router = ShardRouter(3)
+    hashed = router.route("x")
+    target = (hashed + 1) % 3
+    router.pin("x", target)
+    assert router.route("x") == target
+    assert router.pins == {"x": target}
+    router.unpin("x")
+    assert router.route("x") == hashed
+    router.unpin("x")  # idempotent
+
+
+def test_pin_out_of_range_rejected():
+    router = ShardRouter(3)
+    with pytest.raises(ValueError):
+        router.pin("x", 3)
+    with pytest.raises(ValueError):
+        ShardRouter(2, pins={"y": -1})
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ShardRouter(0)
+    with pytest.raises(ValueError):
+        ShardRouter(2, weights=[1.0])
+    with pytest.raises(ValueError):
+        ShardRouter(2, weights=[1.0, 0.0])
+    with pytest.raises(ValueError):
+        ShardRouter(2, names=["a", "a"])
+
+
+def test_dict_roundtrip_is_bit_identical_and_routes_identically():
+    router = ShardRouter(
+        3, weights=[1.0, 2.0, 0.5], names=["us", "eu", "ap"], pins={"t9": 2}
+    )
+    data = router.to_dict()
+    clone = ShardRouter.from_dict(data)
+    assert clone.to_dict() == data
+    ids = [f"t{i}" for i in range(100)]
+    assert [clone.route(t) for t in ids] == [router.route(t) for t in ids]
+
+
+def test_stable_names_keep_routes_stable_under_renumbering():
+    # Routing keys off names (not indices): the same named shards listed
+    # in a different order route every thread to the same *name*.
+    ids = [f"t{i}" for i in range(200)]
+    a = ShardRouter(3, names=["us", "eu", "ap"])
+    b = ShardRouter(3, names=["ap", "us", "eu"])
+    for t in ids:
+        assert a.names[a.route(t)] == b.names[b.route(t)]
