@@ -5,8 +5,15 @@ must descend from parent-spawned ``SeedSequence`` (parallel bit-identity),
 solver loops that must poll ``ctx.check_deadline()`` (deadline-bounded
 service re-solves), service state that must mutate under its lock,
 toleranced float comparisons in the certified-ratio math.  This package
-machine-enforces them as seven AST rules (AART001–AART007) with a
+machine-enforces them as ten AST rules (AART001–AART010) with a
 line-level pragma escape (``# aart: ignore[RULE]``).
+
+AART001–AART007 are per-module scans; AART008 (lock-order inversion),
+AART009 (blocking-while-locked) and AART010 (snapshot-schema coherence)
+are whole-program analyses over a project call graph
+(:mod:`repro.checks.callgraph`) and a lock-held dataflow pass
+(:mod:`repro.checks.lockflow`), both built lazily once per
+:class:`~repro.checks.base.Project` and shared across rules.
 
 Library use::
 
@@ -14,9 +21,10 @@ Library use::
     result = run_checks(["src"])
     assert result.exit_code == 0, result.findings
 
-CLI use: ``aart check [--format text|json] [--select RULES] [paths...]``;
+CLI use: ``aart check [--format text|json|sarif] [--select RULES]
+[--ignore RULES] [--baseline FILE [--update-baseline]] [paths...]``;
 see :mod:`repro.checks.runner` for exit codes and docs/checks.md for the
-rule catalog.
+rule catalog and the baseline workflow.
 """
 
 from repro.checks.base import (
@@ -28,6 +36,15 @@ from repro.checks.base import (
     get_rule,
     register_rule,
 )
+from repro.checks.baseline import (
+    BASELINE_FORMAT,
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    render_baseline,
+)
+from repro.checks.callgraph import CallGraph, CallSite
+from repro.checks.lockflow import LockFlow, LockToken
 from repro.checks.pragmas import Pragma, parse_pragmas
 from repro.checks.reporters import render_json, render_text
 from repro.checks.runner import (
@@ -37,24 +54,37 @@ from repro.checks.runner import (
     CheckResult,
     discover_files,
     run_checks,
+    select_rules,
 )
+from repro.checks.sarif import render_sarif
 
 __all__ = [
+    "BASELINE_FORMAT",
+    "CallGraph",
+    "CallSite",
     "CheckResult",
     "EXIT_CLEAN",
     "EXIT_ERROR",
     "EXIT_FINDINGS",
     "Finding",
+    "LockFlow",
+    "LockToken",
     "ModuleInfo",
     "Pragma",
     "Project",
     "Rule",
     "all_rules",
+    "apply_baseline",
+    "baseline_key",
     "discover_files",
     "get_rule",
+    "load_baseline",
     "parse_pragmas",
     "register_rule",
+    "render_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_checks",
+    "select_rules",
 ]

@@ -23,6 +23,11 @@ import ast
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.checks.callgraph import CallGraph
+    from repro.checks.lockflow import LockFlow
 
 
 @dataclass(frozen=True)
@@ -82,9 +87,11 @@ class ModuleInfo:
 class Project:
     """All modules of one check run, indexed for cross-module rules."""
 
-    def __init__(self, modules: Iterable[ModuleInfo]):
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
         self.modules: list[ModuleInfo] = list(modules)
         self._by_dotted: dict[str, ModuleInfo] = {}
+        self._callgraph: "CallGraph | None" = None
+        self._lockflow: "LockFlow | None" = None
         for mod in self.modules:
             dotted = _dotted_name(mod.posix)
             if dotted is not None:
@@ -93,6 +100,22 @@ class Project:
     def resolve(self, dotted: str) -> ModuleInfo | None:
         """The checked module for ``repro.x.y``, if it is part of this run."""
         return self._by_dotted.get(dotted)
+
+    def callgraph(self) -> "CallGraph":
+        """The project call graph, built lazily once and shared by rules."""
+        if self._callgraph is None:
+            from repro.checks.callgraph import CallGraph
+
+            self._callgraph = CallGraph.build(self)
+        return self._callgraph
+
+    def lockflow(self) -> "LockFlow":
+        """The lock-held dataflow, built lazily once and shared by rules."""
+        if self._lockflow is None:
+            from repro.checks.lockflow import LockFlow
+
+            self._lockflow = LockFlow.build(self)
+        return self._lockflow
 
     def top_level_bindings(self, mod: ModuleInfo) -> set[str]:
         """Names bound at a module's top level (defs, classes, imports, assigns)."""

@@ -1,0 +1,89 @@
+"""Baseline support: land strict rules without a big-bang cleanup.
+
+``aart check --baseline .aart-baseline.json`` filters out *known*
+findings so only regressions fail the gate; ``--update-baseline``
+regenerates the file from the current run.  The file is a versioned
+document (``aart-baseline/1``) with entries keyed by
+``(rule, path, message)`` and a count per key — deliberately
+line-number-free, so unrelated edits that shift a known finding down the
+file do not churn the baseline.  If a key occurs more often than its
+recorded count, the extras are reported: new instances of an old problem
+are still regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.checks.base import Finding
+
+BASELINE_FORMAT = "aart-baseline/1"
+
+#: (rule, path, message) — the line-independent identity of a finding.
+BaselineKey = tuple[str, str, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.rule, finding.path, finding.message)
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    """Serialize the current findings as a baseline document."""
+    counts: dict[BaselineKey, int] = {}
+    for finding in findings:
+        key = baseline_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"rule": rule, "path": path, "message": message, "count": count}
+        for (rule, path, message), count in sorted(counts.items())
+    ]
+    doc = {"format": BASELINE_FORMAT, "entries": entries}
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path: Path) -> dict[BaselineKey, int]:
+    """Parse a baseline file into per-key allowances.
+
+    Raises ``ValueError`` on a missing/foreign/malformed file — a
+    misconfigured gate should fail loudly (exit 2), not silently pass.
+    """
+    if not path.is_file():
+        raise ValueError(
+            f"baseline file {path} does not exist "
+            "(create it with --update-baseline)"
+        )
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != BASELINE_FORMAT:
+        raise ValueError(
+            f"baseline file {path} is not an {BASELINE_FORMAT} document"
+        )
+    allowances: dict[BaselineKey, int] = {}
+    for entry in doc.get("entries", []):
+        try:
+            key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"baseline file {path}: malformed entry {entry!r}") from exc
+        allowances[key] = allowances.get(key, 0) + count
+    return allowances
+
+
+def apply_baseline(
+    findings: list[Finding], allowances: dict[BaselineKey, int]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, n_baselined) against the allowances."""
+    remaining = dict(allowances)
+    kept: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            kept.append(finding)
+    return kept, baselined

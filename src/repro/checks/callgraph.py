@@ -1,0 +1,726 @@
+"""Project-wide call graph for whole-program ``aart check`` rules.
+
+This generalizes AART004's same-module closure logic (``rules/deadline.py``)
+into a cross-module graph.  Nodes are *qualnames* — ``repro.mod.func`` for
+module-level functions and ``repro.mod.Class.method`` for methods — and an
+edge records one call site resolved to one or more candidate targets.
+
+Resolution is deliberately conservative (an edge is only added when the
+target is a definition inside the checked project) and covers the calling
+idioms this repository actually uses:
+
+* direct calls to same-module functions and ``from repro.x import f`` imports;
+* attribute calls through imported module aliases (``registry.get_solver``);
+* ``self.method()`` and ``super().method()`` through the project base-class
+  chain, and ``cls(...)`` / ``ClassName(...)`` construction (→ ``__init__``);
+* ``self.attr.method()`` and local-variable receivers, with attribute/local
+  types inferred from ``__init__`` assignments, parameter annotations and
+  ``AnnAssign`` hints (string annotations and ``X | None`` unions included);
+* duck typing through :class:`typing.Protocol` classes — a receiver typed
+  as a protocol (``RequestProcessor``, ``Introspectable``, ``EventSink``)
+  resolves to every project class that structurally implements it, and an
+  otherwise-unresolved call whose method name belongs to a protocol falls
+  back to the same implementation set;
+* engine-registry registration: functions passed to ``register_solver`` /
+  ``attach_batch_fn`` (directly, through registrar helpers, or behind the
+  ``lambda ..., _fn=fn:`` late-binding idiom) are recorded as
+  :attr:`CallGraph.registered_entries` so dynamically dispatched solvers
+  stay reachable.
+
+Dynamic receivers that static inference cannot type (elements of untyped
+containers, results of arbitrary calls) stay unresolved; whole-program
+rules built on this graph are therefore best-effort detectors, not
+soundness proofs — see docs/checks.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.checks.base import ModuleInfo, Project, _dotted_name
+
+#: Sentinel type for concurrent.futures executors (receivers of ``.submit``).
+EXECUTOR_TYPE = "<executor>"
+
+_EXECUTOR_CLASSES = {"ProcessPoolExecutor", "ThreadPoolExecutor"}
+_EXECUTOR_METHODS = {"submit", "map"}
+
+
+def lambda_entry_names(lam: ast.Lambda, functions: set[str]) -> set[str]:
+    """Module functions a registered lambda dispatches to.
+
+    Covers both direct calls in the body and the late-binding default-arg
+    idiom ``lambda ..., _fn=fn: _fn(...)`` (the defaults are evaluated at
+    registration time, so a Name default *is* the entry).
+    """
+    names: set[str] = set()
+    for node in ast.walk(lam.body):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in functions:
+                names.add(node.func.id)
+    for default in [*lam.args.defaults, *lam.args.kw_defaults]:
+        if isinstance(default, ast.Name) and default.id in functions:
+            names.add(default.id)
+    return names
+
+
+@dataclass
+class FunctionNode:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: str
+    mod: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: "ClassNode | None" = None
+
+
+@dataclass
+class ClassNode:
+    """One class definition plus the inferred types of its ``self`` attrs."""
+
+    qualname: str
+    name: str
+    module: str
+    mod: ModuleInfo
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionNode] = field(default_factory=dict)
+    attr_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    is_protocol: bool = False
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved caller→callee edge at one source location."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+
+
+@dataclass
+class _ModuleCtx:
+    """Per-module name-resolution context (imports + local defs)."""
+
+    dotted: str
+    mod: ModuleInfo
+    imports: dict[str, str] = field(default_factory=dict)
+    local_classes: dict[str, str] = field(default_factory=dict)
+    local_functions: dict[str, str] = field(default_factory=dict)
+
+
+class CallGraph:
+    """The project call graph; build once per :class:`Project` and cache."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self.edges: dict[str, list[CallSite]] = {}
+        self.protocols: dict[str, frozenset[str]] = {}
+        self.implementations: dict[str, tuple[str, ...]] = {}
+        self.registered_entries: list[str] = []
+        self.module_imports: dict[str, dict[str, str]] = {}
+        self._ctxs: dict[str, _ModuleCtx] = {}
+        self._resolution: dict[int, tuple[str, ...]] = {}
+        self._executor_calls: set[int] = set()
+
+    # ------------------------------------------------------------------ API
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls()
+        for mod in project.modules:
+            dotted = _dotted_name(mod.posix)
+            if dotted is None:
+                continue
+            graph._index_module(dotted, mod)
+        graph._infer_attr_types()
+        graph._detect_protocols()
+        for ctx in graph._ctxs.values():
+            graph._extract_calls(ctx)
+            graph._extract_registered(ctx)
+        graph.registered_entries = sorted(set(graph.registered_entries))
+        return graph
+
+    def callees(self, qualname: str) -> list[CallSite]:
+        """Resolved call sites of one function (empty if none/unknown)."""
+        return self.edges.get(qualname, [])
+
+    def resolve_call(self, call: ast.Call) -> tuple[str, ...]:
+        """Candidate target qualnames of one ``ast.Call`` seen at build time."""
+        return self._resolution.get(id(call), ())
+
+    def is_executor_call(self, call: ast.Call) -> bool:
+        """Whether this call is ``submit``/``map`` on a pool-executor value."""
+        return id(call) in self._executor_calls
+
+    # ----------------------------------------------------------- pass 1
+
+    def _index_module(self, dotted: str, mod: ModuleInfo) -> None:
+        ctx = _ModuleCtx(dotted=dotted, mod=mod)
+        self._ctxs[dotted] = ctx
+        self.module_imports[dotted] = ctx.imports
+        for stmt in self._flat_top_level(mod.tree.body):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    ctx.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname is None and "." in alias.name:
+                        # `import a.b.c` binds `a`; remember the full path too
+                        # so `a.b.c.f()` attribute chains can resolve.
+                        ctx.imports.setdefault(alias.name, alias.name)
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._import_base(dotted, mod, stmt)
+                if base is None:
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    ctx.imports[alias.asname or alias.name] = target
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{dotted}.{stmt.name}"
+                self.functions[qualname] = FunctionNode(
+                    qualname=qualname, module=dotted, mod=mod, node=stmt
+                )
+                ctx.local_functions[stmt.name] = qualname
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(ctx, stmt)
+
+    @staticmethod
+    def _flat_top_level(body: list[ast.stmt]) -> list[ast.stmt]:
+        """Top-level statements, descending into If/Try (TYPE_CHECKING etc.)."""
+        out: list[ast.stmt] = []
+        for stmt in body:
+            out.append(stmt)
+            if isinstance(stmt, ast.If):
+                out.extend(CallGraph._flat_top_level(stmt.body))
+                out.extend(CallGraph._flat_top_level(stmt.orelse))
+            elif isinstance(stmt, ast.Try):
+                for sub in (stmt.body, stmt.orelse, stmt.finalbody):
+                    out.extend(CallGraph._flat_top_level(sub))
+                for handler in stmt.handlers:
+                    out.extend(CallGraph._flat_top_level(handler.body))
+        return out
+
+    @staticmethod
+    def _import_base(dotted: str, mod: ModuleInfo, stmt: ast.ImportFrom) -> str | None:
+        """Absolute dotted base of a ``from X import ...`` statement."""
+        if stmt.level == 0:
+            return stmt.module or ""
+        parts = dotted.split(".")
+        is_package = mod.posix.endswith("__init__.py")
+        base_parts = parts if is_package else parts[:-1]
+        cut = len(base_parts) - (stmt.level - 1)
+        if cut < 0:
+            return None
+        base_parts = base_parts[:cut]
+        if stmt.module:
+            base_parts = base_parts + stmt.module.split(".")
+        return ".".join(base_parts)
+
+    def _index_class(self, ctx: _ModuleCtx, stmt: ast.ClassDef) -> None:
+        qualname = f"{ctx.dotted}.{stmt.name}"
+        cls_node = ClassNode(
+            qualname=qualname,
+            name=stmt.name,
+            module=ctx.dotted,
+            mod=ctx.mod,
+            node=stmt,
+            bases=[b for b in (_expr_name(base) for base in stmt.bases) if b],
+        )
+        for sub in stmt.body:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qual = f"{qualname}.{sub.name}"
+                fn = FunctionNode(
+                    qualname=method_qual,
+                    module=ctx.dotted,
+                    mod=ctx.mod,
+                    node=sub,
+                    cls=cls_node,
+                )
+                self.functions[method_qual] = fn
+                cls_node.methods[sub.name] = fn
+        self.classes[qualname] = cls_node
+        ctx.local_classes[stmt.name] = qualname
+
+    # ----------------------------------------------------------- pass 2
+
+    def _resolve_class_name(self, ctx: _ModuleCtx, name: str) -> str | None:
+        """Resolve a (possibly dotted) type name to a project class qualname."""
+        if not name:
+            return None
+        if name in _EXECUTOR_CLASSES or name.rsplit(".", 1)[-1] in _EXECUTOR_CLASSES:
+            return EXECUTOR_TYPE
+        if "." in name:
+            head, rest = name.split(".", 1)
+            target = ctx.imports.get(head)
+            if target is None:
+                return None
+            candidate = f"{target}.{rest}"
+        elif name in ctx.local_classes:
+            candidate = ctx.local_classes[name]
+        else:
+            candidate = ctx.imports.get(name, "")
+        return candidate if candidate in self.classes else None
+
+    def _infer_attr_types(self) -> None:
+        for cls_node in self.classes.values():
+            ctx = self._ctxs[cls_node.module]
+            inferred: dict[str, set[str]] = {}
+            for sub in cls_node.node.body:
+                if isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                    self._note_attr(ctx, inferred, sub.target.id, sub.annotation)
+            init = cls_node.methods.get("__init__")
+            if init is not None:
+                params = _param_annotations(init.node)
+                for stmt in ast.walk(init.node):
+                    if isinstance(stmt, ast.AnnAssign) and _is_self_attr(stmt.target):
+                        attr = stmt.target.attr  # type: ignore[union-attr]
+                        self._note_attr(ctx, inferred, attr, stmt.annotation)
+                    elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                        target = stmt.targets[0]
+                        if _is_self_attr(target):
+                            attr = target.attr  # type: ignore[union-attr]
+                            for name in _value_type_names(stmt.value, params):
+                                qual = self._resolve_class_name(ctx, name)
+                                if qual is not None:
+                                    inferred.setdefault(attr, set()).add(qual)
+            cls_node.attr_types = {
+                attr: tuple(sorted(quals)) for attr, quals in inferred.items()
+            }
+
+    def _note_attr(
+        self,
+        ctx: _ModuleCtx,
+        inferred: dict[str, set[str]],
+        attr: str,
+        annotation: ast.expr,
+    ) -> None:
+        for name in _annotation_type_names(annotation):
+            qual = self._resolve_class_name(ctx, name)
+            if qual is not None:
+                inferred.setdefault(attr, set()).add(qual)
+
+    def _detect_protocols(self) -> None:
+        for qualname, cls_node in self.classes.items():
+            if any(base.rsplit(".", 1)[-1] == "Protocol" for base in cls_node.bases):
+                cls_node.is_protocol = True
+                methods = frozenset(
+                    name for name in cls_node.methods if not name.startswith("_")
+                )
+                if methods:
+                    self.protocols[qualname] = methods
+        for proto, methods in self.protocols.items():
+            impls = [
+                qualname
+                for qualname, cls_node in self.classes.items()
+                if not cls_node.is_protocol
+                and methods <= self._all_method_names(cls_node)
+            ]
+            self.implementations[proto] = tuple(sorted(impls))
+
+    def _all_method_names(self, cls_node: ClassNode) -> set[str]:
+        names: set[str] = set()
+        seen: set[str] = set()
+        stack = [cls_node]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            names |= set(current.methods)
+            ctx = self._ctxs[current.module]
+            for base in current.bases:
+                base_qual = self._resolve_class_name(ctx, base)
+                if base_qual not in (None, EXECUTOR_TYPE) and base_qual in self.classes:
+                    stack.append(self.classes[base_qual])
+        return names
+
+    def _lookup_method(self, cls_qual: str, method: str) -> str | None:
+        """Find ``method`` on a class or its project base chain."""
+        seen: set[str] = set()
+        stack = [cls_qual]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            cls_node = self.classes[current]
+            if method in cls_node.methods:
+                return cls_node.methods[method].qualname
+            ctx = self._ctxs[cls_node.module]
+            for base in cls_node.bases:
+                base_qual = self._resolve_class_name(ctx, base)
+                if base_qual is not None and base_qual != EXECUTOR_TYPE:
+                    stack.append(base_qual)
+        return None
+
+    def _expand_receiver(self, cls_qual: str) -> tuple[str, ...]:
+        """A protocol receiver stands for all its structural implementations."""
+        if cls_qual in self.protocols:
+            return self.implementations.get(cls_qual, ())
+        return (cls_qual,)
+
+    # ----------------------------------------------------------- pass 3
+
+    def _extract_calls(self, ctx: _ModuleCtx) -> None:
+        for fn in list(self.functions.values()):
+            if fn.module != ctx.dotted:
+                continue
+            env = self._local_env(ctx, fn)
+            sites: list[CallSite] = []
+            for call in _own_calls(fn.node):
+                callees = self._resolve(ctx, fn, env, call)
+                if callees:
+                    self._resolution[id(call)] = callees
+                    sites.extend(
+                        CallSite(
+                            caller=fn.qualname,
+                            callee=callee,
+                            line=call.lineno,
+                            col=call.col_offset,
+                        )
+                        for callee in callees
+                    )
+            if sites:
+                self.edges[fn.qualname] = sites
+
+    def _local_env(self, ctx: _ModuleCtx, fn: FunctionNode) -> dict[str, tuple[str, ...]]:
+        """Local-variable → candidate class qualnames for one function."""
+        env: dict[str, set[str]] = {}
+
+        def note(name: str, type_names: list[str]) -> None:
+            for type_name in type_names:
+                qual = self._resolve_class_name(ctx, type_name)
+                if qual is not None:
+                    env.setdefault(name, set()).add(qual)
+
+        for arg, annotation in _param_annotations(fn.node).items():
+            if annotation is not None:
+                note(arg, _annotation_type_names(annotation))
+        for stmt in _own_statements(fn.node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    note(target.id, _value_type_names(stmt.value, {}))
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                note(stmt.target.id, _annotation_type_names(stmt.annotation))
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        note(
+                            item.optional_vars.id,
+                            _value_type_names(item.context_expr, {}),
+                        )
+        return {name: tuple(sorted(quals)) for name, quals in env.items()}
+
+    def _resolve(
+        self,
+        ctx: _ModuleCtx,
+        fn: FunctionNode,
+        env: dict[str, tuple[str, ...]],
+        call: ast.Call,
+    ) -> tuple[str, ...]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name_call(ctx, fn, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attr_call(ctx, fn, env, call, func)
+        return ()
+
+    def _resolve_name_call(
+        self, ctx: _ModuleCtx, fn: FunctionNode, name: str
+    ) -> tuple[str, ...]:
+        if name == "cls" and fn.cls is not None and _first_param_is_cls(fn.node):
+            init = self._lookup_method(fn.cls.qualname, "__init__")
+            return (init,) if init else ()
+        if name in ctx.local_functions:
+            return (ctx.local_functions[name],)
+        cls_qual = self._resolve_class_name(ctx, name)
+        if cls_qual is not None and cls_qual != EXECUTOR_TYPE:
+            init = self._lookup_method(cls_qual, "__init__")
+            return (init,) if init else ()
+        target = ctx.imports.get(name)
+        if target is not None and target in self.functions:
+            return (target,)
+        return ()
+
+    def _resolve_attr_call(
+        self,
+        ctx: _ModuleCtx,
+        fn: FunctionNode,
+        env: dict[str, tuple[str, ...]],
+        call: ast.Call,
+        func: ast.Attribute,
+    ) -> tuple[str, ...]:
+        method = func.attr
+        receiver = func.value
+        receiver_types: tuple[str, ...] = ()
+
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and fn.cls is not None:
+                found = self._lookup_method(fn.cls.qualname, method)
+                return (found,) if found else self._protocol_fallback(method)
+            if receiver.id in env:
+                receiver_types = env[receiver.id]
+            else:
+                # Imported module alias: `registry.get_solver(...)`.
+                target = ctx.imports.get(receiver.id)
+                if target is not None:
+                    qual = f"{target}.{method}"
+                    if qual in self.functions:
+                        return (qual,)
+                cls_qual = self._resolve_class_name(ctx, receiver.id)
+                if cls_qual is not None and cls_qual != EXECUTOR_TYPE:
+                    found = self._lookup_method(cls_qual, method)
+                    if found:
+                        return (found,)
+        elif _is_self_attr(receiver) and fn.cls is not None:
+            attr = receiver.attr  # type: ignore[union-attr]
+            receiver_types = fn.cls.attr_types.get(attr, ())
+        elif (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Name)
+            and receiver.func.id == "super"
+            and fn.cls is not None
+        ):
+            found_candidates = []
+            inner_ctx = self._ctxs[fn.cls.module]
+            for base in fn.cls.bases:
+                base_qual = self._resolve_class_name(inner_ctx, base)
+                if base_qual is not None and base_qual != EXECUTOR_TYPE:
+                    found = self._lookup_method(base_qual, method)
+                    if found:
+                        found_candidates.append(found)
+            return tuple(sorted(set(found_candidates)))
+        elif isinstance(receiver, ast.Attribute):
+            dotted = _expr_name(receiver)
+            if dotted and "." in dotted:
+                head = dotted.split(".", 1)[0]
+                target = ctx.imports.get(head)
+                if target is not None:
+                    qual = f"{target}.{dotted.split('.', 1)[1]}.{method}"
+                    if qual in self.functions:
+                        return (qual,)
+
+        if EXECUTOR_TYPE in receiver_types and method in _EXECUTOR_METHODS:
+            self._executor_calls.add(id(call))
+        concrete = [
+            impl
+            for cls_qual in receiver_types
+            if cls_qual != EXECUTOR_TYPE
+            for impl in self._expand_receiver(cls_qual)
+        ]
+        if concrete:
+            found_set = {
+                found
+                for cls_qual in concrete
+                if (found := self._lookup_method(cls_qual, method)) is not None
+            }
+            if found_set:
+                return tuple(sorted(found_set))
+        if receiver_types:
+            return ()
+        return self._protocol_fallback(method)
+
+    def _protocol_fallback(self, method: str) -> tuple[str, ...]:
+        """Duck-typing fallback: an untyped ``x.m()`` where ``m`` names a
+        protocol method resolves to every structural implementation."""
+        found: set[str] = set()
+        for proto, methods in self.protocols.items():
+            if method in methods:
+                for impl in self.implementations.get(proto, ()):
+                    resolved = self._lookup_method(impl, method)
+                    if resolved is not None:
+                        found.add(resolved)
+        return tuple(sorted(found))
+
+    # ------------------------------------------------------- registry pass
+
+    def _extract_registered(self, ctx: _ModuleCtx) -> None:
+        fn_names = set(ctx.local_functions)
+        registrars = {
+            name
+            for name, qual in ctx.local_functions.items()
+            for node in [self.functions[qual].node]
+            if any(
+                isinstance(call, ast.Call)
+                and _call_target_name(call) in ("register_solver", "attach_batch_fn")
+                for call in ast.walk(node)
+            )
+        }
+        for node in ast.walk(ctx.mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target_name(node)
+            if target not in ("register_solver", "attach_batch_fn") and (
+                target not in registrars
+            ):
+                continue
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                if isinstance(arg, ast.Name) and arg.id in fn_names:
+                    self.registered_entries.append(ctx.local_functions[arg.id])
+                elif isinstance(arg, ast.Lambda):
+                    for name in lambda_entry_names(arg, fn_names):
+                        self.registered_entries.append(ctx.local_functions[name])
+
+
+# --------------------------------------------------------------- helpers
+
+
+def _call_target_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _expr_name(expr: ast.expr) -> str | None:
+    """Dotted name of a Name/Attribute expression, None otherwise."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _expr_name(expr.value)
+        return f"{base}.{expr.attr}" if base else None
+    if isinstance(expr, ast.Subscript):
+        # Protocol[T] / Generic[T] bases.
+        return _expr_name(expr.value)
+    return None
+
+
+def _first_param_is_cls(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = fn.args.posonlyargs + fn.args.args
+    return bool(args) and args[0].arg == "cls"
+
+
+def _is_self_attr(expr: ast.expr | None) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    )
+
+
+def _param_annotations(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, ast.expr | None]:
+    params: dict[str, ast.expr | None] = {}
+    for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]:
+        if arg.arg in ("self", "cls"):
+            continue
+        params[arg.arg] = arg.annotation
+    return params
+
+
+def _annotation_type_names(annotation: ast.expr | None) -> list[str]:
+    """Candidate class names an annotation mentions (unions flattened)."""
+    if annotation is None:
+        return []
+    if isinstance(annotation, ast.Constant):
+        if isinstance(annotation.value, str):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval")
+            except SyntaxError:
+                return []
+            return _annotation_type_names(parsed.body)
+        return []
+    if isinstance(annotation, ast.Name):
+        return [annotation.id]
+    if isinstance(annotation, ast.Attribute):
+        name = _expr_name(annotation)
+        return [name] if name else []
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _annotation_type_names(annotation.left) + _annotation_type_names(
+            annotation.right
+        )
+    if isinstance(annotation, ast.Subscript):
+        head = _expr_name(annotation.value)
+        if head is not None and head.rsplit(".", 1)[-1] in ("Optional", "Union"):
+            inner = annotation.slice
+            if isinstance(inner, ast.Tuple):
+                out: list[str] = []
+                for elt in inner.elts:
+                    out.extend(_annotation_type_names(elt))
+                return out
+            return _annotation_type_names(inner)
+        return []  # containers (list[T], dict[...]) — element types not tracked
+    return []
+
+
+def _value_type_names(
+    value: ast.expr, params: dict[str, ast.expr | None]
+) -> list[str]:
+    """Candidate class names for the value of an assignment."""
+    if isinstance(value, ast.Call):
+        name = _expr_name(value.func)
+        return [name] if name else []
+    if isinstance(value, ast.Name) and value.id in params:
+        return _annotation_type_names(params[value.id])
+    if isinstance(value, ast.IfExp):
+        return _value_type_names(value.body, params) + _value_type_names(
+            value.orelse, params
+        )
+    if isinstance(value, ast.BoolOp):
+        out: list[str] = []
+        for sub in value.values:
+            out.extend(_value_type_names(sub, params))
+        return out
+    return []
+
+
+def _own_statements(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.stmt]:
+    """All statements lexically inside ``fn``, excluding nested defs."""
+    out: list[ast.stmt] = []
+
+    def walk(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            out.append(stmt)
+            for child_body in _stmt_bodies(stmt):
+                walk(child_body)
+
+    walk(fn.body)
+    return out
+
+
+def _stmt_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, attr, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    for handler in getattr(stmt, "handlers", []):
+        bodies.append(handler.body)
+    return bodies
+
+
+def _own_calls(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.Call]:
+    """Call expressions lexically inside ``fn``, excluding nested defs/lambdas.
+
+    A nested ``def`` or ``lambda`` body does not run where it is written, so
+    its calls must not inherit the enclosing function's held-lock context.
+    """
+    calls: list[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in fn.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        visit(stmt)
+    return calls

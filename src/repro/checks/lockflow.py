@@ -1,0 +1,597 @@
+"""Lock-held dataflow over the project call graph.
+
+Built once per :class:`~repro.checks.base.Project` (via
+``project.lockflow()``) and shared by AART008/AART009.  The pass:
+
+1. inventories **lock tokens** — ``self.<attr> = threading.Lock()`` (or
+   ``RLock``) assignments in ``__init__``, identified *per class*, i.e.
+   ``TcpServer._lock`` is one token for all instances;
+2. walks each function lexically, tracking the ordered set of held tokens
+   through ``with self._lock:`` blocks and explicit ``.acquire()`` /
+   ``.release()`` calls (an acquire without a lexically following release
+   is conservatively held to the end of the function);
+3. records, per function: direct **blocking operations** (socket
+   send/recv/accept/connect, ``subprocess`` spawns, pool-executor
+   ``submit``/``map``, ``time.sleep``, and a full Algorithm-2 re-solve via
+   ``repro.core.solve.solve``), resolved call sites, and lock
+   acquisitions — each with the held-token snapshot at that point;
+4. propagates *may-block* and *may-acquire* facts backwards along
+   call-graph edges to a fixpoint, keeping a witness call path for every
+   derived fact.
+
+From those facts it derives the **lock acquisition graph** (edge
+``L1 → L2`` when ``L2`` is acquired — directly or through calls — while
+``L1`` is held) whose cycles are AART008 findings, and the
+**blocking-while-locked** events that are AART009 findings.  Findings are
+anchored at the innermost acquisition statement so one line-anchored
+``# aart: ignore[...]`` pragma allowlists a documented owner-thread
+pattern.
+
+Known soundness gaps (documented in docs/checks.md): aliasing (two names
+for one runtime lock object are distinct tokens), locks passed as plain
+parameters, same-token re-acquisition across distinct instances
+(self-loops are skipped: hierarchical coordinator-of-coordinators designs
+are legitimate), and calls the graph cannot resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.checks.base import Project
+from repro.checks.callgraph import CallGraph, ClassNode, FunctionNode, _is_self_attr
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+_SOCKET_METHODS = {
+    "send",
+    "sendall",
+    "sendto",
+    "recv",
+    "recvfrom",
+    "recv_into",
+    "accept",
+    "connect",
+    "connect_ex",
+}
+_SOCKET_MODULE_FNS = {"create_connection", "create_server"}
+_SUBPROCESS_FNS = {"run", "Popen", "call", "check_call", "check_output"}
+_SOLVE_ROOTS = {"repro.core.solve.solve"}
+
+
+@dataclass(frozen=True)
+class LockToken:
+    """One lock identity: ``<class qualname>.<attr>`` (class-level)."""
+
+    cls: str
+    attr: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.cls.rsplit('.', 1)[-1]}.{self.attr}"
+
+    def __lt__(self, other: "LockToken") -> bool:
+        return (self.cls, self.attr) < (other.cls, other.attr)
+
+
+@dataclass(frozen=True)
+class _Witness:
+    """How a propagated fact was derived: call path plus final location."""
+
+    path: tuple[str, ...]
+    detail: str
+    relpath: str
+    line: int
+
+
+@dataclass
+class _Acquisition:
+    held_before: tuple[tuple[LockToken, ast.stmt], ...]
+    token: LockToken
+    node: ast.stmt
+
+
+@dataclass
+class _Event:
+    """One call or blocking op with the held-lock snapshot at that point."""
+
+    held: tuple[tuple[LockToken, ast.stmt], ...]
+    call: ast.Call
+    callees: tuple[str, ...]
+    category: str | None = None
+    detail: str | None = None
+
+
+@dataclass
+class _FnFacts:
+    fn: FunctionNode
+    acquisitions: list[_Acquisition] = field(default_factory=list)
+    events: list[_Event] = field(default_factory=list)
+
+
+@dataclass
+class LockEdge:
+    """``first`` held while ``second`` is acquired, with one witness."""
+
+    first: LockToken
+    second: LockToken
+    anchor_fn: FunctionNode
+    anchor_node: ast.stmt
+    path: tuple[str, ...]
+    acq_relpath: str
+    acq_line: int
+
+
+@dataclass
+class LockCycle:
+    """A cycle in the acquisition graph — a potential deadlock."""
+
+    edges: tuple[LockEdge, ...]
+    anchor_fn: FunctionNode
+    anchor_node: ast.stmt
+    message: str
+
+
+@dataclass
+class BlockingEvent:
+    """A blocking operation reachable while at least one lock is held."""
+
+    fn: FunctionNode
+    anchor_node: ast.stmt
+    category: str
+    message: str
+
+
+class LockFlow:
+    """The computed lock-held dataflow for one project."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.tokens: dict[str, set[LockToken]] = {}
+        self.facts: dict[str, _FnFacts] = {}
+        self.blocks: dict[str, dict[str, _Witness]] = {}
+        self.acquires: dict[str, dict[LockToken, _Witness]] = {}
+        self.edges: dict[tuple[LockToken, LockToken], LockEdge] = {}
+        self.cycles: list[LockCycle] = []
+        self.blocking_events: list[BlockingEvent] = []
+
+    @classmethod
+    def build(cls, project: Project) -> "LockFlow":
+        flow = cls(project.callgraph())
+        flow._inventory_tokens()
+        for fn in flow.graph.functions.values():
+            flow.facts[fn.qualname] = flow._scan_function(fn)
+        flow._seed_direct_facts()
+        flow._propagate()
+        flow._derive_lock_edges()
+        flow._find_cycles()
+        flow._derive_blocking_events()
+        return flow
+
+    # ------------------------------------------------------------- tokens
+
+    def _inventory_tokens(self) -> None:
+        for qualname, cls_node in self.graph.classes.items():
+            attrs = _lock_attrs_of(cls_node)
+            if attrs:
+                self.tokens[qualname] = {LockToken(qualname, a) for a in attrs}
+
+    def _token_of(self, fn: FunctionNode, expr: ast.expr) -> LockToken | None:
+        """``self.<attr>`` where attr is a lock attr of the owning class."""
+        if fn.cls is None or not _is_self_attr(expr):
+            return None
+        attr = expr.attr  # type: ignore[union-attr]
+        for token in self.tokens.get(fn.cls.qualname, ()):
+            if token.attr == attr:
+                return token
+        return None
+
+    # --------------------------------------------------------- per-function
+
+    def _scan_function(self, fn: FunctionNode) -> _FnFacts:
+        facts = _FnFacts(fn=fn)
+        imports = self.graph.module_imports.get(fn.module, {})
+        held: list[tuple[LockToken, ast.stmt]] = []
+
+        def record_calls(expr: ast.AST) -> None:
+            for call in _calls_in(expr):
+                callees = self.graph.resolve_call(call)
+                blocking = self._blocking_category(imports, call)
+                if callees or blocking:
+                    category, detail = blocking if blocking else (None, None)
+                    facts.events.append(
+                        _Event(
+                            held=tuple(held),
+                            call=call,
+                            callees=callees,
+                            category=category,
+                            detail=detail,
+                        )
+                    )
+
+        def visit_block(body: list[ast.stmt]) -> None:
+            for stmt in body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    pushed = 0
+                    for item in stmt.items:
+                        record_calls(item.context_expr)
+                        token = self._token_of(fn, item.context_expr)
+                        if token is not None:
+                            facts.acquisitions.append(
+                                _Acquisition(tuple(held), token, stmt)
+                            )
+                            held.append((token, stmt))
+                            pushed += 1
+                    visit_block(stmt.body)
+                    for _ in range(pushed):
+                        held.pop()
+                    continue
+                acq_rel = _acquire_release(stmt)
+                if acq_rel is not None:
+                    kind, receiver = acq_rel
+                    token = self._token_of(fn, receiver)
+                    if token is not None:
+                        if kind == "acquire":
+                            facts.acquisitions.append(
+                                _Acquisition(tuple(held), token, stmt)
+                            )
+                            held.append((token, stmt))
+                        else:
+                            for i in range(len(held) - 1, -1, -1):
+                                if held[i][0] == token:
+                                    del held[i]
+                                    break
+                        continue
+                for expr in _stmt_exprs(stmt):
+                    record_calls(expr)
+                for child_body in _stmt_child_bodies(stmt):
+                    visit_block(child_body)
+
+        visit_block(fn.node.body)
+        return facts
+
+    def _blocking_category(
+        self, imports: dict[str, str], call: ast.Call
+    ) -> tuple[str, str] | None:
+        if self.graph.is_executor_call(call):
+            return ("executor", "pool-executor submit")
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SOCKET_METHODS:
+                return ("socket", f"socket .{func.attr}()")
+            if isinstance(func.value, ast.Name):
+                base = imports.get(func.value.id, func.value.id)
+                if base == "time" and func.attr == "sleep":
+                    return ("sleep", "time.sleep()")
+                if base == "subprocess" and func.attr in _SUBPROCESS_FNS:
+                    return ("subprocess", f"subprocess.{func.attr}()")
+                if base == "socket" and func.attr in _SOCKET_MODULE_FNS:
+                    return ("socket", f"socket.{func.attr}()")
+        elif isinstance(func, ast.Name):
+            target = imports.get(func.id)
+            if target == "time.sleep":
+                return ("sleep", "time.sleep()")
+            if target is not None and target.startswith("subprocess."):
+                if target.split(".", 1)[1] in _SUBPROCESS_FNS:
+                    return ("subprocess", f"{target}()")
+            if target is not None and target.startswith("socket."):
+                if target.split(".", 1)[1] in _SOCKET_MODULE_FNS:
+                    return ("socket", f"{target}()")
+        for callee in self.graph.resolve_call(call):
+            if callee in _SOLVE_ROOTS:
+                return ("solve", "full Algorithm-2 re-solve (repro.core.solve.solve)")
+        return None
+
+    # ----------------------------------------------------------- fixpoint
+
+    def _seed_direct_facts(self) -> None:
+        for qualname, facts in self.facts.items():
+            mod = facts.fn.mod
+            for event in facts.events:
+                if event.category is not None and event.detail is not None:
+                    self.blocks.setdefault(qualname, {}).setdefault(
+                        event.category,
+                        _Witness(
+                            path=(qualname,),
+                            detail=event.detail,
+                            relpath=mod.relpath,
+                            line=event.call.lineno,
+                        ),
+                    )
+            for acq in facts.acquisitions:
+                self.acquires.setdefault(qualname, {}).setdefault(
+                    acq.token,
+                    _Witness(
+                        path=(qualname,),
+                        detail=acq.token.label,
+                        relpath=mod.relpath,
+                        line=acq.node.lineno,
+                    ),
+                )
+
+    def _propagate(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for caller, sites in self.graph.edges.items():
+                for site in sites:
+                    for category, wit in self.blocks.get(site.callee, {}).items():
+                        into = self.blocks.setdefault(caller, {})
+                        if category not in into:
+                            into[category] = _Witness(
+                                path=(caller,) + wit.path,
+                                detail=wit.detail,
+                                relpath=wit.relpath,
+                                line=wit.line,
+                            )
+                            changed = True
+                    for token, awit in self.acquires.get(site.callee, {}).items():
+                        ainto = self.acquires.setdefault(caller, {})
+                        if token not in ainto:
+                            ainto[token] = _Witness(
+                                path=(caller,) + awit.path,
+                                detail=awit.detail,
+                                relpath=awit.relpath,
+                                line=awit.line,
+                            )
+                            changed = True
+
+    # --------------------------------------------------------- derivations
+
+    def _derive_lock_edges(self) -> None:
+        for qualname, facts in self.facts.items():
+            for acq in facts.acquisitions:
+                for first, anchor in acq.held_before:
+                    self._note_edge(
+                        first,
+                        acq.token,
+                        facts.fn,
+                        anchor,
+                        (qualname,),
+                        facts.fn.mod.relpath,
+                        acq.node.lineno,
+                    )
+            for event in facts.events:
+                if not event.held:
+                    continue
+                for callee in event.callees:
+                    for token, wit in self.acquires.get(callee, {}).items():
+                        for first, anchor in event.held:
+                            self._note_edge(
+                                first,
+                                token,
+                                facts.fn,
+                                anchor,
+                                (qualname,) + wit.path,
+                                wit.relpath,
+                                wit.line,
+                            )
+
+    def _note_edge(
+        self,
+        first: LockToken,
+        second: LockToken,
+        anchor_fn: FunctionNode,
+        anchor_node: ast.stmt,
+        path: tuple[str, ...],
+        acq_relpath: str,
+        acq_line: int,
+    ) -> None:
+        if first == second:
+            return  # hierarchical same-token designs; see module docstring
+        key = (first, second)
+        if key not in self.edges:
+            self.edges[key] = LockEdge(
+                first=first,
+                second=second,
+                anchor_fn=anchor_fn,
+                anchor_node=anchor_node,
+                path=path,
+                acq_relpath=acq_relpath,
+                acq_line=acq_line,
+            )
+
+    def _find_cycles(self) -> None:
+        adjacency: dict[LockToken, set[LockToken]] = {}
+        for first, second in self.edges:
+            adjacency.setdefault(first, set()).add(second)
+        seen_cycles: set[frozenset[tuple[LockToken, LockToken]]] = set()
+        for (first, second), edge in sorted(
+            self.edges.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            back_path = _shortest_path(adjacency, second, first)
+            if back_path is None:
+                continue
+            pairs = [(first, second)] + list(zip(back_path, back_path[1:]))
+            key = frozenset(pairs)
+            if key in seen_cycles:
+                continue
+            seen_cycles.add(key)
+            cycle_edges = tuple(self.edges[pair] for pair in pairs)
+            parts = []
+            for ce in cycle_edges:
+                short = " -> ".join(_short(q) for q in ce.path)
+                parts.append(
+                    f"{ce.first.label} -> {ce.second.label} via {short} "
+                    f"(acquired at {ce.acq_relpath}:{ce.acq_line})"
+                )
+            tokens = sorted({t for pair in pairs for t in pair})
+            message = (
+                "lock-order inversion between "
+                + " and ".join(t.label for t in tokens)
+                + " — potential deadlock: "
+                + "; ".join(parts)
+            )
+            anchor = cycle_edges[0]
+            self.cycles.append(
+                LockCycle(
+                    edges=cycle_edges,
+                    anchor_fn=anchor.anchor_fn,
+                    anchor_node=anchor.anchor_node,
+                    message=message,
+                )
+            )
+
+    def _derive_blocking_events(self) -> None:
+        seen: set[tuple[str, int, str]] = set()
+        for qualname in sorted(self.facts):
+            facts = self.facts[qualname]
+            for event in facts.events:
+                if not event.held:
+                    continue
+                innermost_token, anchor = event.held[-1]
+                held_labels = ", ".join(tok.label for tok, _ in event.held)
+                if event.category is not None and event.detail is not None:
+                    self._note_blocking(
+                        seen,
+                        facts.fn,
+                        anchor,
+                        event.category,
+                        f"{event.detail} at "
+                        f"{facts.fn.mod.relpath}:{event.call.lineno} while holding "
+                        f"{held_labels} — blocking under a lock stalls every "
+                        "other thread contending for it",
+                    )
+                for callee in event.callees:
+                    for category, wit in self.blocks.get(callee, {}).items():
+                        path = (qualname,) + wit.path
+                        self._note_blocking(
+                            seen,
+                            facts.fn,
+                            anchor,
+                            category,
+                            f"{wit.detail} at {wit.relpath}:{wit.line} is "
+                            f"reachable while holding {held_labels} via "
+                            + " -> ".join(_short(q) for q in path)
+                            + " — blocking under a lock stalls every other "
+                            "thread contending for it",
+                        )
+
+    def _note_blocking(
+        self,
+        seen: set[tuple[str, int, str]],
+        fn: FunctionNode,
+        anchor: ast.stmt,
+        category: str,
+        message: str,
+    ) -> None:
+        key = (fn.mod.relpath, anchor.lineno, category)
+        if key in seen:
+            return
+        seen.add(key)
+        self.blocking_events.append(
+            BlockingEvent(fn=fn, anchor_node=anchor, category=category, message=message)
+        )
+
+
+# --------------------------------------------------------------- helpers
+
+
+def _short(qualname: str) -> str:
+    """Drop the leading ``repro.`` for readable witness paths."""
+    return qualname[6:] if qualname.startswith("repro.") else qualname
+
+
+def _lock_attrs_of(cls_node: ClassNode) -> set[str]:
+    """``self.<attr> = threading.Lock()`` (or RLock) assignments in __init__."""
+    init = cls_node.methods.get("__init__")
+    if init is None:
+        return set()
+    attrs: set[str] = set()
+    for stmt in ast.walk(init.node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not _is_self_attr(target):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Call):
+            name = (
+                value.func.id
+                if isinstance(value.func, ast.Name)
+                else value.func.attr
+                if isinstance(value.func, ast.Attribute)
+                else None
+            )
+            if name in _LOCK_FACTORIES:
+                attrs.add(target.attr)  # type: ignore[union-attr]
+    return attrs
+
+
+def _acquire_release(stmt: ast.stmt) -> tuple[str, ast.expr] | None:
+    """Match a bare ``self.<x>.acquire()`` / ``.release()`` statement."""
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return None
+    call = stmt.value
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    if call.func.attr not in ("acquire", "release"):
+        return None
+    return (call.func.attr, call.func.value)
+
+
+def _calls_in(node: ast.AST) -> list[ast.Call]:
+    """Call expressions in an expression tree, skipping lambda bodies."""
+    calls: list[ast.Call] = []
+
+    def visit(current: ast.AST) -> None:
+        if isinstance(current, ast.Lambda):
+            return
+        if isinstance(current, ast.Call):
+            calls.append(current)
+        for child in ast.iter_child_nodes(current):
+            visit(child)
+
+    visit(node)
+    return calls
+
+
+def _stmt_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expression fields of one statement (child statements excluded)."""
+    exprs: list[ast.expr] = []
+    for _name, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            exprs.append(value)
+        elif isinstance(value, list):
+            exprs.extend(v for v in value if isinstance(v, ast.expr))
+    return exprs
+
+
+def _stmt_child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, attr, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    for handler in getattr(stmt, "handlers", []):
+        bodies.append(handler.body)
+    return bodies
+
+
+def _shortest_path(
+    adjacency: dict[LockToken, set[LockToken]],
+    start: LockToken,
+    goal: LockToken,
+) -> list[LockToken] | None:
+    """BFS path ``start -> ... -> goal`` (None when unreachable)."""
+    if start == goal:
+        return [start]
+    frontier = [[start]]
+    visited = {start}
+    while frontier:
+        next_frontier: list[list[LockToken]] = []
+        for path in frontier:
+            for nxt in sorted(adjacency.get(path[-1], ())):
+                if nxt in visited:
+                    continue
+                new_path = path + [nxt]
+                if nxt == goal:
+                    return new_path
+                visited.add(nxt)
+                next_frontier.append(new_path)
+        frontier = next_frontier
+    return None

@@ -28,7 +28,10 @@ def render_text(result: CheckResult) -> str:
     else:
         summary = (
             f"aart check: {result.checked} file(s), "
-            f"{n} finding(s)" + (f", {result.suppressed} suppressed" if result.suppressed else "")
+            f"{n} finding(s)"
+            + (f", {result.suppressed} suppressed" if result.suppressed else "")
+            + (f", {result.baselined} baselined" if result.baselined else "")
+            + (f" in {result.duration_s:.1f}s" if result.duration_s else "")
         )
         lines.append(summary)
     return "\n".join(lines)
@@ -41,6 +44,8 @@ def render_json(result: CheckResult) -> str:
         "checked_files": result.checked,
         "errors": list(result.errors),
         "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "duration_s": round(result.duration_s, 3),
         "findings": [f.to_dict() for f in result.findings],
         "rules": {
             rule.code: {"name": rule.name, "rationale": rule.rationale}

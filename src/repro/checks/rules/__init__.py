@@ -12,25 +12,39 @@ AART004    :mod:`.deadline`                bounded-time solves poll the deadline
 AART005    :mod:`.locks`                   service state mutates under its lock
 AART006    :mod:`.exports`                 ``__init__`` re-exports stay coherent
 AART007    :mod:`.excepts`                 no silently swallowed exceptions
+AART008    :mod:`.lockorder`               the lock acquisition graph is acyclic
+AART009    :mod:`.blocking`                no blocking calls while a lock is held
+AART010    :mod:`.snapshots`               to_dict/from_dict schemas stay coherent
 =========  ==============================  =====================================
+
+AART001–AART007 are per-module AST scans; AART008–AART010 are whole-program
+analyses over the shared call-graph/lock-flow caches on
+:class:`~repro.checks.base.Project` (see :mod:`repro.checks.callgraph` and
+:mod:`repro.checks.lockflow`).
 """
 
 from repro.checks.rules import (
+    blocking,
     deadline,
     excepts,
     exports,
     floats,
+    lockorder,
     locks,
     rng,
+    snapshots,
     wallclock,
 )
 
 __all__ = [
+    "blocking",
     "deadline",
     "excepts",
     "exports",
     "floats",
+    "lockorder",
     "locks",
     "rng",
+    "snapshots",
     "wallclock",
 ]

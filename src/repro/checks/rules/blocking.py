@@ -1,0 +1,42 @@
+"""AART009 — no blocking operations while a lock is held.
+
+A lock in this repository guards small in-memory state transitions: batch
+admission in ``TcpServer``, routing tables in ``FleetCoordinator``,
+instrument buckets in the metrics registry.  Holding one across a blocking
+operation — a socket send/recv (including a ``Client`` round trip),
+``subprocess`` spawn, pool-executor submit, ``time.sleep``, or a full
+Algorithm-2 re-solve through :func:`repro.core.solve.solve` — turns every
+contending thread's bounded critical section into an unbounded wait, and
+is exactly how a deadline-bounded service misses its deadline.
+
+Mechanics: :mod:`repro.checks.lockflow` tracks held-lock sets lexically
+through each function and propagates may-block facts along resolved
+call-graph edges, so the rule flags both a direct ``sendall`` under
+``with self._lock:`` and a re-solve reachable three calls deep.  Findings
+are anchored at the innermost acquisition statement with the full witness
+path in the message; a documented owner-thread pattern (the batch lock
+that *intentionally* serializes request processing) is allowlisted with a
+line-anchored ``# aart: ignore[AART009]`` pragma on that acquisition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.checks.base import Finding, ModuleInfo, Project, Rule, register_rule
+
+
+@register_rule
+class BlockingWhileLockedRule(Rule):
+    code = "AART009"
+    name = "blocking-while-locked"
+    rationale = (
+        "Socket I/O, subprocess spawns, executor submits and full re-solves "
+        "reachable under a held lock stall every contending thread; critical "
+        "sections must stay bounded for deadline-bounded serving to hold."
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        for event in project.lockflow().blocking_events:
+            if event.fn.mod is mod:
+                yield self.finding(mod, event.anchor_node, event.message)

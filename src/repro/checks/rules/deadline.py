@@ -28,6 +28,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.checks.base import Finding, ModuleInfo, Project, Rule, register_rule
+from repro.checks.callgraph import lambda_entry_names
 
 
 @dataclass
@@ -69,24 +70,6 @@ def _scan_function(fn: ast.FunctionDef) -> _FnInfo:
     return info
 
 
-def _lambda_entry_names(lam: ast.Lambda, functions: set[str]) -> set[str]:
-    """Module functions a registered lambda dispatches to.
-
-    Covers both direct calls in the body and the late-binding default-arg
-    idiom ``lambda ..., _fn=fn: _fn(...)`` (the defaults are evaluated at
-    registration time, so a Name default *is* the entry).
-    """
-    names: set[str] = set()
-    for node in ast.walk(lam.body):
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-            if node.func.id in functions:
-                names.add(node.func.id)
-    for default in [*lam.args.defaults, *lam.args.kw_defaults]:
-        if isinstance(default, ast.Name) and default.id in functions:
-            names.add(default.id)
-    return names
-
-
 @register_rule
 class DeadlineRule(Rule):
     code = "AART004"
@@ -120,7 +103,7 @@ class DeadlineRule(Rule):
             if isinstance(arg, ast.Name) and arg.id in fn_names:
                 entries.setdefault(arg.id, anchor)
             elif isinstance(arg, ast.Lambda):
-                for name in _lambda_entry_names(arg, fn_names):
+                for name in lambda_entry_names(arg, fn_names):
                     entries.setdefault(name, anchor)
 
         for node in ast.walk(tree):

@@ -1,0 +1,41 @@
+"""AART008 — no lock-order inversions (potential deadlocks).
+
+The service tier holds coordinator state behind ``FleetCoordinator._lock``
+while shard servers serialize batches behind ``TcpServer._lock`` and the
+metrics registry nests instrument locks under its own.  Those locks form a
+hierarchy only as long as every thread acquires them in one global order;
+two code paths that acquire the same pair in opposite orders can deadlock
+under contention, freezing the allocation service mid-rebalance.
+
+Mechanics: the rule reads the project-wide lock acquisition graph computed
+by :mod:`repro.checks.lockflow` — an edge ``L1 → L2`` whenever ``L2`` is
+acquired (directly or through resolved calls) while ``L1`` is held — and
+reports every cycle once, anchored at the acquisition statement of the
+cycle's first edge, with all acquisition paths spelled out in the message
+so both sides of the inversion are reviewable from the finding alone.
+Self-edges (re-acquiring the same class-level token) are not reported:
+hierarchical coordinator-of-coordinators designs acquire the same token on
+*different* instances, which a static class-level token cannot distinguish.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.checks.base import Finding, ModuleInfo, Project, Rule, register_rule
+
+
+@register_rule
+class LockOrderRule(Rule):
+    code = "AART008"
+    name = "lock-order-inversion"
+    rationale = (
+        "Two paths acquiring the same pair of locks in opposite orders can "
+        "deadlock under contention; the acquisition graph over class-level "
+        "lock tokens must stay acyclic for the service tier to make progress."
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        for cycle in project.lockflow().cycles:
+            if cycle.anchor_fn.mod is mod:
+                yield self.finding(mod, cycle.anchor_node, cycle.message)

@@ -107,12 +107,12 @@ class LockDisciplineRule(Rule):
     ) -> Iterator[Finding]:
         guarded_depth = 0
 
-        def visit(node: ast.AST):
+        def visit(node: ast.AST) -> None:
             nonlocal guarded_depth
             is_guard = isinstance(node, ast.With) and _is_with_self_lock(node, locks)
             if is_guard:
                 guarded_depth += 1
-            target_attrs = []
+            target_attrs: list[ast.expr] = []
             if isinstance(node, ast.Assign):
                 target_attrs = node.targets
             elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):

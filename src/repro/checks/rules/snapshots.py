@@ -1,0 +1,329 @@
+"""AART010 — snapshot schemas stay coherent (to_dict/from_dict contracts).
+
+Every persistent document this repository writes — problem/assignment
+files, service and fleet snapshots, metrics/trace exports, the findings
+artifact itself — carries an ``aart-<name>/<n>`` format tag and round
+trips through a writer/reader pair.  A ``to_dict`` that gains a key its
+``from_dict`` never consumes (or a reader that requires a key the writer
+never emits) silently breaks restart/migration paths: exactly the drift
+that would corrupt a restored fleet's composed α certificate.
+
+Three checks per module:
+
+* **pairing** — a ``to_dict`` method (or ``X_to_dict`` function) whose
+  document carries a ``"format"`` tag must have a ``from_dict``
+  (``X_from_dict``) twin in the same class/module.  Report-only exports
+  without a format tag are exempt.
+* **version tags** — every dict literal written with a ``"format"`` key
+  must carry a literal (or same-project constant) matching
+  ``aart-<slug>/<int>``.  Values the checker cannot resolve statically are
+  skipped, never guessed.
+* **key coherence** — for an analyzable pair, the key set written by
+  ``to_dict`` must equal the key set consumed by ``from_dict``
+  (``data["k"]``, ``data.get("k", ...)``, ``"k" in data`` all count;
+  ``.get`` with a default is the sanctioned way to default a legacy key).
+  Both drift directions anchor at the ``from_dict`` definition line so one
+  pragma covers a documented write-only provenance block.
+
+A pair is skipped (not guessed at) when either side is dynamic: ``**``
+spreads, non-constant keys, the data dict passed whole to another
+function, aliased, or iterated.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.checks.base import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    _dotted_name,
+    register_rule,
+)
+
+_FORMAT_RE = re.compile(r"^aart-[a-z0-9-]+/[0-9]+$")
+
+
+@dataclass
+class _Writer:
+    """One ``to_dict``-shaped function and its statically derived schema."""
+
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    has_format: bool
+    written: set[str] | None  # None: dynamic, skip key coherence
+
+
+@dataclass
+class _Reader:
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    consumed: set[str] | None  # None: dynamic, skip key coherence
+
+
+@register_rule
+class SnapshotSchemaRule(Rule):
+    code = "AART010"
+    name = "snapshot-schema-coherence"
+    rationale = (
+        "Snapshot writers and readers must agree on the key set and carry an "
+        "aart-<name>/<n> format tag; schema drift silently breaks the "
+        "restart/migration paths that re-derive the fleet's α certificate."
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if _dotted_name(mod.posix) is None:
+            return
+        yield from self._check_format_tags(mod, project)
+        yield from self._check_pairs(mod)
+
+    # -------------------------------------------------------- format tags
+
+    def _check_format_tags(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            for key, value in zip(node.keys, node.values):
+                if not (isinstance(key, ast.Constant) and key.value == "format"):
+                    continue
+                tag = _resolve_str(value, mod, project)
+                if tag is None:
+                    continue  # dynamic tag: skipped, never guessed
+                if not _FORMAT_RE.match(tag):
+                    yield self.finding(
+                        mod,
+                        value,
+                        f"snapshot format tag {tag!r} does not match the "
+                        "aart-<name>/<n> convention — version every persistent "
+                        "document so readers can reject foreign schemas",
+                    )
+
+    # ------------------------------------------------------------- pairs
+
+    def _check_pairs(self, mod: ModuleInfo) -> Iterator[Finding]:
+        scopes: list[tuple[str, list[ast.stmt]]] = [("module", mod.tree.body)]
+        scopes.extend(
+            (f"class {stmt.name}", stmt.body)
+            for stmt in mod.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        )
+        for scope_label, body in scopes:
+            in_class = scope_label.startswith("class ")
+            writers: dict[str, _Writer] = {}
+            readers: dict[str, _Reader] = {}
+            for stmt in body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stem = _pair_stem(stmt.name, "to_dict", in_class)
+                if stem is not None:
+                    written, has_format = _written_keys(stmt)
+                    writers[stem] = _Writer(stmt.name, stmt, has_format, written)
+                    continue
+                stem = _pair_stem(stmt.name, "from_dict", in_class)
+                if stem is not None:
+                    readers[stem] = _Reader(stmt.name, stmt, _consumed_keys(stmt))
+
+            for stem, writer in sorted(writers.items()):
+                if not writer.has_format:
+                    continue  # report-only export, no round-trip contract
+                reader = readers.get(stem)
+                if reader is None:
+                    expected = "from_dict" if in_class else f"{stem}_from_dict"
+                    yield self.finding(
+                        mod,
+                        writer.node,
+                        f"{writer.name!r} writes a format-tagged snapshot but "
+                        f"{scope_label} defines no {expected!r} twin — every "
+                        "versioned document needs a reader to round trip",
+                    )
+                    continue
+                if writer.written is None or reader.consumed is None:
+                    continue  # dynamic side: skipped, never guessed
+                ignored = sorted(writer.written - reader.consumed)
+                unknown = sorted(reader.consumed - writer.written)
+                if ignored:
+                    yield self.finding(
+                        mod,
+                        reader.node,
+                        f"{reader.name!r} never consumes key(s) "
+                        f"{', '.join(map(repr, ignored))} written by "
+                        f"{writer.name!r} — drop the key or read it "
+                        "(data.get with a default counts)",
+                    )
+                if unknown:
+                    yield self.finding(
+                        mod,
+                        reader.node,
+                        f"{reader.name!r} consumes key(s) "
+                        f"{', '.join(map(repr, unknown))} that {writer.name!r} "
+                        "never writes — a freshly written snapshot cannot "
+                        "round trip",
+                    )
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _pair_stem(name: str, suffix: str, in_class: bool) -> str | None:
+    """Pair key for a writer/reader name, or None if the name is unrelated."""
+    if in_class:
+        return "" if name == suffix else None
+    if name == suffix:
+        return ""
+    if name.endswith(f"_{suffix}"):
+        return name[: -(len(suffix) + 1)]
+    return None
+
+
+def _written_keys(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[set[str] | None, bool]:
+    """Keys of the format-tagged document ``fn`` writes, plus whether any
+    document carries a ``"format"`` tag at all.  ``None`` keys = dynamic."""
+    written: set[str] = set()
+    has_format = False
+    dynamic = False
+    doc_names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            keys = [k.value for k in node.keys if isinstance(k, ast.Constant)]
+            if "format" not in keys:
+                continue
+            has_format = True
+            if len(keys) != len(node.keys):
+                dynamic = True  # **spread or computed key
+            written.update(k for k in keys if isinstance(k, str))
+            parent_target = _assigned_name(fn, node)
+            if parent_target is not None:
+                doc_names.add(parent_target)
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Subscript)
+            and isinstance(node.targets[0].value, ast.Name)
+            and node.targets[0].value.id in doc_names
+        ):
+            key = node.targets[0].slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                written.add(key.value)
+            else:
+                dynamic = True
+    if not has_format:
+        return None, False
+    return (None if dynamic else written), True
+
+
+def _assigned_name(fn: ast.AST, value_node: ast.Dict) -> str | None:
+    """The variable a dict literal is directly assigned to, if any."""
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and node.value is value_node
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            return node.targets[0].id
+    return None
+
+
+def _consumed_keys(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str] | None:
+    """Constant keys ``fn`` reads off its data parameter (None = dynamic)."""
+    params = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+    params = [p for p in params if p not in ("self", "cls")]
+    if not params:
+        return None
+    data = params[0]
+    consumed: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Subscript) and _is_name(node.value, data):
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, str
+            ):
+                consumed.add(node.slice.value)
+            else:
+                return None
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and _is_name(func.value, data)
+                and func.attr in ("get", "pop")
+            ):
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    if isinstance(node.args[0].value, str):
+                        consumed.add(node.args[0].value)
+                        continue
+                return None
+            # the data dict handed whole to another callable: dynamic
+            for arg in node.args:
+                if _is_name(arg, data) or (
+                    isinstance(arg, ast.Starred) and _is_name(arg.value, data)
+                ):
+                    return None
+            for kw in node.keywords:
+                if _is_name(kw.value, data):
+                    return None
+        elif isinstance(node, ast.Compare):
+            if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops) and any(
+                _is_name(c, data) for c in node.comparators
+            ):
+                left = node.left
+                if isinstance(left, ast.Constant) and isinstance(left.value, str):
+                    consumed.add(left.value)
+                else:
+                    return None
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is not None and _is_name(value, data):
+                return None  # aliased
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            if _is_name(node.iter, data):
+                return None  # iterated
+    return consumed
+
+
+def _is_name(node: ast.AST | None, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _resolve_str(value: ast.expr, mod: ModuleInfo, project: Project) -> str | None:
+    """Statically resolve an expression to a string constant, if possible."""
+    if isinstance(value, ast.Constant):
+        return value.value if isinstance(value.value, str) else None
+    if isinstance(value, ast.Name):
+        local = _module_constant(mod, value.id)
+        if local is not None:
+            return local
+        graph = project.callgraph()
+        dotted = _dotted_name(mod.posix)
+        imports = graph.module_imports.get(dotted or "", {})
+        target = imports.get(value.id)
+        if target is not None and "." in target:
+            target_mod, attr = target.rsplit(".", 1)
+            resolved = project.resolve(target_mod)
+            if resolved is not None:
+                return _module_constant(resolved, attr)
+    return None
+
+
+def _module_constant(mod: ModuleInfo, name: str) -> str | None:
+    """A top-level ``NAME = "literal"`` string binding of one module."""
+    for stmt in mod.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            return stmt.value.value
+    return None

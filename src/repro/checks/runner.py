@@ -13,10 +13,12 @@ directories (the checker's own seeded-violation test data) are skipped.
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.checks.base import Finding, ModuleInfo, Project, Rule, all_rules
+from repro.checks.baseline import apply_baseline, load_baseline, render_baseline
 from repro.checks.pragmas import Pragma, filter_findings, parse_pragmas
 
 EXIT_CLEAN = 0
@@ -34,6 +36,8 @@ class CheckResult:
     errors: list[str] = field(default_factory=list)
     checked: int = 0
     suppressed: int = 0
+    baselined: int = 0
+    duration_s: float = 0.0
 
     @property
     def exit_code(self) -> int:
@@ -75,32 +79,61 @@ def load_module(path: Path, root: Path) -> ModuleInfo:
     return ModuleInfo(path=path, relpath=rel, source=source, tree=tree)
 
 
-def select_rules(select: list[str] | None) -> list[Rule]:
-    """Resolve ``--select`` codes (case-insensitive) to rule objects."""
-    rules = all_rules()
-    if not select:
-        return rules
-    wanted = {code.strip().upper() for code in select if code.strip()}
-    known = {rule.code for rule in rules}
+def _validate_codes(codes: list[str], known: set[str], flag: str) -> set[str]:
+    wanted = {code.strip().upper() for code in codes if code.strip()}
     unknown = wanted - known
     if unknown:
         raise ValueError(
-            f"unknown rule(s) {sorted(unknown)}; known: {sorted(known)}"
+            f"unknown rule(s) {sorted(unknown)} in {flag}; known: {sorted(known)}"
         )
-    return [rule for rule in rules if rule.code in wanted]
+    return wanted
+
+
+def select_rules(
+    select: list[str] | None, ignore: list[str] | None = None
+) -> list[Rule]:
+    """Resolve ``--select`` / ``--ignore`` codes (case-insensitive) to rules.
+
+    Both flags validate against the registry — an unknown code raises
+    ``ValueError`` (exit 2 at the CLI) with the full catalog, so a typo'd
+    gate fails loudly instead of silently checking nothing.
+    """
+    rules = all_rules()
+    known = {rule.code for rule in rules}
+    wanted = _validate_codes(select, known, "--select") if select else known
+    dropped = _validate_codes(ignore, known, "--ignore") if ignore else set()
+    return [rule for rule in rules if rule.code in wanted - dropped]
 
 
 def run_checks(
     paths: list[str | Path],
     select: list[str] | None = None,
+    ignore: list[str] | None = None,
     root: Path | None = None,
+    baseline: str | Path | None = None,
+    update_baseline: bool = False,
 ) -> CheckResult:
-    """Run the selected rules over ``paths``; the library entry point."""
+    """Run the selected rules over ``paths``; the library entry point.
+
+    With ``baseline=``, findings recorded in the baseline file are moved
+    to :attr:`CheckResult.baselined` instead of failing the run; with
+    ``update_baseline=True`` the file is (re)written from the current
+    findings and the run reports clean.
+    """
+    started = time.monotonic()
     root = root or Path.cwd()
     try:
-        rules = select_rules(select)
+        rules = select_rules(select, ignore)
     except ValueError as exc:
         return CheckResult(findings=[], errors=[str(exc)])
+
+    baseline_path = Path(baseline) if baseline is not None else None
+    allowances = None
+    if baseline_path is not None and not update_baseline:
+        try:
+            allowances = load_baseline(baseline_path)
+        except ValueError as exc:
+            return CheckResult(findings=[], errors=[str(exc)])
 
     files = discover_files(paths, root=root)
     if not files:
@@ -131,9 +164,21 @@ def run_checks(
     }
     findings = filter_findings(raw, pragmas)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    suppressed = len(raw) - len(findings)
+
+    baselined = 0
+    if baseline_path is not None and update_baseline:
+        baseline_path.write_text(render_baseline(findings), encoding="utf-8")
+        baselined = len(findings)
+        findings = []
+    elif allowances is not None:
+        findings, baselined = apply_baseline(findings, allowances)
+
     return CheckResult(
         findings=findings,
         errors=[],
         checked=len(modules),
-        suppressed=len(raw) - len(findings),
+        suppressed=suppressed,
+        baselined=baselined,
+        duration_s=time.monotonic() - started,
     )

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 reporter: findings as GitHub code-scanning annotations.
+
+One run, one tool (``aart-check``), the full rule catalog under
+``tool.driver.rules`` (so ``ruleIndex`` resolves), one ``result`` per
+finding with a physical location.  SARIF regions are 1-based in both
+dimensions while :class:`~repro.checks.base.Finding` columns are 0-based
+ast offsets — the reporter owns that conversion.  Parse/usage errors are
+surfaced as ``toolExecutionNotifications`` with
+``executionSuccessful: false`` instead of being dropped.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks.base import all_rules
+from repro.checks.runner import CheckResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+
+def _tool_version() -> str:
+    try:
+        from repro import __version__
+    except ImportError:
+        return "unknown"
+    return str(__version__)
+
+
+def render_sarif(result: CheckResult) -> str:
+    """Serialize one check run as a SARIF 2.1.0 log."""
+    rules = all_rules()
+    rule_index = {rule.code: i for i, rule in enumerate(rules)}
+    driver = {
+        "name": "aart-check",
+        "semanticVersion": _tool_version(),
+        "rules": [
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+            for rule in rules
+        ],
+    }
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    invocation = {
+        "executionSuccessful": not result.errors,
+        "toolExecutionNotifications": [
+            {"level": "error", "message": {"text": err}} for err in result.errors
+        ],
+    }
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "invocations": [invocation],
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

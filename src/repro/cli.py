@@ -649,14 +649,31 @@ def cmd_trace(args) -> int:
 def cmd_check(args) -> int:
     from pathlib import Path
 
-    from repro.checks import render_json, render_text, run_checks
+    from repro.checks import render_json, render_sarif, render_text, run_checks
 
     paths = args.paths or [p for p in ("src", "tests") if Path(p).exists()]
-    select = None
-    if args.select:
-        select = [c for chunk in args.select for c in chunk.split(",")]
-    result = run_checks(paths, select=select)
-    rendered = render_json(result) if args.format == "json" else render_text(result)
+
+    def split_codes(chunks):
+        if not chunks:
+            return None
+        return [c for chunk in chunks for c in chunk.split(",")]
+
+    baseline = args.baseline
+    if args.update_baseline and baseline is None:
+        baseline = ".aart-baseline.json"
+    result = run_checks(
+        paths,
+        select=split_codes(args.select),
+        ignore=split_codes(args.ignore),
+        baseline=baseline,
+        update_baseline=args.update_baseline,
+    )
+    if args.format == "json":
+        rendered = render_json(result)
+    elif args.format == "sarif":
+        rendered = render_sarif(result)
+    else:
+        rendered = render_text(result)
     print(rendered)
     return result.exit_code
 
@@ -739,11 +756,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="run the domain-aware static-analysis pass")
     p.add_argument("paths", nargs="*",
                    help="files or directories (default: src and tests)")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="report format (json is the CI artifact)")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                   help="report format (json is the CI artifact; sarif renders "
+                   "as code-scanning annotations)")
     p.add_argument("--select", action="append", metavar="RULES",
                    help="comma-separated rule codes to run (default: all); "
                    "repeatable")
+    p.add_argument("--ignore", action="append", metavar="RULES",
+                   help="comma-separated rule codes to skip (validated against "
+                   "the registry); repeatable")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="suppress findings recorded in this baseline file "
+                   "(aart-baseline/1)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="regenerate the baseline file from this run's findings "
+                   "(default file: .aart-baseline.json)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("profile", help="diagnose an instance's difficulty")

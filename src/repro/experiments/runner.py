@@ -35,7 +35,9 @@ def points_to_dict(figure_id: str, points: list[SweepPoint], seed: int) -> dict:
     }
 
 
-def points_from_dict(data: dict) -> tuple[str, list[SweepPoint]]:
+# library_version/seed/trials are write-only provenance — recorded for humans
+# and diff tooling, never needed to rebuild the points themselves.
+def points_from_dict(data: dict) -> tuple[str, list[SweepPoint]]:  # aart: ignore[AART010]
     """Reload a saved panel; validates the format marker."""
     if data.get("format") != RESULT_FORMAT:
         raise ValueError(

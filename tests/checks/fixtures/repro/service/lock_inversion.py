@@ -1,0 +1,47 @@
+"""AART008 fixture: two locks acquired in opposite orders across classes."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.journal: "Journal | None" = None
+
+    def attach(self, journal: "Journal"):
+        with self._lock:
+            self.journal = journal
+
+    def reserve(self, entry):
+        with self._lock:
+            return entry
+
+    def checkpoint(self):
+        with self._lock:  # Store._lock held ...
+            self.journal.flush()  # ... while Journal._lock is acquired
+
+
+class Journal:
+    def __init__(self, store: Store):
+        self._lock = threading.Lock()
+        self.store = store
+
+    def append(self, entry):
+        with self._lock:  # Journal._lock held ...
+            self.store.reserve(entry)  # ... while Store._lock is acquired
+
+    def flush(self):
+        with self._lock:
+            return []
+
+
+class Straight:
+    """Consistent ordering: always Store -> Journal, no inversion."""
+
+    def __init__(self, store: Store, journal: Journal):
+        self.store = store
+        self.journal = journal
+
+    def drain(self, entry):
+        self.store.reserve(entry)
+        self.journal.flush()

@@ -1,0 +1,24 @@
+"""AART009 fixture: socket send performed while holding the service lock."""
+
+import socket
+import threading
+
+
+class Notifier:
+    def __init__(self, conn: socket.socket):
+        self._lock = threading.Lock()
+        self.conn = conn
+
+    def broadcast(self, payload):
+        with self._lock:
+            self.conn.sendall(payload)  # AART009: blocking send under the lock
+
+    def quiet(self, payload):
+        framed = payload + b"\n"
+        with self._lock:
+            pass  # allowed: nothing blocking in the critical section
+        self.conn.sendall(framed)  # allowed: the lock is released first
+
+
+def lockfree_send(conn, payload):
+    conn.sendall(payload)  # allowed: no lock held anywhere on this path

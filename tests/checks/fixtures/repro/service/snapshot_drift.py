@@ -1,0 +1,33 @@
+"""AART010 fixture: snapshot schemas drifting between writer and reader."""
+
+PLAN_FORMAT = "aart-plan/1"
+
+
+class Plan:
+    def __init__(self, steps, owner="ops"):
+        self.steps = steps
+        self.owner = owner
+
+    def to_dict(self):
+        return {
+            "format": PLAN_FORMAT,
+            "steps": list(self.steps),
+            "owner": self.owner,  # drift: from_dict never reads "owner"
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("format") != PLAN_FORMAT:
+            raise ValueError("not a plan document")
+        # drift: requires "budget", which to_dict never writes
+        return cls(data["steps"], data["budget"])
+
+
+class Orphan:
+    def to_dict(self):  # AART010: format-tagged writer with no from_dict twin
+        return {"format": "aart-orphan/1", "x": 1}
+
+
+def report_to_dict(report):
+    # AART010: bad version tag (and no report_from_dict reader)
+    return {"format": "Report-V2", "body": report}

@@ -1,0 +1,86 @@
+"""Baseline workflow: round trip, count semantics, loud failure modes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks.baseline import (
+    BASELINE_FORMAT,
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    render_baseline,
+)
+from repro.checks.runner import EXIT_CLEAN, EXIT_ERROR, run_checks
+
+FIXTURES = Path(__file__).parent / "fixtures"
+DIRTY = FIXTURES / "repro/core/float_eq.py"
+
+
+def dirty_findings():
+    result = run_checks([DIRTY], root=FIXTURES)
+    assert result.findings
+    return result.findings
+
+
+def test_round_trip_swallows_every_known_finding(tmp_path):
+    findings = dirty_findings()
+    baseline = tmp_path / "base.json"
+    baseline.write_text(render_baseline(findings))
+    kept, baselined = apply_baseline(findings, load_baseline(baseline))
+    assert kept == []
+    assert baselined == len(findings)
+
+
+def test_run_checks_with_baseline_reports_clean(tmp_path):
+    baseline = tmp_path / "base.json"
+    first = run_checks([DIRTY], root=FIXTURES, baseline=baseline, update_baseline=True)
+    assert first.exit_code == EXIT_CLEAN
+    assert first.baselined > 0 and first.findings == []
+    assert json.loads(baseline.read_text())["format"] == BASELINE_FORMAT
+    second = run_checks([DIRTY], root=FIXTURES, baseline=baseline)
+    assert second.exit_code == EXIT_CLEAN
+    assert second.baselined == first.baselined
+
+
+def test_extra_instances_above_the_count_still_fail(tmp_path):
+    findings = dirty_findings()
+    baseline = tmp_path / "base.json"
+    baseline.write_text(render_baseline(findings))
+    allowances = load_baseline(baseline)
+    key = baseline_key(findings[0])
+    allowances[key] -= 1  # pretend one fewer instance was known
+    kept, baselined = apply_baseline(findings, allowances)
+    assert [baseline_key(f) for f in kept] == [key]
+    assert baselined == len(findings) - 1
+
+
+def test_keys_are_line_independent():
+    for finding in dirty_findings():
+        key = baseline_key(finding)
+        assert key == (finding.rule, finding.path, finding.message)
+        assert finding.line not in key
+
+
+@pytest.mark.parametrize(
+    "content,hint",
+    [
+        (None, "does not exist"),
+        ("{not json", "not valid JSON"),
+        ('{"format": "other/1", "entries": []}', "aart-baseline/1"),
+        ('{"format": "aart-baseline/1", "entries": [{"rule": "X"}]}', "malformed"),
+    ],
+)
+def test_bad_baseline_files_fail_loudly(tmp_path, content, hint):
+    path = tmp_path / "base.json"
+    if content is not None:
+        path.write_text(content)
+    with pytest.raises(ValueError, match=hint):
+        load_baseline(path)
+
+
+def test_bad_baseline_is_a_usage_error_at_the_runner(tmp_path):
+    result = run_checks([DIRTY], root=FIXTURES, baseline=tmp_path / "missing.json")
+    assert result.exit_code == EXIT_ERROR
+    assert "does not exist" in result.errors[0]

@@ -21,6 +21,9 @@ FIXTURE_RULE = {
     "repro/service/fleet/coordinator_unlocked.py": "AART005",
     "repro/badpkg/__init__.py": "AART006",
     "repro/engine/swallow.py": "AART007",
+    "repro/service/lock_inversion.py": "AART008",
+    "repro/service/send_under_lock.py": "AART009",
+    "repro/service/snapshot_drift.py": "AART010",
 }
 
 

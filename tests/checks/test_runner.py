@@ -34,6 +34,27 @@ def test_unknown_rule_is_a_usage_error():
     assert "AART999" in result.errors[0]
 
 
+def test_unknown_ignore_code_is_a_usage_error():
+    result = run_checks([FIXTURES / "repro/core/float_eq.py"], ignore=["AART999"])
+    assert result.exit_code == EXIT_ERROR
+    assert "AART999" in result.errors[0]
+    assert "--ignore" in result.errors[0]
+    assert "AART001" in result.errors[0]  # the full catalog is listed
+
+
+def test_ignore_drops_a_rule_case_insensitively():
+    target = FIXTURES / "repro/core/float_eq.py"
+    assert run_checks([target], root=FIXTURES).findings
+    ignored = run_checks([target], ignore=["aart003"], root=FIXTURES)
+    assert ignored.findings == [] and ignored.exit_code == EXIT_CLEAN
+
+
+def test_ignore_beats_select_on_the_same_code():
+    target = FIXTURES / "repro/core/float_eq.py"
+    result = run_checks([target], select=["AART003"], ignore=["AART003"], root=FIXTURES)
+    assert result.findings == [] and not result.errors
+
+
 def test_exit_codes():
     dirty = run_checks([FIXTURES / "repro/core/float_eq.py"], root=FIXTURES)
     assert dirty.exit_code == EXIT_FINDINGS

@@ -1,0 +1,111 @@
+"""SARIF reporter: 2.1.0 document shape, coordinates, error surfacing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks.base import all_rules
+from repro.checks.runner import CheckResult, run_checks
+from repro.checks.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+DIRTY = FIXTURES / "repro/core/float_eq.py"
+
+#: The subset of the SARIF 2.1.0 schema our emitter relies on.  The full
+#: OASIS schema is ~300 KB and not vendored; this captures every
+#: structural requirement GitHub code scanning enforces on upload.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "version": {"const": SARIF_VERSION},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "locations"],
+                            "properties": {
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def sarif_doc(result):
+    return json.loads(render_sarif(result))
+
+
+def test_sarif_document_identity_and_catalog():
+    doc = sarif_doc(run_checks([DIRTY], root=FIXTURES))
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    assert doc["version"] == SARIF_VERSION
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "aart-check"
+    assert [r["id"] for r in driver["rules"]] == [r.code for r in all_rules()]
+
+
+def test_sarif_results_use_one_based_regions():
+    result = run_checks([DIRTY], root=FIXTURES)
+    doc = sarif_doc(result)
+    (run,) = doc["runs"]
+    assert len(run["results"]) == len(result.findings)
+    driver_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    for finding, emitted in zip(result.findings, run["results"]):
+        assert emitted["ruleId"] == finding.rule
+        assert driver_ids[emitted["ruleIndex"]] == finding.rule
+        region = emitted["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.col + 1
+        uri = emitted["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert "\\" not in uri
+    (invocation,) = run["invocations"]
+    assert invocation["executionSuccessful"] is True
+
+
+def test_sarif_surfaces_errors_as_notifications():
+    failed = CheckResult(findings=[], errors=["boom: unreadable"])
+    (run,) = sarif_doc(failed)["runs"]
+    (invocation,) = run["invocations"]
+    assert invocation["executionSuccessful"] is False
+    notes = invocation["toolExecutionNotifications"]
+    assert [n["message"]["text"] for n in notes] == ["boom: unreadable"]
+
+
+def test_sarif_validates_against_schema_subset():
+    jsonschema = pytest.importorskip("jsonschema")
+    for result in (
+        run_checks([DIRTY], root=FIXTURES),
+        CheckResult(findings=[], errors=["boom"]),
+    ):
+        jsonschema.validate(sarif_doc(result), SARIF_SUBSET_SCHEMA)
