@@ -1,0 +1,167 @@
+"""Service request path: fleet scaling and observability overhead.
+
+Two measurements, one machine-readable ``BENCH_service.json``:
+
+* **fleet scaling** — the same submit/remove request stream against an
+  in-process 1-shard and 3-shard fleet: request p50/p99 and steps/sec
+  side by side (the 3-shard fleet pays routing + certificate
+  composition per batch).
+* **tracing overhead** — the distributed-tracing subsystem must be pay
+  -for-what-you-use: a request stream with *no* tracer attached, against
+  a service with the flight recorder and phase histograms wired in, may
+  cost at most 1.25× the bare service.  The fully traced stream is
+  recorded alongside for context (it pays span bookkeeping plus the
+  ferried-snapshot serialization, and is allowed to).
+
+Knobs: ``AART_BENCH_SERVICE_REQUESTS`` (default 300, 60 under
+``AART_BENCH_QUICK``), ``AART_BENCH_SEED``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from _common import QUICK, SEED
+
+from repro.observability import FlightRecorder, Tracer
+from repro.service import (
+    AllocationService,
+    ClusterState,
+    FleetCoordinator,
+    InProcessTransport,
+    RemoveThread,
+    SubmitThread,
+)
+from repro.utility.functions import LogUtility
+
+N_REQUESTS = int(
+    os.environ.get("AART_BENCH_SERVICE_REQUESTS", "60" if QUICK else "300")
+)
+#: Timing noise allowance on the no-trace path (the acceptance gate is
+#: 1.25×; QUICK CI containers jitter too much for a tight bound).
+OVERHEAD_LIMIT = 2.0 if QUICK else 1.25
+CAP = 1000.0
+RESULT_PATH = Path(__file__).with_name("BENCH_service.json")
+
+
+def _shard():
+    return AllocationService(ClusterState(4, CAP), seed=SEED)
+
+
+def _request_stream(n):
+    """Alternating submit/remove so state size stays bounded."""
+    live = []
+    for i in range(n):
+        if i % 3 == 2 and live:
+            yield RemoveThread(live.pop(0))
+        else:
+            tid = f"b{i}"
+            live.append(tid)
+            yield SubmitThread(tid, LogUtility(1.0 + (i % 7) * 0.3, 1.0, CAP))
+
+
+def _quantile(sorted_xs, q):
+    return sorted_xs[min(len(sorted_xs) - 1, int(q * len(sorted_xs)))]
+
+
+def _drive(bus, n=N_REQUESTS):
+    """One request per batch; per-request latency plus whole-run rate."""
+    latencies = []
+    t0 = time.perf_counter()
+    for req in _request_stream(n):
+        t1 = time.perf_counter()
+        (resp,) = bus.request(req)
+        latencies.append(time.perf_counter() - t1)
+        assert resp.ok, resp.error
+    seconds = time.perf_counter() - t0
+    latencies.sort()
+    return {
+        "requests": n,
+        "seconds": seconds,
+        "steps_per_sec": n / seconds,
+        "p50_s": _quantile(latencies, 0.50),
+        "p99_s": _quantile(latencies, 0.99),
+    }
+
+
+def _write_record(key, record):
+    doc = {"format": "aart-bench-service/1", "seed": SEED}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        if existing.get("format") == doc["format"]:
+            doc.update(existing)
+    doc[key] = record
+    RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def test_fleet_request_path_1_vs_3_shards(benchmark):
+    def run():
+        one = _drive(InProcessTransport(FleetCoordinator([_shard()])))
+        three = _drive(
+            InProcessTransport(FleetCoordinator([_shard() for _ in range(3)]))
+        )
+        return one, three
+
+    one, three = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nfleet request path ({N_REQUESTS} requests): "
+        f"1 shard p50 {one['p50_s'] * 1e3:.3g}ms / p99 {one['p99_s'] * 1e3:.3g}ms "
+        f"({one['steps_per_sec']:.0f} steps/s); "
+        f"3 shards p50 {three['p50_s'] * 1e3:.3g}ms / p99 {three['p99_s'] * 1e3:.3g}ms "
+        f"({three['steps_per_sec']:.0f} steps/s)"
+    )
+    _write_record("fleet", {"one_shard": one, "three_shards": three})
+    assert one["steps_per_sec"] > 0 and three["steps_per_sec"] > 0
+
+
+def test_tracing_overhead_on_the_untraced_path(benchmark):
+    def run():
+        # bare: no flight recorder, no tracer — the pre-observability path
+        bare = _drive(InProcessTransport(_shard()))
+        # wired: flight recorder attached, still no tracer on the client
+        wired = _drive(
+            InProcessTransport(
+                AllocationService(
+                    ClusterState(4, CAP), seed=SEED, flight=FlightRecorder()
+                )
+            )
+        )
+        # traced: full span ferry, client-side stitching
+        traced = _drive(
+            InProcessTransport(
+                AllocationService(
+                    ClusterState(4, CAP), seed=SEED, flight=FlightRecorder()
+                ),
+                tracer=Tracer(),
+            )
+        )
+        return bare, wired, traced
+
+    bare, wired, traced = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead = wired["seconds"] / bare["seconds"]
+    traced_overhead = traced["seconds"] / bare["seconds"]
+    print(
+        f"\ntracing overhead ({N_REQUESTS} requests): bare "
+        f"{bare['steps_per_sec']:.0f} steps/s, +flight "
+        f"{wired['steps_per_sec']:.0f} steps/s ({overhead:.3f}x), traced "
+        f"{traced['steps_per_sec']:.0f} steps/s ({traced_overhead:.3f}x)"
+    )
+    _write_record(
+        "overhead",
+        {
+            "bare": bare,
+            "flight_untraced": wired,
+            "traced": traced,
+            "untraced_overhead_x": overhead,
+            "traced_overhead_x": traced_overhead,
+            "limit_x": OVERHEAD_LIMIT,
+        },
+    )
+    assert overhead < OVERHEAD_LIMIT, (
+        f"untraced request path costs {overhead:.3f}x with the flight "
+        f"recorder attached (limit {OVERHEAD_LIMIT}x)"
+    )

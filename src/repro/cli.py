@@ -159,6 +159,18 @@ def cmd_solvers(args) -> int:
     return 0
 
 
+def _arm_flight_recorder(flight, path) -> None:
+    """SIGUSR1 → dump the flight ring to ``path`` (postmortem on demand)."""
+    import os
+    import signal
+
+    def _dump(signum, frame):
+        flight.dump(path)
+
+    signal.signal(signal.SIGUSR1, _dump)
+    print(f"flight recorder armed: kill -USR1 {os.getpid()} dumps to {path}")
+
+
 def cmd_serve(args) -> int:
     from pathlib import Path
 
@@ -187,6 +199,11 @@ def cmd_serve(args) -> int:
         from repro.observability import JsonlSink
 
         sink = JsonlSink(args.trace)
+    flight = None
+    if args.flight_dump:
+        from repro.observability import FlightRecorder
+
+        flight = FlightRecorder()
     service = AllocationService(
         state,
         replan_policy=ReplanPolicy(
@@ -200,7 +217,10 @@ def cmd_serve(args) -> int:
         solve_budget_s=args.budget_s,
         sink=sink,
         seed=args.seed,
+        flight=flight,
     )
+    if flight is not None:
+        _arm_flight_recorder(flight, args.flight_dump)
     server = TcpServer(
         service, host=args.host, port=args.port, coalesce_window_s=args.coalesce_window
     )
@@ -209,7 +229,11 @@ def cmd_serve(args) -> int:
         from repro.service import MetricsHttpServer
 
         httpd = MetricsHttpServer(
-            service, host=args.host, port=args.metrics_port, lock=server.lock
+            service,
+            host=args.host,
+            port=args.metrics_port,
+            lock=server.lock,
+            flight_dump_path=args.flight_dump or None,
         ).start()
         print(
             f"metrics on http://{httpd.host}:{httpd.port}/metrics "
@@ -314,7 +338,13 @@ def cmd_client(args) -> int:
               f"across {len(rows)} instances")
         return 0
 
-    with Client(host=args.host, port=args.port) as client:
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+
+    with Client(host=args.host, port=args.port, tracer=tracer) as client:
         if args.client_command == "submit":
             if args.utility_file:
                 spec = _json.loads(Path(args.utility_file).read_text())
@@ -327,12 +357,33 @@ def cmd_client(args) -> int:
             resp = client.rebalance()
         elif args.client_command == "snapshot":
             resp = client.snapshot(args.output)
+        elif args.client_command == "flight":
+            flight = client.flight()
+            doc = _json.dumps(flight, indent=2, sort_keys=True, default=str)
+            if args.output:
+                Path(args.output).write_text(doc + "\n")
+                print(
+                    f"flight ring ({len(flight.get('events', []))} events) "
+                    f"written to {args.output}"
+                )
+            else:
+                print(doc)
+            resp = None
         elif args.client_command == "metrics":
             print(_render_metrics(client.metrics()))
-            return 0
+            resp = None
         else:  # status
             _print_status(client.status())
-            return 0
+            resp = None
+    if tracer is not None:
+        snap = tracer.snapshot()
+        Path(args.trace).write_text(_json.dumps(snap, sort_keys=True) + "\n")
+        print(
+            f"trace ({len(snap['spans'])} spans) written to {args.trace} "
+            f"(render: aart trace {args.trace})"
+        )
+    if resp is None:
+        return 0
     payload = {k: v for k, v in resp.data.items() if k != "state"}
     if resp.ok:
         print(f"{resp.op}: ok {_json.dumps(payload, sort_keys=True)}")
@@ -418,13 +469,20 @@ def _fleet_serve(args) -> int:
         from repro.observability import JsonlSink
 
         sink = JsonlSink(args.trace)
+    flight = None
+    if args.flight_dump:
+        from repro.observability import FlightRecorder
+
+        flight = FlightRecorder()
     policy = FleetPolicy(
         rebalance_interval=args.rebalance_interval or None,
         imbalance_threshold=args.imbalance,
         migration_budget=args.migration_budget,
     )
     if args.snapshot and Path(args.snapshot).exists():
-        fleet = load_fleet_snapshot(args.snapshot, policy=policy, sink=sink)
+        fleet = load_fleet_snapshot(
+            args.snapshot, policy=policy, sink=sink, flight=flight
+        )
         print(
             f"warm restart from {args.snapshot}: {fleet.n_shards} shards, "
             f"{fleet.n_threads} threads"
@@ -439,14 +497,20 @@ def _fleet_serve(args) -> int:
             )
             for k in range(args.shards)
         ]
-        fleet = FleetCoordinator(shards, policy=policy, sink=sink)
+        fleet = FleetCoordinator(shards, policy=policy, sink=sink, flight=flight)
+    if flight is not None:
+        _arm_flight_recorder(flight, args.flight_dump)
     server = TcpServer(
         fleet, host=args.host, port=args.port, coalesce_window_s=args.coalesce_window
     )
     httpd = None
     if args.metrics_port is not None:
         httpd = MetricsHttpServer(
-            fleet, host=args.host, port=args.metrics_port, lock=server.lock
+            fleet,
+            host=args.host,
+            port=args.metrics_port,
+            lock=server.lock,
+            flight_dump_path=args.flight_dump or None,
         ).start()
         print(
             f"fleet metrics on http://{httpd.host}:{httpd.port}/metrics "
@@ -549,11 +613,69 @@ def _render_metrics(data: dict) -> str:
     return "\n".join(lines)
 
 
+def _phase_table(rows: list[tuple[str, ...]]) -> str:
+    """Aligned per-endpoint/shard phase-latency table."""
+    header = ("endpoint", "shard", "op", "phase", "count", "p50", "p99")
+    table = [header, *rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in table
+    )
+
+
+def _phase_rows(label: str, data: dict) -> list[tuple[str, ...]]:
+    """Phase-histogram rows from one ``QueryMetrics`` payload."""
+    from repro.observability import REQUEST_PHASE_SECONDS
+
+    rows = []
+    for inst in data["metrics"]["instruments"]:
+        if inst["name"] != REQUEST_PHASE_SECONDS or inst["kind"] != "histogram":
+            continue
+        labels = inst["labels"]
+        rows.append(
+            (
+                label,
+                str(labels.get("shard", "-")),
+                str(labels.get("op", "-")),
+                str(labels.get("phase", "-")),
+                str(int(inst["count"])),
+                _fmt_seconds(_hist_quantile(inst, 0.50)),
+                _fmt_seconds(_hist_quantile(inst, 0.99)),
+            )
+        )
+    rows.sort()
+    return rows
+
+
 def cmd_top(args) -> int:
     """Poll a running service and render a compact refreshing dashboard."""
     import time
 
     from repro.service import Client
+
+    if args.endpoints:
+        # Per-shard phase-latency view: p50/p99 of every
+        # aart_request_phase_seconds series across the given endpoints.
+        ticks = 0
+        try:
+            while True:
+                rows: list[tuple[str, ...]] = []
+                for host, port in _parse_endpoints(args.endpoints, args.port):
+                    with Client(host=host, port=port) as client:
+                        rows.extend(_phase_rows(f"{host}:{port}", client.metrics()))
+                if rows:
+                    print(_phase_table(rows))
+                else:
+                    print("(no aart_request_phase_seconds series yet — "
+                          "send some requests)")
+                ticks += 1
+                if args.iterations and ticks >= args.iterations:
+                    return 0
+                time.sleep(args.interval)
+                print()
+        except KeyboardInterrupt:
+            return 0
 
     ticks = 0
     try:
@@ -812,6 +934,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restore from PATH at start (if present) and save on exit")
     p.add_argument("--trace", metavar="PATH",
                    help="write request/step/replan events (JSONL) here")
+    p.add_argument("--flight-dump", metavar="PATH",
+                   help="attach a flight recorder; SIGUSR1 (and the first "
+                   "/healthz 503) dumps the ring of recent events here")
     p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                    help="also serve HTTP /metrics (Prometheus) and /healthz "
                    "(JSON) on this port (0 picks a free port)")
@@ -821,6 +946,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("client", help="talk to a running allocation service")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--trace", metavar="PATH",
+                   help="trace this request: stitch the server's ferried "
+                   "spans under the client span and write an aart-trace/1 "
+                   "JSONL line here (render: aart trace PATH)")
     csub = p.add_subparsers(dest="client_command", required=True)
     c = csub.add_parser("submit", help="admit a thread")
     c.add_argument("--id", required=True, help="thread id")
@@ -838,6 +967,9 @@ def build_parser() -> argparse.ArgumentParser:
     csub.add_parser("metrics", help="print gap stats and instrument summary")
     c = csub.add_parser("snapshot", help="snapshot the daemon's state")
     c.add_argument("-o", "--output", help="server-side path to write (else inline)")
+    c = csub.add_parser("flight", help="fetch the daemon's flight-recorder ring")
+    c.add_argument("-o", "--output", help="write the aart-flight/1 JSON here "
+                   "(else pretty-print)")
     p.set_defaults(func=cmd_client)
 
     p = sub.add_parser("fleet", help="run or inspect a sharded fleet coordinator")
@@ -867,6 +999,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "and save on exit (aart-fleet-snapshot/1)")
     f.add_argument("--trace", metavar="PATH",
                    help="write fleet step/rebalance/migration events here")
+    f.add_argument("--flight-dump", metavar="PATH",
+                   help="attach a flight recorder; SIGUSR1 (and the first "
+                   "/healthz 503) dumps the ring of recent events here")
     f.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                    help="also serve shard-labeled /metrics and fleet /healthz")
     f.add_argument("--seed", type=int, default=0)
@@ -881,6 +1016,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("top", help="live dashboard for a running service")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--endpoints", metavar="HOST:PORT,...",
+                   help="phase-latency mode: tabulate per-shard "
+                   "aart_request_phase_seconds p50/p99 across these "
+                   "endpoints (bare host inherits --port)")
     p.add_argument("--interval", type=float, default=2.0,
                    help="seconds between polls")
     p.add_argument("--iterations", type=int, default=0, metavar="N",

@@ -61,6 +61,12 @@ from repro.observability.exposition import (
     render_prometheus,
     strip_partials,
 )
+from repro.observability.flightrecorder import (
+    FLIGHT_FORMAT,
+    NOTABLE_EVENTS,
+    FlightRecorder,
+    load_flight,
+)
 from repro.observability.gap import GapMonitor
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
@@ -77,6 +83,7 @@ from repro.observability.metrics import (
     PRICE_ITERATIONS,
     QUEUE_DEPTH,
     REQUEST_LATENCY,
+    REQUEST_PHASE_SECONDS,
     SERVER_RESIDUAL,
     SHARD_LABEL,
     SPAN_SECONDS,
@@ -89,9 +96,20 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.observability.sinks import EventSink, JsonlSink, MemorySink, NullSink
+from repro.observability.sinks import (
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TeeSink,
+)
 from repro.observability.spans import SpanRecorder
-from repro.observability.tracing import TRACE_FORMAT, Tracer, chrome_trace
+from repro.observability.tracing import (
+    TRACE_FORMAT,
+    Tracer,
+    chrome_trace,
+    stamp_remote,
+)
 
 __all__ = [
     "ALG1_ROUNDS",
@@ -111,6 +129,7 @@ __all__ = [
     "FLEET_STEPS",
     "FLEET_THREADS",
     "FLEET_UTILITY",
+    "FLIGHT_FORMAT",
     "GAUGE_BOUND",
     "GAUGE_RATIO",
     "GAUGE_THREADS",
@@ -120,6 +139,7 @@ __all__ = [
     "LINEARIZE_CACHE_MISSES",
     "LINEARIZE_CALLS",
     "METRICS_FORMAT",
+    "NOTABLE_EVENTS",
     "PRICE_CONVERGENCE_RESIDUAL",
     "PRICE_ITERATIONS",
     "PRICE_UPDATE_ITERATIONS",
@@ -127,6 +147,7 @@ __all__ = [
     "QUEUE_DEPTH",
     "RECLAIM_CALLS",
     "REQUEST_LATENCY",
+    "REQUEST_PHASE_SECONDS",
     "SERVER_RESIDUAL",
     "SERVICE_ADMISSION_REJECTS",
     "SERVICE_ARRIVALS",
@@ -146,6 +167,7 @@ __all__ = [
     "Counters",
     "EventSink",
     "ExactSum",
+    "FlightRecorder",
     "Gauge",
     "GapMonitor",
     "Histogram",
@@ -154,12 +176,15 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "SpanRecorder",
+    "TeeSink",
     "Tracer",
     "chrome_trace",
     "counters_to_snapshot",
+    "load_flight",
     "merge_snapshots",
     "relabel_snapshot",
     "render_json",
     "render_prometheus",
+    "stamp_remote",
     "strip_partials",
 ]

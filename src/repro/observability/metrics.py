@@ -41,6 +41,7 @@ TRIAL_THREADS = "aart_trial_threads"
 TRIAL_UTILITY = "aart_trial_utility"
 SPAN_SECONDS = "aart_span_seconds"
 REQUEST_LATENCY = "aart_request_latency_seconds"
+REQUEST_PHASE_SECONDS = "aart_request_phase_seconds"
 STEP_SECONDS = "aart_step_seconds"
 QUEUE_DEPTH = "aart_queue_depth"
 SERVER_RESIDUAL = "aart_server_residual"

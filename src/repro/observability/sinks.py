@@ -67,6 +67,20 @@ class MemorySink:
         return [e for e in self.events if e.get("type") == event_type]
 
 
+class TeeSink:
+    """Fans every event out to several sinks (e.g. JSONL + flight recorder).
+
+    Emission order is construction order; sinks are assumed independent.
+    """
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self.sinks = tuple(sinks)
+
+    def emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
 class JsonlSink:
     """Appends one JSON object per line to a file (or file-like object).
 

@@ -79,6 +79,42 @@ class Tracer:
                 }
             )
 
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> int:
+        """Record an externally measured interval as a finished span.
+
+        Transports use this for phases they measure before/outside the
+        tracer's own context managers (queue wait, coalesce wait).
+        ``start`` is an offset on this tracer's timeline; ``parent_id``
+        defaults to the innermost open span.  Returns the new span id.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        if parent_id is None:
+            parent_id = self.open_span_id
+        self._spans.append(
+            {
+                "name": str(name),
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "start": float(start),
+                "duration": float(duration),
+                "attrs": dict(attrs),
+            }
+        )
+        return span_id
+
+    @property
+    def now(self) -> float:
+        """Current offset on this tracer's private timeline (seconds)."""
+        return self._clock() - self._epoch
+
     @property
     def open_span_id(self) -> int | None:
         """Id of the innermost open span (``None`` outside any span)."""
@@ -111,6 +147,14 @@ class Tracer:
         worker's tree under it).  ``at`` shifts the foreign timeline so
         its origin lands at that offset on ours (default: "now") —
         structure is exact, wall-clock alignment is best-effort.
+
+        Remote-parent grafting: a foreign root stamped with a
+        ``"remote_parent"`` key (see :func:`stamp_remote`) grafts under
+        that span when it names an id *this* tracer issued — the
+        cross-process stitch used by the service transports, where the
+        client told the server which of its spans the work belongs to.
+        Roots with no (or an unknown) remote parent fall back to
+        ``parent_id``.
         """
         if snap.get("format") != TRACE_FORMAT:
             raise ValueError(
@@ -120,17 +164,26 @@ class Tracer:
             parent_id = self.open_span_id
         if at is None:
             at = self._clock() - self._epoch
+        local_max = self._next_id  # ids below this are ours: valid graft points
         remap: dict[int, int] = {}
         for span in snap["spans"]:
             remap[span["span_id"]] = self._next_id
             self._next_id += 1
         for span in snap["spans"]:
             old_parent = span["parent_id"]
+            if old_parent is not None:
+                new_parent: int | None = remap[old_parent]
+            else:
+                remote = span.get("remote_parent")
+                if isinstance(remote, int) and 1 <= remote < local_max:
+                    new_parent = remote
+                else:
+                    new_parent = parent_id
             self._spans.append(
                 {
                     "name": span["name"],
                     "span_id": remap[span["span_id"]],
-                    "parent_id": remap[old_parent] if old_parent is not None else parent_id,
+                    "parent_id": new_parent,
                     "start": float(span["start"]) + at,
                     "duration": float(span["duration"]),
                     "attrs": dict(span.get("attrs", {})),
@@ -188,6 +241,27 @@ def _merge_skel(into: dict[str, Any], other: dict[str, Any]) -> None:
     for name, child in other["children"].items():
         tgt = into["children"].setdefault(name, {"count": 0, "children": {}})
         _merge_skel(tgt, child)
+
+
+def stamp_remote(
+    snap: dict[str, Any], trace_id: str, parent_span_id: int | None
+) -> dict[str, Any]:
+    """A copy of ``snap`` re-homed under a remote caller's span.
+
+    The server records its spans with no knowledge of who asked; at
+    response time the transport stamps the snapshot with the caller's
+    ``trace_id`` and marks every root with ``remote_parent`` — the span
+    id *in the caller's tracer* the work belongs to.  The caller's
+    :meth:`Tracer.merge` then grafts the roots under that span, stitching
+    one tree across the process boundary.
+    """
+    spans = []
+    for span in snap.get("spans", ()):
+        copy = dict(span)
+        if copy.get("parent_id") is None and parent_span_id is not None:
+            copy["remote_parent"] = parent_span_id
+        spans.append(copy)
+    return {"format": TRACE_FORMAT, "trace_id": trace_id, "spans": spans}
 
 
 def chrome_trace(*snapshots: dict[str, Any]) -> dict[str, Any]:

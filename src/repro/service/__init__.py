@@ -25,6 +25,7 @@ from repro.service.api import (
     MUTATING_OPS,
     PROTOCOL,
     QueryAssignment,
+    QueryFlight,
     QueryMetrics,
     Rebalance,
     RemoveThread,
@@ -32,6 +33,7 @@ from repro.service.api import (
     Response,
     Snapshot,
     SubmitThread,
+    TraceContext,
     UpdateCapacity,
     request_from_dict,
     request_to_dict,
@@ -80,6 +82,7 @@ __all__ = [
     "InProcessTransport",
     "MetricsHttpServer",
     "QueryAssignment",
+    "QueryFlight",
     "QueryMetrics",
     "Rebalance",
     "RemoveThread",
@@ -91,6 +94,7 @@ __all__ = [
     "Snapshot",
     "SubmitThread",
     "TcpServer",
+    "TraceContext",
     "UpdateCapacity",
     "compose_certificates",
     "fleet_snapshot_from_dict",

@@ -24,6 +24,40 @@ from repro.utility.base import UtilityFunction
 PROTOCOL = "aart-service/1"
 
 
+# -- trace context -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Caller-side trace coordinates a request carries across a transport.
+
+    ``trace_id`` correlates every span of one logical request;
+    ``parent_span_id`` names the span *in the caller's tracer* that the
+    server-side work should graft under (see
+    :func:`repro.observability.tracing.stamp_remote`).  Ids are
+    deterministic counters, never wall-clock or random draws.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            d["parent_span_id"] = self.parent_span_id
+        return d
+
+    @staticmethod
+    def parse(data: dict[str, Any] | None) -> "TraceContext | None":
+        if not data:
+            return None
+        parent = data.get("parent_span_id")
+        return TraceContext(
+            trace_id=str(data["trace_id"]),
+            parent_span_id=int(parent) if parent is not None else None,
+        )
+
+
 # -- requests ----------------------------------------------------------------
 
 
@@ -34,6 +68,7 @@ class SubmitThread:
     thread_id: str
     utility: UtilityFunction
     request_id: str | None = None
+    trace: TraceContext | None = None
 
     op = "submit"
 
@@ -44,6 +79,7 @@ class RemoveThread:
 
     thread_id: str
     request_id: str | None = None
+    trace: TraceContext | None = None
 
     op = "remove"
 
@@ -54,6 +90,7 @@ class UpdateCapacity:
 
     capacity: float
     request_id: str | None = None
+    trace: TraceContext | None = None
 
     op = "update_capacity"
 
@@ -63,6 +100,7 @@ class Rebalance:
     """Force a full Algorithm-2 re-solve regardless of the replan policy."""
 
     request_id: str | None = None
+    trace: TraceContext | None = None
 
     op = "rebalance"
 
@@ -73,6 +111,7 @@ class QueryAssignment:
 
     thread_id: str | None = None
     request_id: str | None = None
+    trace: TraceContext | None = None
 
     op = "query"
 
@@ -83,6 +122,7 @@ class Snapshot:
 
     path: str | None = None
     request_id: str | None = None
+    trace: TraceContext | None = None
 
     op = "snapshot"
 
@@ -92,8 +132,19 @@ class QueryMetrics:
     """Read the service's metrics snapshot and gap-monitor statistics."""
 
     request_id: str | None = None
+    trace: TraceContext | None = None
 
     op = "metrics"
+
+
+@dataclass(frozen=True)
+class QueryFlight:
+    """Read the service's flight-recorder ring (recent notable events)."""
+
+    request_id: str | None = None
+    trace: TraceContext | None = None
+
+    op = "flight"
 
 
 Request = (
@@ -104,6 +155,7 @@ Request = (
     | QueryAssignment
     | Snapshot
     | QueryMetrics
+    | QueryFlight
 )
 
 #: Requests that mutate state and therefore coalesce into one incremental step.
@@ -128,6 +180,10 @@ class Response:
     data: dict[str, Any] = field(default_factory=dict)
     error: str | None = None
     request_id: str | None = None
+    #: Ferried ``aart-trace/1`` snapshot of the server-side spans for this
+    #: batch, roots stamped with the caller's parent span (traced requests
+    #: only — ``None`` on the untraced fast path).
+    trace: dict[str, Any] | None = None
 
     @staticmethod
     def success(op: str, request_id: str | None = None, **data: Any) -> "Response":
@@ -145,6 +201,8 @@ def request_to_dict(req: Request) -> dict[str, Any]:
     d: dict[str, Any] = {"op": req.op}
     if req.request_id is not None:
         d["request_id"] = req.request_id
+    if req.trace is not None:
+        d["trace"] = req.trace.as_dict()
     if isinstance(req, SubmitThread):
         d["thread_id"] = req.thread_id
         d["utility"] = utility_to_dict(req.utility)
@@ -167,24 +225,32 @@ def request_from_dict(data: dict[str, Any]) -> Request:
     except (TypeError, KeyError):
         raise ValueError(f"request missing 'op': {data!r}") from None
     rid = data.get("request_id")
+    trace = TraceContext.parse(data.get("trace"))
     if op == "submit":
         return SubmitThread(
             thread_id=data["thread_id"],
             utility=utility_from_dict(data["utility"]),
             request_id=rid,
+            trace=trace,
         )
     if op == "remove":
-        return RemoveThread(thread_id=data["thread_id"], request_id=rid)
+        return RemoveThread(thread_id=data["thread_id"], request_id=rid, trace=trace)
     if op == "update_capacity":
-        return UpdateCapacity(capacity=float(data["capacity"]), request_id=rid)
+        return UpdateCapacity(
+            capacity=float(data["capacity"]), request_id=rid, trace=trace
+        )
     if op == "rebalance":
-        return Rebalance(request_id=rid)
+        return Rebalance(request_id=rid, trace=trace)
     if op == "query":
-        return QueryAssignment(thread_id=data.get("thread_id"), request_id=rid)
+        return QueryAssignment(
+            thread_id=data.get("thread_id"), request_id=rid, trace=trace
+        )
     if op == "snapshot":
-        return Snapshot(path=data.get("path"), request_id=rid)
+        return Snapshot(path=data.get("path"), request_id=rid, trace=trace)
     if op == "metrics":
-        return QueryMetrics(request_id=rid)
+        return QueryMetrics(request_id=rid, trace=trace)
+    if op == "flight":
+        return QueryFlight(request_id=rid, trace=trace)
     raise ValueError(f"unknown request op {op!r}")
 
 
@@ -194,6 +260,8 @@ def response_to_dict(resp: Response) -> dict[str, Any]:
         d["error"] = resp.error
     if resp.request_id is not None:
         d["request_id"] = resp.request_id
+    if resp.trace is not None:
+        d["trace"] = resp.trace
     return d
 
 
@@ -206,4 +274,5 @@ def response_from_dict(data: dict[str, Any]) -> Response:
         data=dict(data.get("data", {})),
         error=data.get("error"),
         request_id=data.get("request_id"),
+        trace=data.get("trace"),
     )

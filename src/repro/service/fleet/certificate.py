@@ -120,6 +120,23 @@ class FleetCertificate:
             return None
         return self.min_shard_ratio * self.bound
 
+    @property
+    def min_shard(self) -> int | None:
+        """Index of the certified shard attaining ``min_k r_k``.
+
+        The binding constraint of the composed floor — the shard a
+        fleet-level gap alert should point at.  ``None`` when no shard
+        contributed a ratio (empty fleet) or ties are impossible to
+        attribute (never: ties break to the lowest index).
+        """
+        best: ShardCertificate | None = None
+        best_ratio = math.inf
+        for cert in self.shards:
+            r = cert.ratio
+            if r is not None and r < best_ratio:
+                best, best_ratio = cert, r
+        return best.shard if best is not None else None
+
     def holds(self, threshold: float | None = None, tolerance: float = 1e-9) -> bool:
         """Whether every shard — hence the fleet — certifies at ``threshold``.
 
@@ -139,6 +156,7 @@ class FleetCertificate:
             "floor": self.floor,
             "min_shard_ratio": self.min_shard_ratio,
             "max_shard_ratio": self.max_shard_ratio,
+            "min_shard": self.min_shard,
             "complete": self.complete,
             "alpha": _alpha(),
             "holds_alpha": self.holds(),

@@ -43,7 +43,9 @@ correctness alarm.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 from repro.observability import (
@@ -57,11 +59,14 @@ from repro.observability import (
     FLEET_STEPS,
     FLEET_THREADS,
     FLEET_UTILITY,
+    REQUEST_PHASE_SECONDS,
     SHARD_LABEL,
     Counters,
     EventSink,
+    FlightRecorder,
     GapMonitor,
     MetricsRegistry,
+    Tracer,
     counters_to_snapshot,
     merge_snapshots,
     relabel_snapshot,
@@ -71,6 +76,7 @@ from repro.serialization import utility_from_dict
 from repro.service.api import (
     MUTATING_OPS,
     QueryAssignment,
+    QueryFlight,
     QueryMetrics,
     Rebalance,
     RemoveThread,
@@ -78,6 +84,7 @@ from repro.service.api import (
     Response,
     Snapshot,
     SubmitThread,
+    TraceContext,
     UpdateCapacity,
 )
 from repro.service.fleet.certificate import (
@@ -86,7 +93,13 @@ from repro.service.fleet.certificate import (
     compose_certificates,
 )
 from repro.service.fleet.router import ShardRouter
-from repro.service.server import AllocationService
+from repro.service.server import (
+    _PHASE_HELP,
+    AllocationService,
+    _attach_trace,
+    _batch_tracer,
+    _EmitAdapter,
+)
 from repro.service.transport import InProcessTransport
 
 
@@ -191,6 +204,11 @@ class FleetCoordinator:
         When True (default), rebuild the location/utility maps from the
         shards' snapshots at construction — required when attaching to
         shards that already hold threads (e.g. a warm restart).
+    flight:
+        Optional :class:`~repro.observability.FlightRecorder`; every
+        emitted fleet event is teed into it, and ``QueryFlight`` /
+        ``/debug/flight`` answer from its ring (per-shard rings are
+        gathered alongside when the shards carry recorders too).
     """
 
     def __init__(
@@ -202,6 +220,7 @@ class FleetCoordinator:
         metrics: MetricsRegistry | None = None,
         gap: GapMonitor | None = None,
         sync: bool = True,
+        flight: FlightRecorder | None = None,
     ):
         transports = [
             InProcessTransport(s) if isinstance(s, AllocationService) else s
@@ -221,9 +240,12 @@ class FleetCoordinator:
             )
         self.policy = policy or FleetPolicy()
         self.sink = sink
+        self.flight = flight
         self.counters = Counters()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.gap = gap if gap is not None else GapMonitor(sink=sink)
+        # gap_alert events must reach the flight recorder too, so a default
+        # monitor is wired through _emit (which tees) rather than the raw sink.
+        self.gap = gap if gap is not None else GapMonitor(sink=_EmitAdapter(self))
         self._lock = threading.Lock()
         self._location: dict[str, int] = {}
         self._utilities: dict[str, Any] = {}
@@ -254,6 +276,8 @@ class FleetCoordinator:
     def _emit(self, event: dict[str, Any]) -> None:
         if self.sink is not None:
             self.sink.emit(event)
+        if self.flight is not None:
+            self.flight.emit(event)
 
     def sync_from_shards(self) -> None:
         """Rebuild the location/utility maps from shard snapshots.
@@ -323,14 +347,31 @@ class FleetCoordinator:
                     FLEET_RATIO,
                     help="Fleet utility/bound ratio (>= alpha by composition).",
                 ).set(ratio)
-            self.gap.observe(cert.utility, cert.bound, step=self.steps, fleet=True)
+            # A breach alert points at the binding shard (min ratio), using
+            # the same label key the shard-relabeled exposition uses.
+            min_shard = cert.min_shard
+            alert = self.gap.observe(
+                cert.utility,
+                cert.bound,
+                step=self.steps,
+                fleet=True,
+                **({SHARD_LABEL: str(min_shard)} if min_shard is not None else {}),
+            )
+            # Sinkless caller-supplied monitors still reach the event
+            # stream and flight ring (the default monitor tees via _emit).
+            if alert is not None and self.gap.sink is None:
+                self._emit(alert)
         with self._lock:
             self.last_certificate = cert
         return cert
 
     # -- the fleet batch -------------------------------------------------------
 
-    def process(self, requests: list[Request]) -> list[Response]:
+    def process(
+        self,
+        requests: list[Request],
+        transport_info: dict[str, Any] | None = None,
+    ) -> list[Response]:
         """Serve one batch fleet-wide: route, coalesce per shard, certify.
 
         Mirrors :meth:`AllocationService.process` semantics one level up:
@@ -338,7 +379,26 @@ class FleetCoordinator:
         incremental step) before any read is answered; at most one
         cross-shard rebalance runs per batch (forced by a ``Rebalance``
         request, or fired by the :class:`FleetPolicy`).
+
+        When a request carries a :class:`~repro.service.api.TraceContext`
+        the batch runs under a per-batch tracer: the coordinator's
+        route / per-shard dispatch / certify phases become spans, shard
+        transports forward child contexts so each shard's ferried span
+        tree grafts under its dispatch span, and the combined snapshot is
+        ferried back to the client — one stitched tree across all three
+        processes.  The untraced path stays a single ``None`` check.
         """
+        tracer = _batch_tracer(self.metrics, requests, transport_info)
+        if tracer is None:
+            return self._process(requests, None)
+        with tracer.span("fleet.process", n=len(requests)):
+            slots = self._process(requests, tracer)
+        _attach_trace(self.metrics, requests, slots, tracer)
+        return slots  # type: ignore[arg-type]
+
+    def _process(
+        self, requests: list[Request], tracer: Tracer | None
+    ) -> list[Response]:
         self.counters.add(FLEET_REQUESTS, len(requests))
         slots: list[Response | None] = [None] * len(requests)
         shard_writes: dict[int, list[int]] = {}
@@ -346,7 +406,11 @@ class FleetCoordinator:
         rebalance_slots: list[int] = []
         read_slots: list[int] = []
 
-        with self._lock:
+        t_route = time.monotonic()
+        route_span = (
+            tracer.span("fleet.route") if tracer is not None else nullcontext()
+        )
+        with route_span, self._lock:
             for i, req in enumerate(requests):
                 if isinstance(req, SubmitThread):
                     shard = self._location.get(req.thread_id)
@@ -374,6 +438,9 @@ class FleetCoordinator:
                 else:
                     read_slots.append(i)
 
+        self.metrics.histogram(
+            REQUEST_PHASE_SECONDS, help=_PHASE_HELP, op="batch", phase="route"
+        ).observe(time.monotonic() - t_route)
         mutated = bool(shard_writes) or bool(broadcasts) or bool(rebalance_slots)
 
         # Phase 1: one coalesced batch per shard (its writes + broadcasts),
@@ -388,7 +455,15 @@ class FleetCoordinator:
             batch: list[Request] = [requests[i] for i in idxs]
             batch.extend(requests[i] for i in broadcasts)
             batch.append(QueryAssignment())
-            replies = self.transports[shard].request(*batch)
+            t_shard = time.monotonic()
+            replies = self._dispatch(shard, batch, tracer)
+            self.metrics.histogram(
+                REQUEST_PHASE_SECONDS,
+                help=_PHASE_HELP,
+                op="batch",
+                phase="dispatch",
+                **{SHARD_LABEL: str(shard)},
+            ).observe(time.monotonic() - t_shard)
             for i, resp in zip(idxs, replies):
                 slots[i] = self._record_write(requests[i], resp, shard)
             for i, resp in zip(broadcasts, replies[len(idxs):-1]):
@@ -432,11 +507,21 @@ class FleetCoordinator:
 
         # Certify the post-batch fleet (only when something changed).
         if mutated:
-            known = [s for s in statuses if s is not None]
-            if len(known) < self.n_shards:
-                statuses = list(self._gather_statuses())
+            t_cert = time.monotonic()
+            certify_span = (
+                tracer.span("fleet.certify")
+                if tracer is not None
+                else nullcontext()
+            )
+            with certify_span:
                 known = [s for s in statuses if s is not None]
-            cert = self._certify(known)
+                if len(known) < self.n_shards:
+                    statuses = list(self._gather_statuses())
+                    known = [s for s in statuses if s is not None]
+                cert = self._certify(known)
+            self.metrics.histogram(
+                REQUEST_PHASE_SECONDS, help=_PHASE_HELP, op="batch", phase="certify"
+            ).observe(time.monotonic() - t_cert)
             self._emit(
                 {
                     "type": "fleet_step",
@@ -462,6 +547,36 @@ class FleetCoordinator:
     def request(self, *requests: Request) -> list[Response]:
         """Transport-compatible alias: a coordinator can shard coordinators."""
         return self.process(list(requests))
+
+    def _dispatch(
+        self, shard: int, batch: list[Request], tracer: Tracer | None
+    ) -> list[Response]:
+        """Forward one coalesced batch to a shard transport.
+
+        On the traced path the batch runs under a ``fleet.shard`` span:
+        every forwarded request is re-stamped with a child
+        :class:`~repro.service.api.TraceContext` naming that span, so
+        the shard's ferried span snapshot grafts under it when merged
+        here — and the merged tree rides home to the client in one piece.
+        The ferried shard snapshots are consumed (merged) and do not leak
+        into the responses returned to the caller.
+        """
+        if tracer is None:
+            return self.transports[shard].request(*batch)
+        with tracer.span("fleet.shard", shard=shard) as span_id:
+            # Re-stamp EVERY forwarded request: a leaked client context
+            # would make the shard stamp its snapshot with span ids from
+            # the wrong (client) id space.
+            ctx = TraceContext(tracer.trace_id, span_id)
+            forwarded = [replace(r, trace=ctx) for r in batch]
+            replies = self.transports[shard].request(*forwarded)
+            out: list[Response] = []
+            for resp in replies:
+                if resp.trace is not None:
+                    tracer.merge(resp.trace)
+                    resp = replace(resp, trace=None)
+                out.append(resp)
+        return out
 
     def _record_write(self, req: Request, resp: Response, shard: int) -> Response:
         """Fold one shard write reply into the location/utility maps."""
@@ -754,7 +869,26 @@ class FleetCoordinator:
             "shards": shard_gaps,
         }
 
+    def flight_snapshot(self) -> dict[str, Any] | None:
+        """The coordinator's flight ring (``None`` when none is attached)."""
+        return self.flight.snapshot() if self.flight is not None else None
+
     def _handle_read(self, req: Request) -> Response:
+        if isinstance(req, QueryFlight):
+            if self.flight is None:
+                return Response.failure(
+                    req.op, "no flight recorder attached", request_id=req.request_id
+                )
+            shard_flights: list[dict[str, Any] | None] = []
+            for transport in self.transports:
+                resp = transport.request(QueryFlight())[0]
+                shard_flights.append(resp.data.get("flight") if resp.ok else None)
+            return Response.success(
+                req.op,
+                request_id=req.request_id,
+                flight=self.flight.snapshot(),
+                shards=shard_flights,
+            )
         if isinstance(req, QueryAssignment) and req.thread_id is not None:
             shard = self.locate(req.thread_id)
             if shard is None:

@@ -12,7 +12,13 @@ front of an :class:`~repro.service.server.AllocationService` or a
 * ``GET /healthz`` — a JSON liveness/guarantee summary including the
   :class:`~repro.observability.GapMonitor` statistics; the status code is
   200 while no certified step has ever breached the α guarantee and 503
-  afterwards, so a plain HTTP check doubles as a correctness alarm.
+  afterwards, so a plain HTTP check doubles as a correctness alarm;
+* ``GET /debug/flight`` — the service's flight-recorder ring as an
+  ``aart-flight/1`` JSON document (404 when no recorder is attached).
+
+When constructed with ``flight_dump_path``, the first ``/healthz`` probe
+that observes a degraded status also dumps the flight ring to that path —
+the postmortem is written the moment the alarm first fires.
 
 Reads race with the request-serving thread unless serialized: pass the
 transport's ``lock`` (see :attr:`~repro.service.transport.TcpServer.lock`)
@@ -22,6 +28,7 @@ so snapshots are taken between batches, never mid-step.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -59,11 +66,24 @@ class _IntrospectionHandler(BaseHTTPRequestHandler):
             body = (json.dumps(health, sort_keys=True) + "\n").encode("utf-8")
             code = 200 if health.get("status") == "ok" else 503
             self._reply(code, "application/json; charset=utf-8", body)
+        elif path == "/debug/flight":
+            flight = self.owner.render_flight()
+            if flight is None:
+                self._reply(
+                    404,
+                    "text/plain; charset=utf-8",
+                    b"no flight recorder attached\n",
+                )
+            else:
+                body = (json.dumps(flight, sort_keys=True, default=str) + "\n").encode(
+                    "utf-8"
+                )
+                self._reply(200, "application/json; charset=utf-8", body)
         else:
             self._reply(
                 404,
                 "text/plain; charset=utf-8",
-                b"not found; try /metrics or /healthz\n",
+                b"not found; try /metrics, /healthz or /debug/flight\n",
             )
 
     def _reply(self, code: int, content_type: str, body: bytes) -> None:
@@ -92,6 +112,11 @@ class MetricsHttpServer:
     lock:
         Optional lock held while snapshotting — share the allocation
         transport's lock so scrapes serialize with request batches.
+    flight_dump_path:
+        Optional path; the first ``/healthz`` render that observes a
+        non-ok status dumps the service's flight recorder there (at most
+        once per process — the interesting ring is the one surrounding
+        the first breach, and later dumps would overwrite it).
     """
 
     def __init__(
@@ -100,9 +125,12 @@ class MetricsHttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         lock: "threading.Lock | None" = None,
+        flight_dump_path: str | None = None,
     ):
         self.service = service
         self._guard = lock
+        self._flight_dump_path = flight_dump_path
+        self._flight_dumped = False
         handler = type("BoundHandler", (_IntrospectionHandler,), {"owner": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -115,7 +143,39 @@ class MetricsHttpServer:
 
     def render_health(self) -> dict[str, Any]:
         with self._guard if self._guard is not None else nullcontext():
-            return self.service.health()
+            health = self.service.health()
+        if (
+            health.get("status") != "ok"
+            and self._flight_dump_path is not None
+            and not self._flight_dumped
+        ):
+            # A plain bool, not a lock: concurrent probes at the breach
+            # instant may both dump, which is harmless (same ring, same
+            # path, atomic replace) — while a lock here would race the
+            # transport lock ordering for no benefit.
+            self._flight_dumped = True
+            self._dump_flight(self._flight_dump_path)
+        return health
+
+    def render_flight(self) -> dict[str, Any] | None:
+        """The service's flight-recorder snapshot, or None if detached."""
+        snapshot = getattr(self.service, "flight_snapshot", None)
+        if snapshot is None:
+            return None
+        with self._guard if self._guard is not None else nullcontext():
+            return snapshot()
+
+    def _dump_flight(self, path: str) -> None:
+        flight = self.render_flight()
+        if flight is None:
+            return
+        tmp = os.path.join(
+            os.path.dirname(path) or ".", f".{os.path.basename(path)}.tmp"
+        )
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(flight, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        os.replace(tmp, path)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from typing import Any
 
+from dataclasses import replace
+
 from repro.engine import LinearizationCache, SolveContext, SolveTimeout
 from repro.observability import (
     GAUGE_BOUND,
@@ -35,6 +37,7 @@ from repro.observability import (
     GAUGE_UTILITY,
     QUEUE_DEPTH,
     REQUEST_LATENCY,
+    REQUEST_PHASE_SECONDS,
     SERVER_RESIDUAL,
     SERVICE_ADMISSION_REJECTS,
     SERVICE_ARRIVALS,
@@ -46,16 +49,20 @@ from repro.observability import (
     STEP_SECONDS,
     Counters,
     EventSink,
+    FlightRecorder,
     GapMonitor,
     MetricsRegistry,
+    Tracer,
     counters_to_snapshot,
     merge_snapshots,
     render_prometheus,
+    stamp_remote,
     strip_partials,
 )
 from repro.service.api import (
     MUTATING_OPS,
     QueryAssignment,
+    QueryFlight,
     QueryMetrics,
     Rebalance,
     RemoveThread,
@@ -64,10 +71,87 @@ from repro.service.api import (
     Snapshot,
     SubmitThread,
     UpdateCapacity,
+    response_to_dict,
 )
 from repro.service.policy import AdmissionPolicy, ReplanPolicy
 from repro.service.state import ClusterState
 from repro.utils.rng import SeedLike, as_generator
+
+
+_PHASE_HELP = (
+    "Request latency split by phase (queue wait, coalesce wait, solve, serialize)."
+)
+
+
+class _EmitAdapter:
+    """EventSink facade over a service's ``_emit`` (sink + flight tee)."""
+
+    def __init__(self, service: Any) -> None:
+        self._service = service
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self._service._emit(event)
+
+
+def _batch_tracer(
+    metrics: MetricsRegistry,
+    requests: list[Request],
+    transport_info: dict[str, Any] | None,
+) -> Tracer | None:
+    """A per-batch tracer when any request is traced, else ``None``.
+
+    Also folds the transport's coalescing wait (when reported) into the
+    phase histogram and — on the traced path — a ``phase.coalesce_wait``
+    span ending at the tracer's epoch.
+    """
+    ctxs = [req.trace for req in requests if req.trace is not None]
+    wait = (transport_info or {}).get("coalesce_wait_s")
+    if wait is not None:
+        metrics.histogram(
+            REQUEST_PHASE_SECONDS, help=_PHASE_HELP, op="batch", phase="coalesce_wait"
+        ).observe(float(wait))
+    if not ctxs:
+        return None
+    tracer = Tracer(trace_id=ctxs[0].trace_id)
+    if wait is not None:
+        tracer.record(
+            "phase.coalesce_wait", start=tracer.now - float(wait), duration=float(wait)
+        )
+    return tracer
+
+
+def _attach_trace(
+    metrics: MetricsRegistry,
+    requests: list[Request],
+    slots: list[Response | None],
+    tracer: Tracer,
+) -> None:
+    """Stamp the batch's span snapshot onto each trace's first request.
+
+    Serialization cost is measured here (the traced path encodes the
+    payload once extra) and recorded as the ``serialize`` phase before
+    the snapshot is taken, so the ferried tree includes it.
+    """
+    t0 = time.monotonic()
+    for req, resp in zip(requests, slots):
+        if req.trace is not None and resp is not None:
+            response_to_dict(resp)
+    serialize = time.monotonic() - t0
+    metrics.histogram(
+        REQUEST_PHASE_SECONDS, help=_PHASE_HELP, op="batch", phase="serialize"
+    ).observe(serialize)
+    tracer.record("phase.serialize", start=tracer.now - serialize, duration=serialize)
+    snap = tracer.snapshot()
+    stamped: set[str] = set()
+    for k, req in enumerate(requests):
+        ctx = req.trace
+        resp = slots[k]
+        if ctx is None or resp is None or ctx.trace_id in stamped:
+            continue
+        stamped.add(ctx.trace_id)
+        slots[k] = replace(
+            resp, trace=stamp_remote(snap, ctx.trace_id, ctx.parent_span_id)
+        )
 
 
 class AllocationService:
@@ -101,6 +185,10 @@ class AllocationService:
         The :class:`~repro.observability.GapMonitor` watching certified
         utility/bound ratios against the paper's α guarantee (created
         fresh, wired to ``sink``, when omitted).
+    flight:
+        Optional :class:`~repro.observability.FlightRecorder`; every
+        emitted event is teed into it (it keeps the notable subset), and
+        ``QueryFlight`` / ``/debug/flight`` answer from its ring.
     """
 
     def __init__(
@@ -113,16 +201,20 @@ class AllocationService:
         seed: SeedLike = 0,
         metrics: MetricsRegistry | None = None,
         gap: GapMonitor | None = None,
+        flight: FlightRecorder | None = None,
     ):
         self.state = state
         self.replan_policy = replan_policy or ReplanPolicy()
         self.admission_policy = admission_policy or AdmissionPolicy()
         self.solve_budget_s = solve_budget_s
         self.sink = sink
+        self.flight = flight
         self.counters = Counters()
         self.cache = LinearizationCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.gap = gap if gap is not None else GapMonitor(sink=sink)
+        # gap_alert events must reach the flight recorder too, so a default
+        # monitor is wired through _emit (which tees) rather than the raw sink.
+        self.gap = gap if gap is not None else GapMonitor(sink=_EmitAdapter(self))
         self._rng = as_generator(seed)
         self._pending: list[tuple[Request, float]] = []
         #: Certification data from the most recent step (may lag mutations
@@ -136,13 +228,24 @@ class AllocationService:
     def _emit(self, event: dict[str, Any]) -> None:
         if self.sink is not None:
             self.sink.emit(event)
+        if self.flight is not None:
+            self.flight.emit(event)
 
-    def _make_ctx(self) -> SolveContext:
+    def _observe_gap(self, utility: float, bound: float, **context: Any) -> None:
+        alert = self.gap.observe(utility, bound, **context)
+        # A caller-supplied monitor without a sink of its own still gets its
+        # alerts into the event stream and the flight ring; the default
+        # monitor's sink is _EmitAdapter, which already lands there.
+        if alert is not None and self.gap.sink is None:
+            self._emit(alert)
+
+    def _make_ctx(self, tracer: Tracer | None = None) -> SolveContext:
         return SolveContext(
             seed=self._rng,
             budget_s=self.solve_budget_s,
             sink=self.sink,
             cache=self.cache,
+            tracer=tracer,
         )
 
     # -- queueing ------------------------------------------------------------
@@ -161,7 +264,13 @@ class AllocationService:
         if reason is not None:
             self.counters.add(SERVICE_ADMISSION_REJECTS)
             self._emit(
-                {"type": "request", "op": request.op, "ok": False, "reason": reason}
+                {
+                    "type": "request",
+                    "op": request.op,
+                    "ok": False,
+                    "reason": reason,
+                    "request_id": request.request_id,
+                }
             )
             return Response.failure(request.op, reason, request_id=request.request_id)
         self._pending.append((request, time.monotonic()))
@@ -176,7 +285,7 @@ class AllocationService:
 
     # -- the coalesced step ----------------------------------------------------
 
-    def step(self) -> list[Response]:
+    def step(self, tracer: Tracer | None = None) -> list[Response]:
         """Apply every queued mutation as ONE incremental step.
 
         Departures and capacity updates are applied first (they free
@@ -185,11 +294,15 @@ class AllocationService:
         fired by the replan policy).  Returns one response per queued
         request, in queue order.  An empty queue is a no-op (no step is
         counted).
+
+        ``tracer`` (optional) receives the step's span tree — the
+        transports pass a per-batch tracer when a request carries a
+        :class:`~repro.service.api.TraceContext`.
         """
         if not self._pending:
             return []
         batch, self._pending = self._pending, []
-        ctx = self._make_ctx()
+        ctx = self._make_ctx(tracer)
         t_start = time.monotonic()
         responses: dict[int, Response] = {}
         forced_rebalance: list[int] = []
@@ -251,19 +364,36 @@ class AllocationService:
         now = time.monotonic()
         for k, (req, t_enq) in enumerate(batch):
             resp = responses[k]
+            queue_wait = t_start - t_enq
             self.metrics.histogram(
                 REQUEST_LATENCY,
                 help="Enqueue-to-response latency per mutating op.",
                 op=req.op,
             ).observe(now - t_enq)
+            self.metrics.histogram(
+                REQUEST_PHASE_SECONDS, help=_PHASE_HELP, op=req.op, phase="queue_wait"
+            ).observe(queue_wait)
+            if tracer is not None:
+                tracer.record(
+                    "phase.queue_wait",
+                    start=tracer.now - (now - t_enq),
+                    duration=queue_wait,
+                    parent_id=None,
+                    op=req.op,
+                    request_id=req.request_id,
+                )
             self._emit(
                 {
                     "type": "request",
                     "op": req.op,
                     "ok": resp.ok,
                     "latency_s": now - t_enq,
+                    "request_id": req.request_id,
                 }
             )
+        self.metrics.histogram(
+            REQUEST_PHASE_SECONDS, help=_PHASE_HELP, op="step", phase="solve"
+        ).observe(now - t_start)
         self.metrics.histogram(
             STEP_SECONDS, help="Duration of each coalesced service step."
         ).observe(now - t_start)
@@ -344,7 +474,7 @@ class AllocationService:
         if self.state.n_threads == 0:
             self.last_bound, self.last_ratio = 0.0, 1.0
             self.last_certified_version = self.state.version
-            self.gap.observe(0.0, 0.0, version=self.state.version)
+            self._observe_gap(0.0, 0.0, version=self.state.version)
             return {"replanned": False, "reason": None, "migrations": 0}
         try:
             lin = ctx.linearization(self.state.scheduler.problem())
@@ -402,7 +532,7 @@ class AllocationService:
         self.last_bound = bound
         self.last_ratio = utility / bound if bound > 0 else 1.0
         self.last_certified_version = self.state.version
-        self.gap.observe(utility, bound, version=self.state.version)
+        self._observe_gap(utility, bound, version=self.state.version)
         self.metrics.gauge(
             GAUGE_BOUND, help="Super-optimal utility bound at last certification."
         ).set(bound)
@@ -468,8 +598,20 @@ class AllocationService:
             "gap": gap,
         }
 
+    def flight_snapshot(self) -> dict[str, Any] | None:
+        """The flight recorder's ring (``None`` when none is attached)."""
+        return self.flight.snapshot() if self.flight is not None else None
+
     def _handle_read(self, req: Request) -> Response:
         self.counters.add(SERVICE_REQUESTS)
+        if isinstance(req, QueryFlight):
+            if self.flight is None:
+                return Response.failure(
+                    req.op, "no flight recorder attached", request_id=req.request_id
+                )
+            return Response.success(
+                req.op, request_id=req.request_id, flight=self.flight.snapshot()
+            )
         if isinstance(req, QueryMetrics):
             return Response.success(
                 req.op,
@@ -518,13 +660,27 @@ class AllocationService:
 
     # -- batch entry point -----------------------------------------------------
 
-    def process(self, requests: list[Request]) -> list[Response]:
+    def process(
+        self,
+        requests: list[Request],
+        transport_info: dict[str, Any] | None = None,
+    ) -> list[Response]:
         """Serve one batch: coalesce all mutations, then answer all reads.
 
         This is the transport entry point.  Responses come back in request
         order; every mutation in the batch is applied (as one incremental
         step) before any read in the same batch is answered.
+
+        ``transport_info`` carries transport-side measurements (currently
+        ``coalesce_wait_s``, the time the TCP server spent widening the
+        batch).  When any request carries a
+        :class:`~repro.service.api.TraceContext`, the whole batch runs
+        under a per-batch :class:`~repro.observability.Tracer` and the
+        first traced request of each trace ferries the stitched span
+        snapshot home in ``Response.trace``; the untraced path stays a
+        single ``None`` check per batch.
         """
+        tracer = _batch_tracer(self.metrics, requests, transport_info)
         slots: list[Response | None] = [None] * len(requests)
         queued: list[int] = []
         for k, req in enumerate(requests):
@@ -534,13 +690,15 @@ class AllocationService:
                     slots[k] = rejection
                 else:
                     queued.append(k)
-        step_responses = self.step()
+        step_responses = self.step(tracer)
         # step() drains the whole queue; our requests are the tail of it.
         for k, resp in zip(queued, step_responses[-len(queued):] if queued else []):
             slots[k] = resp
         for k, req in enumerate(requests):
             if slots[k] is None:
                 slots[k] = self._handle_read(req)
+        if tracer is not None:
+            _attach_trace(self.metrics, requests, slots, tracer)
         return slots  # type: ignore[return-value]
 
     def handle(self, request: Request) -> Response:

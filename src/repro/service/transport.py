@@ -19,14 +19,19 @@ moves bytes.
 
 from __future__ import annotations
 
+import itertools
 import json
 import socket
 import threading
 import time
-from typing import Protocol
+from contextlib import nullcontext
+from dataclasses import replace
+from typing import Any, Protocol
 
+from repro.observability import Tracer
 from repro.service.api import (
     QueryAssignment,
+    QueryFlight,
     QueryMetrics,
     Rebalance,
     RemoveThread,
@@ -34,6 +39,7 @@ from repro.service.api import (
     Response,
     Snapshot,
     SubmitThread,
+    TraceContext,
     UpdateCapacity,
     request_from_dict,
     request_to_dict,
@@ -45,6 +51,11 @@ from repro.utility.base import UtilityFunction
 _RECV_CHUNK = 65536
 _POLL_S = 0.1
 
+#: Client instance counter — the prefix of auto-assigned request ids
+#: (``c3-7`` = 7th request of the 3rd client in this process).  A plain
+#: deterministic counter, never wall-clock or random (AART001/002).
+_CLIENT_SEQ = itertools.count(1)
+
 
 class RequestProcessor(Protocol):
     """Anything that serves one coalesced batch of typed requests.
@@ -52,21 +63,53 @@ class RequestProcessor(Protocol):
     Both :class:`~repro.service.server.AllocationService` and
     :class:`~repro.service.fleet.coordinator.FleetCoordinator` satisfy
     this, so every transport here fronts a single shard and a whole
-    fleet interchangeably.
+    fleet interchangeably.  ``transport_info`` carries transport-side
+    measurements (e.g. the TCP coalescing wait) into the phase metrics.
     """
 
-    def process(self, requests: list[Request]) -> list[Response]: ...
+    def process(
+        self,
+        requests: list[Request],
+        transport_info: dict[str, Any] | None = None,
+    ) -> list[Response]: ...
+
+
+def _attach_context(
+    requests: tuple[Request, ...] | list[Request], ctx: TraceContext
+) -> list[Request]:
+    """Stamp ``ctx`` on every request that does not already carry one."""
+    return [replace(r, trace=ctx) if r.trace is None else r for r in requests]
+
+
+def _merge_response_traces(tracer: Tracer, responses: list[Response]) -> None:
+    """Graft every ferried span snapshot into the caller's tracer."""
+    for resp in responses:
+        if resp.trace is not None:
+            tracer.merge(resp.trace)
 
 
 class InProcessTransport:
-    """Zero-copy transport: requests go straight to ``service.process``."""
+    """Zero-copy transport: requests go straight to ``service.process``.
 
-    def __init__(self, service: RequestProcessor):
+    With a ``tracer`` attached, each :meth:`request` call opens a
+    ``client.request`` span, stamps its :class:`TraceContext` on the
+    batch, and grafts the ferried server-side span snapshots back under
+    it — the same stitching the TCP client does, minus the wire.
+    """
+
+    def __init__(self, service: RequestProcessor, tracer: Tracer | None = None):
         self.service = service
+        self.tracer = tracer
 
     def request(self, *requests: Request) -> list[Response]:
         """Serve ``requests`` as one coalesced batch; responses in order."""
-        return self.service.process(list(requests))
+        if self.tracer is None:
+            return self.service.process(list(requests))
+        with self.tracer.span("client.request", n=len(requests)) as span_id:
+            ctx = TraceContext(self.tracer.trace_id, span_id)
+            out = self.service.process(_attach_context(requests, ctx))
+            _merge_response_traces(self.tracer, out)
+        return out
 
 
 def _encode_lines(dicts) -> bytes:
@@ -173,7 +216,8 @@ class TcpServer:
                     buf, eof, _got = _fill(conn, buf, _POLL_S)
                     continue
                 batch = [line]
-                deadline = time.monotonic() + self.coalesce_window_s
+                t_first = time.monotonic()
+                deadline = t_first + self.coalesce_window_s
                 while True:
                     line, buf = _pop_line(buf)
                     if line is not None:
@@ -185,12 +229,17 @@ class TcpServer:
                     buf, eof, got = _fill(conn, buf, remaining)
                     if not got and not eof:
                         break  # window expired quietly
+                coalesce_wait = time.monotonic() - t_first
                 try:
-                    conn.sendall(_encode_lines(self._process_batch(batch)))
+                    conn.sendall(
+                        _encode_lines(self._process_batch(batch, coalesce_wait))
+                    )
                 except OSError:
                     return
 
-    def _process_batch(self, lines: list[bytes]) -> list[dict]:
+    def _process_batch(
+        self, lines: list[bytes], coalesce_wait_s: float = 0.0
+    ) -> list[dict]:
         """Decode each line, serve the decodable ones as ONE batch."""
         parsed: list[Request | Response] = []
         for raw in lines:
@@ -199,11 +248,12 @@ class TcpServer:
             except (ValueError, KeyError, TypeError) as exc:
                 parsed.append(Response.failure("?", f"bad request line: {exc}"))
         requests = [p for p in parsed if not isinstance(p, Response)]
+        info = {"transport": "tcp", "coalesce_wait_s": coalesce_wait_s}
         # Owner-thread pattern: the batch lock IS the server's serialization
         # point — every connection's requests are served as one ordered batch,
         # so the (deadline-bounded) re-solve runs under it by design.
         with self._lock:  # aart: ignore[AART009]
-            served = iter(self.service.process(requests))
+            served = iter(self.service.process(requests, info))
         out: list[Response] = [
             p if isinstance(p, Response) else next(served) for p in parsed
         ]
@@ -240,11 +290,28 @@ class Client:
 
     Send several requests in one :meth:`request` call and they land in
     the same TCP segment, which the server coalesces into one step.
+
+    Every request the caller did not tag gets an auto-assigned
+    monotonically increasing ``request_id`` (``c<client>-<n>``), so
+    responses, flight-recorder entries and trace spans stay correlatable.
+    With a ``tracer`` attached, each :meth:`request` call is one
+    ``client.request`` span (children ``client.send`` / ``client.recv``),
+    its :class:`TraceContext` rides on the wire, and the server's ferried
+    span snapshot is grafted back under it — one stitched tree per call.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 10.0,
+        tracer: Tracer | None = None,
+    ):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rb")
+        self.tracer = tracer
+        self._id_prefix = f"c{next(_CLIENT_SEQ)}"
+        self._id_seq = 0
 
     def close(self) -> None:
         self._file.close()
@@ -256,17 +323,45 @@ class Client:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _stamp_ids(self, requests: tuple[Request, ...]) -> list[Request]:
+        out: list[Request] = []
+        for req in requests:
+            if req.request_id is None:
+                self._id_seq += 1
+                req = replace(req, request_id=f"{self._id_prefix}-{self._id_seq}")
+            out.append(req)
+        return out
+
     def request(self, *requests: Request) -> list[Response]:
         """Send ``requests`` as one burst; block for the matching responses."""
         if not requests:
             return []
-        self._sock.sendall(_encode_lines(request_to_dict(r) for r in requests))
+        reqs = self._stamp_ids(requests)
+        if self.tracer is None:
+            return self._roundtrip(reqs)
+        with self.tracer.span("client.request", n=len(reqs)) as span_id:
+            ctx = TraceContext(self.tracer.trace_id, span_id)
+            out = self._roundtrip(_attach_context(reqs, ctx))
+            _merge_response_traces(self.tracer, out)
+        return out
+
+    def _roundtrip(self, requests: list[Request]) -> list[Response]:
+        tracer = self.tracer
+        send_span = (
+            tracer.span("client.send") if tracer is not None else nullcontext()
+        )
+        with send_span:
+            self._sock.sendall(_encode_lines(request_to_dict(r) for r in requests))
         out: list[Response] = []
-        for _ in requests:
-            line = self._file.readline()
-            if not line:
-                raise ConnectionError("server closed the connection mid-response")
-            out.append(response_from_dict(json.loads(line.decode("utf-8"))))
+        recv_span = (
+            tracer.span("client.recv") if tracer is not None else nullcontext()
+        )
+        with recv_span:
+            for _ in requests:
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection mid-response")
+                out.append(response_from_dict(json.loads(line.decode("utf-8"))))
         return out
 
     # -- convenience wrappers -------------------------------------------------
@@ -291,3 +386,10 @@ class Client:
 
     def snapshot(self, path: str | None = None) -> Response:
         return self.request(Snapshot(path=path))[0]
+
+    def flight(self) -> dict:
+        """The server's flight-recorder ring (``aart-flight/1`` document)."""
+        resp = self.request(QueryFlight())[0]
+        if not resp.ok:
+            raise RuntimeError(resp.error or "flight query failed")
+        return resp.data["flight"]

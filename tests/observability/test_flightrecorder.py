@@ -1,0 +1,158 @@
+"""FlightRecorder: ring discipline, event filtering, atomic dumps."""
+
+import itertools
+import json
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.observability import (
+    FLIGHT_FORMAT,
+    NOTABLE_EVENTS,
+    FlightRecorder,
+    load_flight,
+)
+
+
+def _ticking_clock(step=1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+# -- ring discipline ----------------------------------------------------------
+
+
+def test_record_stamps_seq_and_monotonic_offset():
+    rec = FlightRecorder(capacity=8, clock=_ticking_clock())
+    rec.record("step", step=1)
+    rec.record("replan", moved=3)
+    events = rec.snapshot()["events"]
+    assert [e["kind"] for e in events] == ["step", "replan"]
+    assert [e["seq"] for e in events] == [1, 2]
+    assert events[0]["t"] < events[1]["t"]
+    assert events[0]["step"] == 1 and events[1]["moved"] == 3
+
+
+def test_ring_is_bounded_and_counts_drops():
+    rec = FlightRecorder(capacity=4)
+    for k in range(10):
+        rec.record("step", step=k)
+    assert len(rec) == 4
+    assert rec.dropped == 6
+    snap = rec.snapshot()
+    assert snap["dropped"] == 6 and snap["capacity"] == 4
+    # the ring keeps the most recent entries, oldest first
+    assert [e["step"] for e in snap["events"]] == [6, 7, 8, 9]
+    assert [e["seq"] for e in snap["events"]] == [7, 8, 9, 10]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_snapshot_is_json_ready():
+    rec = FlightRecorder(capacity=4)
+    rec.record("gap_alert", ratio=0.7)
+    snap = rec.snapshot()
+    assert snap["format"] == FLIGHT_FORMAT
+    assert snap == json.loads(json.dumps(snap))
+
+
+def test_concurrent_records_never_lose_or_duplicate_seq():
+    rec = FlightRecorder(capacity=64)
+    n_threads, per_thread = 8, 200
+
+    def hammer(k):
+        for i in range(per_thread):
+            rec.record("step", worker=k, i=i)
+
+    threads = [threading.Thread(target=hammer, args=(k,)) for k in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = rec.snapshot()
+    total = n_threads * per_thread
+    assert len(snap["events"]) == 64
+    assert snap["dropped"] == total - 64
+    seqs = [e["seq"] for e in snap["events"]]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    assert seqs[-1] == total
+
+
+# -- EventSink tee filtering --------------------------------------------------
+
+
+def test_emit_keeps_notable_kinds_and_drops_noise():
+    rec = FlightRecorder(capacity=16)
+    for kind in sorted(NOTABLE_EVENTS):
+        rec.emit({"type": kind, "detail": 1})
+    rec.emit({"type": "span", "name": "linearize"})  # firehose noise
+    rec.emit({"type": "counter", "value": 3})
+    kinds = [e["kind"] for e in rec.snapshot()["events"]]
+    assert kinds == sorted(NOTABLE_EVENTS)
+
+
+def test_emit_keeps_only_failed_or_slow_requests():
+    rec = FlightRecorder(capacity=16, slow_request_s=0.5)
+    rec.emit({"type": "request", "ok": True, "latency_s": 0.001, "op": "submit"})
+    rec.emit({"type": "request", "ok": False, "latency_s": 0.001, "op": "submit",
+              "request_id": "c1-7"})
+    rec.emit({"type": "request", "ok": True, "latency_s": 0.75, "op": "rebalance"})
+    events = rec.snapshot()["events"]
+    assert [e["ok"] for e in events] == [False, True]
+    assert events[0]["request_id"] == "c1-7"
+    assert events[1]["latency_s"] == 0.75
+
+
+# -- dumps --------------------------------------------------------------------
+
+
+def test_dump_roundtrips_through_load_flight(tmp_path):
+    rec = FlightRecorder(capacity=8, clock=_ticking_clock())
+    rec.record("step", step=1)
+    path = tmp_path / "flight.json"
+    rec.dump(str(path))
+    doc = load_flight(str(path))
+    assert doc == rec.snapshot()
+    # no temp file left behind
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["flight.json"]
+
+
+def test_dump_replaces_atomically(tmp_path):
+    rec = FlightRecorder(capacity=8)
+    path = tmp_path / "flight.json"
+    rec.record("step", step=1)
+    rec.dump(str(path))
+    rec.record("step", step=2)
+    rec.dump(str(path))
+    assert len(load_flight(str(path))["events"]) == 2
+
+
+def test_load_flight_rejects_foreign_documents(tmp_path):
+    bad = tmp_path / "not-flight.json"
+    bad.write_text(json.dumps({"format": "aart-trace/1", "spans": []}))
+    with pytest.raises(ValueError):
+        load_flight(str(bad))
+    bad.write_text(json.dumps({"format": FLIGHT_FORMAT, "events": "nope"}))
+    with pytest.raises(ValueError):
+        load_flight(str(bad))
+
+
+def test_sigusr1_handler_dumps_the_ring(tmp_path):
+    # Mirrors the `aart serve --flight-dump` wiring: a signal handler that
+    # dumps the ring, exercised by signalling our own process.
+    rec = FlightRecorder(capacity=8)
+    rec.record("gap_alert", ratio=0.5, shard="1")
+    path = tmp_path / "flight.json"
+    previous = signal.signal(signal.SIGUSR1, lambda signum, frame: rec.dump(str(path)))
+    try:
+        os.kill(os.getpid(), signal.SIGUSR1)
+    finally:
+        signal.signal(signal.SIGUSR1, previous)
+    doc = load_flight(str(path))
+    assert doc["events"][0]["kind"] == "gap_alert"
+    assert doc["events"][0]["shard"] == "1"

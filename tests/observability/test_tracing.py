@@ -5,8 +5,10 @@ import json
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.observability import TRACE_FORMAT, Tracer, chrome_trace
+from repro.observability import TRACE_FORMAT, Tracer, chrome_trace, stamp_remote
 
 GOLDEN = Path(__file__).parent / "golden"
 
@@ -100,6 +102,93 @@ def test_merge_outside_any_span_keeps_foreign_roots_as_roots():
 def test_merge_rejects_foreign_formats():
     with pytest.raises(ValueError):
         Tracer(clock=_ticking_clock()).merge({"format": "not-a-trace"})
+
+
+def test_record_appends_a_closed_span_under_the_open_one():
+    t = Tracer(clock=_ticking_clock())
+    with t.span("step") as step_id:
+        sid = t.record("phase.queue_wait", start=t.now - 0.5, duration=0.5, op="submit")
+    spans = {s["span_id"]: s for s in t.snapshot()["spans"]}
+    assert spans[sid]["parent_id"] == step_id
+    assert spans[sid]["duration"] == 0.5
+    assert spans[sid]["attrs"] == {"op": "submit"}
+    # recorded outside any open span → a root
+    root_sid = t.record("orphan", start=0.0, duration=1.0)
+    spans = {s["span_id"]: s for s in t.snapshot()["spans"]}
+    assert spans[root_sid]["parent_id"] is None
+
+
+# -- remote-parent grafting ---------------------------------------------------
+
+
+def test_stamp_remote_annotates_roots_and_rewrites_trace_id():
+    worker = Tracer(trace_id="worker", clock=_ticking_clock())
+    with worker.span("chunk"):
+        with worker.span("trial"):
+            pass
+    snap = worker.snapshot()
+    stamped = stamp_remote(snap, "caller-trace", 7)
+    assert stamped["trace_id"] == "caller-trace"
+    roots = [s for s in stamped["spans"] if s["parent_id"] is None]
+    children = [s for s in stamped["spans"] if s["parent_id"] is not None]
+    assert all(s["remote_parent"] == 7 for s in roots)
+    assert all("remote_parent" not in s for s in children)
+    # the original snapshot is untouched
+    assert all("remote_parent" not in s for s in snap["spans"])
+
+
+def test_merge_grafts_remote_roots_under_the_stamped_local_span():
+    server = Tracer(clock=_ticking_clock())
+    with server.span("service.step"):
+        pass
+    client = Tracer(trace_id="req", clock=_ticking_clock())
+    with client.span("client.request") as span_id:
+        ferried = stamp_remote(server.snapshot(), client.trace_id, span_id)
+        client.merge(ferried)
+    roots = client.tree()
+    assert [r["name"] for r in roots] == ["client.request"]
+    assert [c["name"] for c in roots[0]["children"]] == ["service.step"]
+
+
+def test_merge_ignores_remote_parents_outside_the_local_id_space():
+    # A stamp referencing a span id the local tracer never issued must not
+    # invent a parent: the foreign root falls back to the merge default.
+    server = Tracer(clock=_ticking_clock())
+    with server.span("service.step"):
+        pass
+    client = Tracer(clock=_ticking_clock())
+    client.merge(stamp_remote(server.snapshot(), "req", 999))
+    assert [r["name"] for r in client.tree()] == ["service.step"]
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    names=st.lists(
+        st.sampled_from(["solve.alg2", "linearize", "waterfill"]),
+        min_size=1,
+        max_size=10,
+    ),
+    n_workers=st.integers(min_value=1, max_value=4),
+)
+def test_grafting_preserves_skeleton_split_invariance(names, n_workers):
+    """Ferrying spans through stamp_remote must not change the skeleton."""
+    serial = Tracer(clock=_ticking_clock())
+    with serial.span("client.request"):
+        for name in names:
+            with serial.span(name):
+                pass
+
+    stitched = Tracer(clock=_ticking_clock())
+    workers = [Tracer(clock=_ticking_clock()) for _ in range(n_workers)]
+    for k, name in enumerate(names):
+        with workers[k % n_workers].span(name):
+            pass
+    with stitched.span("client.request") as span_id:
+        pass
+    for worker in workers:
+        stitched.merge(stamp_remote(worker.snapshot(), stitched.trace_id, span_id))
+
+    assert stitched.skeleton() == serial.skeleton()
 
 
 def test_skeleton_is_split_invariant():

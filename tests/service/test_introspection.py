@@ -188,6 +188,51 @@ def test_http_alongside_tcp_shares_the_service_lock():
             assert status == 200 and "aart_threads" in text
 
 
+def test_http_debug_flight_serves_the_ring():
+    from repro.observability import FLIGHT_FORMAT, FlightRecorder
+
+    svc = _service(flight=FlightRecorder())
+    bus = InProcessTransport(svc)
+    bus.request(SubmitThread("t0", _util()))
+    with MetricsHttpServer(svc, port=0) as httpd:
+        status, ctype, body = _get(f"http://127.0.0.1:{httpd.port}/debug/flight")
+    assert status == 200 and ctype.startswith("application/json")
+    doc = json.loads(body)
+    assert doc["format"] == FLIGHT_FORMAT
+    assert any(e["kind"] == "step" for e in doc["events"])
+
+
+def test_http_debug_flight_404_without_recorder():
+    svc = _service()
+    with MetricsHttpServer(svc, port=0) as httpd:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"http://127.0.0.1:{httpd.port}/debug/flight")
+    assert err.value.code == 404
+
+
+def test_healthz_degradation_dumps_the_flight_ring_once(tmp_path):
+    from repro.observability import FlightRecorder, load_flight
+
+    svc = _service(gap=GapMonitor(threshold=1.5), flight=FlightRecorder())
+    bus = InProcessTransport(svc)
+    bus.request(SubmitThread("t0", _util()))
+    bus.request(Rebalance())
+    dump = tmp_path / "flight.json"
+    with MetricsHttpServer(svc, port=0, flight_dump_path=str(dump)) as httpd:
+        for _ in range(2):  # second probe must not re-dump
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://127.0.0.1:{httpd.port}/healthz")
+            assert err.value.code == 503
+        doc = load_flight(str(dump))
+        assert any(e["kind"] == "gap_alert" for e in doc["events"])
+        marker = doc["events"][-1]["seq"]
+        svc.flight.record("step", step=99)
+        with pytest.raises(urllib.error.HTTPError):
+            _get(f"http://127.0.0.1:{httpd.port}/healthz")
+        # the dump on disk still ends at the first breach's marker
+        assert load_flight(str(dump))["events"][-1]["seq"] == marker
+
+
 def test_client_metrics_over_tcp():
     svc = _service()
     with TcpServer(svc, port=0) as srv:
